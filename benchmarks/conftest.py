@@ -1,0 +1,14 @@
+"""Prints each experiment's paper-shaped rows in the terminal summary."""
+
+from benchmarks.support import RESULTS
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not RESULTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction results")
+    for experiment in sorted(RESULTS):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {experiment} ---")
+        for line in RESULTS[experiment]:
+            terminalreporter.write_line(line)

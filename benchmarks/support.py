@@ -1,0 +1,114 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation section. Paper-shaped result rows are registered through
+:func:`report`; ``benchmarks/conftest.py`` prints them in the terminal
+summary so they appear alongside pytest-benchmark's timing table.
+
+Scale knob: set ``REPRO_BENCH_SCALE=full`` for the paper's full grids
+(slow); the default ``quick`` grids preserve every series' shape at a
+fraction of the runtime.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.datagen import BartonConfig, generate_barton
+from repro.selection.costs import CostModel, CostWeights, calibrate_maintenance_weight
+from repro.selection.search import SearchBudget
+from repro.selection.state import ViewNamer, initial_state
+from repro.selection.statistics import ZipfStatistics
+from repro.selection.transitions import TransitionEnumerator
+from repro.workload import (
+    QueryShape,
+    SatisfiableWorkloadGenerator,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+
+#: Paper-shaped output rows, keyed by experiment id.
+RESULTS: dict[str, list[str]] = {}
+
+
+def report(experiment: str, line: str) -> None:
+    """Register one output row for the terminal summary."""
+    RESULTS.setdefault(experiment, []).append(line)
+
+
+def full_scale() -> bool:
+    """True when the full (slow) experiment grids were requested."""
+    return os.environ.get("REPRO_BENCH_SCALE", "quick") == "full"
+
+
+@lru_cache(maxsize=1)
+def barton():
+    """The shared synthetic Barton catalog (store, schema)."""
+    config = BartonConfig(
+        num_triples=40_000 if full_scale() else 12_000,
+        num_entities=6_000 if full_scale() else 2_000,
+        seed=42,
+    )
+    return generate_barton(config)
+
+
+def synthetic_workload(
+    num_queries: int,
+    atoms: int,
+    shape: QueryShape,
+    commonality: str,
+    seed: int = 0,
+):
+    """A generator-produced workload (Sections 6.2 and 6.4)."""
+    spec = WorkloadSpec(num_queries, atoms, shape, commonality)
+    return WorkloadGenerator(seed=seed).generate(spec)
+
+
+def satisfiable_workload(
+    num_queries: int,
+    atoms: int,
+    shape: QueryShape,
+    commonality: str,
+    seed: int = 0,
+):
+    """A workload satisfiable on the shared Barton catalog (Section 6.5)."""
+    store, _ = barton()
+    spec = WorkloadSpec(num_queries, atoms, shape, commonality, constant_probability=0.4)
+    return SatisfiableWorkloadGenerator(store, seed=seed).generate(spec)
+
+
+def bench_statistics():
+    """The default dataset-free statistics: skewed, deterministic."""
+    return ZipfStatistics(seed=7)
+
+
+def barton_statistics():
+    """Exact statistics of the shared Barton catalog."""
+    from repro.selection.statistics import StoreStatistics
+
+    store, _ = barton()
+    return StoreStatistics(store)
+
+
+def search_setup(queries, statistics=None, vb_mode: str = "disjoint"):
+    """(initial state, cost model, enumerator) ready for a strategy.
+
+    cs=cr=1 and f=2 as in Section 6; cm is calibrated per workload so
+    that cm·VMC(S0) stays comparable to the other cost components, which
+    is the paper's stated methodology ("we set the value of cm taking
+    into account the database size and the average number of atoms").
+    """
+    namer = ViewNamer()
+    enumerator = TransitionEnumerator(namer, vb_mode=vb_mode)
+    statistics = statistics or barton_statistics()
+    state = initial_state(queries, namer)
+    weights = calibrate_maintenance_weight(state, statistics, ratio=2.0)
+    model = CostModel(statistics, weights)
+    return state, model, enumerator
+
+
+def budget(seconds: float, max_states: int | None = None) -> SearchBudget:
+    """A stoptime budget, scaled up under REPRO_BENCH_SCALE=full."""
+    factor = 4.0 if full_scale() else 1.0
+    return SearchBudget(time_limit=seconds * factor, max_states=max_states)

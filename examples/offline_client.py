@@ -1,0 +1,97 @@
+"""The three-tier deployment story, with persistence and live updates.
+
+Server side: select views for the workload, materialize them, and ship a
+single JSON document to the client. Client side: restore the document and
+answer every query with *no* database connection. Back on the server,
+incremental view maintenance keeps the extents current as triples arrive
+and retire, ready for the next sync.
+
+Run with: python examples/offline_client.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    SearchBudget,
+    Triple,
+    TripleStore,
+    URI,
+    ViewSelector,
+    parse_query,
+)
+from repro.selection import MaterializedViewSet, persist
+from repro.selection.materialize import answer_query
+
+NS = "http://gallery.example/"
+
+
+def uri(name: str) -> URI:
+    return URI(NS + name)
+
+
+def server_database() -> TripleStore:
+    store = TripleStore()
+    facts = [
+        ("rembrandt", "hasPainted", "nightWatch"),
+        ("rembrandt", "hasPainted", "stormGalilee"),
+        ("vermeer", "hasPainted", "milkmaid"),
+        ("nightWatch", "exhibitedIn", "rijksmuseum"),
+        ("milkmaid", "exhibitedIn", "rijksmuseum"),
+        ("stormGalilee", "exhibitedIn", "gardnerMuseum"),
+        ("rembrandt", "livedIn", "amsterdam"),
+        ("vermeer", "livedIn", "delft"),
+    ]
+    for s, p, o in facts:
+        store.add(Triple(uri(s), uri(p), uri(o)))
+    return store
+
+
+def main() -> None:
+    store = server_database()
+    workload = [
+        parse_query(
+            "exhibits(P, M) :- t(P, hasPainted, W), t(W, exhibitedIn, M)",
+            namespace=NS,
+        ),
+        parse_query(
+            "locals(P, C) :- t(P, hasPainted, W), t(P, livedIn, C)",
+            namespace=NS,
+        ),
+    ]
+
+    # --- server: select, materialize, export ---------------------------
+    selector = ViewSelector(store, strategy="dfs", budget=SearchBudget(time_limit=3.0))
+    recommendation = selector.recommend(workload)
+    extents = recommendation.materialize()
+    export = Path(tempfile.mkstemp(suffix=".json")[1])
+    persist.save(export, recommendation.state, extents, indent=2)
+    print(f"server: exported {len(recommendation.views)} views "
+          f"({sum(len(rows) for rows in extents.values())} tuples) "
+          f"to {export.name}")
+
+    # --- client: restore and answer offline ----------------------------
+    client_state, client_extents = persist.load(export)
+    print("client (no database connection):")
+    for query in workload:
+        answers = answer_query(client_state, query.name, client_extents)
+        print(f"  {query.name}:")
+        for row in sorted(answers, key=str):
+            print("    " + ", ".join(t.value.removeprefix(NS) for t in row))
+
+    # --- server: the database moves on; views follow incrementally -----
+    maintained = MaterializedViewSet(recommendation.state, store)
+    print("\nserver: new acquisition arrives ...")
+    maintained.insert(Triple(uri("vermeer"), uri("hasPainted"), uri("pearlEarring")))
+    maintained.insert(Triple(uri("pearlEarring"), uri("exhibitedIn"), uri("mauritshuis")))
+    print("server: a loan ends ...")
+    maintained.remove(Triple(uri("stormGalilee"), uri("exhibitedIn"), uri("gardnerMuseum")))
+
+    print("server: refreshed answers after incremental maintenance:")
+    for row in sorted(maintained.answer("exhibits"), key=str):
+        print("    " + ", ".join(t.value.removeprefix(NS) for t in row))
+    export.unlink()
+
+
+if __name__ == "__main__":
+    main()

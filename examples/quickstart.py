@@ -1,0 +1,81 @@
+"""Quickstart: select materialized views for a tiny RDF workload.
+
+Builds a small painter dataset, asks the selector for a view set that
+answers two queries, materializes the views, and answers the queries
+without touching the store again — the paper's three-tier deployment
+story in miniature.
+
+Run with: python examples/quickstart.py
+"""
+
+from repro import (
+    SearchBudget,
+    Triple,
+    TripleStore,
+    URI,
+    ViewSelector,
+    parse_query,
+)
+
+NS = "http://museum.example/"
+
+
+def uri(name: str) -> URI:
+    return URI(NS + name)
+
+
+def build_store() -> TripleStore:
+    store = TripleStore()
+    facts = [
+        ("vanGogh", "hasPainted", "starryNight"),
+        ("vanGogh", "hasPainted", "sunflowers"),
+        ("vermeer", "hasPainted", "girlWithPearl"),
+        ("vanGogh", "bornIn", "zundert"),
+        ("vermeer", "bornIn", "delft"),
+        ("starryNight", "exhibitedIn", "moma"),
+        ("sunflowers", "exhibitedIn", "nationalGallery"),
+        ("girlWithPearl", "exhibitedIn", "mauritshuis"),
+    ]
+    for subject, prop, obj in facts:
+        store.add(Triple(uri(subject), uri(prop), uri(obj)))
+    return store
+
+
+def main() -> None:
+    store = build_store()
+    workload = [
+        parse_query(
+            "q1(Painter, Museum) :- t(Painter, hasPainted, W), "
+            "t(W, exhibitedIn, Museum)",
+            namespace=NS,
+        ),
+        parse_query(
+            "q2(Painter) :- t(Painter, hasPainted, W), "
+            "t(Painter, bornIn, zundert)",
+            namespace=NS,
+        ),
+    ]
+
+    selector = ViewSelector(store, strategy="dfs", budget=SearchBudget(time_limit=5.0))
+    recommendation = selector.recommend(workload)
+
+    print("Recommended views:")
+    for view in recommendation.views:
+        print(f"  {view}")
+    print()
+    print(f"initial cost = {recommendation.result.initial_cost:.1f}")
+    print(f"best cost    = {recommendation.result.best_cost:.1f}")
+    print(f"cost reduction (rcr) = {recommendation.result.rcr:.2%}")
+    print()
+
+    # Materialize once; afterwards the store is no longer needed.
+    extents = recommendation.materialize()
+    for query in workload:
+        answers = recommendation.answer(query.name, extents)
+        print(f"{query.name} answers, straight from the views:")
+        for row in sorted(answers, key=str):
+            print("  " + ", ".join(str(term) for term in row))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Synthetic dataset generation.
+
+The paper evaluates on the Barton library-catalog dataset (~35M distinct
+triples after cleaning) with an RDFS of 39 classes, 61 properties and
+106 schema statements. The dataset itself is not redistributable at that
+scale; :mod:`repro.datagen.barton` generates a laptop-scale synthetic
+catalog with the same schema *shape* and skewed value distributions, so
+every statistics / entailment / search code path is exercised the same
+way.
+"""
+
+from repro.datagen.barton import BartonConfig, generate_barton
+
+__all__ = ["BartonConfig", "generate_barton"]

@@ -1,0 +1,179 @@
+"""A synthetic Barton-like library catalog: RDFS plus skewed instance data.
+
+The real Barton dataset [24] describes MIT library holdings. Its RDFS —
+as used in Section 6.5 — has 39 classes, 61 properties and 106 RDFS
+statements of the four Table-1 kinds. This generator reproduces that
+schema shape with a library vocabulary, and populates it with instance
+data whose property usage follows a Zipf-like skew (library catalogs are
+heavily skewed toward a few record-keeping properties).
+
+The generated data is *not* saturated: instances are typed with their
+most specific class only, and only the asserted property is recorded even
+when superproperties exist — the implicit triples are left to the
+entailment machinery, which is the whole point of Section 4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.rdf.schema import RDFSchema
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+from repro.rdf.vocabulary import RDF_TYPE
+
+BARTON_NS = "http://simile.mit.edu/barton#"
+
+#: 39 class names, library-catalog flavored (the real schema's size).
+CLASS_NAMES = (
+    "Item", "Text", "Book", "Journal", "Article", "Thesis", "Map",
+    "Image", "Photograph", "Audio", "MusicRecording", "Person", "Author",
+    "Editor", "Publisher", "Organization", "Subject", "SubjectPart",
+    "Language", "Place", "Event", "Collection", "Series", "Edition",
+    "Manuscript", "Microform", "Software", "Dataset", "Score",
+    "Periodical", "Newspaper", "Proceedings", "Report", "Standard",
+    "Patent", "WebResource", "PhysicalObject", "ConceptScheme", "Work",
+)
+
+#: 61 property names (the real schema's size).
+PROPERTY_NAMES = (
+    "title", "creator", "author", "editor", "contributor", "publisher",
+    "published", "relatedTo", "description", "language", "subject",
+    "partOf", "hasPart", "isFormatOf", "references", "cites", "issued",
+    "created", "modified", "identifier", "isbn", "issn", "callNumber",
+    "location", "holdsCopy", "memberOf", "worksFor", "knows",
+    "birthDate", "deathDate", "name", "label", "note", "abstract",
+    "tableOfContents", "edition", "volume", "issue", "pages", "format",
+    "extent", "medium", "genre", "audience", "rights", "license",
+    "source", "derivedFrom", "translationOf", "hasTranslation",
+    "supersedes", "supersededBy", "catalogedBy", "reviewedBy",
+    "recommends", "borrows", "returns", "reserves", "annotates", "tags",
+    "linksTo",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class BartonConfig:
+    """Knobs of the synthetic catalog.
+
+    Defaults match the real schema's shape (39/61/106) at a data scale
+    that keeps full test/benchmark runs fast. ``num_triples`` is a
+    target for the data part (type + property triples), approached but
+    not exceeded.
+    """
+
+    num_triples: int = 50_000
+    num_entities: int = 8_000
+    seed: int = 0
+    subproperty_statements: int = 15
+    domain_statements: int = 30
+    range_statements: int = 23
+    literal_probability: float = 0.3
+
+    @property
+    def subclass_statements(self) -> int:
+        """A tree over the classes: one statement per non-root class."""
+        return len(CLASS_NAMES) - 1
+
+
+def _class_uri(name: str) -> URI:
+    return URI(BARTON_NS + name)
+
+
+def _property_uri(name: str) -> URI:
+    return URI(BARTON_NS + name)
+
+
+def build_schema(config: BartonConfig) -> RDFSchema:
+    """The synthetic RDFS: 38 subclass + 15 subproperty + 30 domain +
+    23 range statements = 106 (matching Section 6.5)."""
+    rng = random.Random(config.seed)
+    schema = RDFSchema()
+    classes = [_class_uri(name) for name in CLASS_NAMES]
+    properties = [_property_uri(name) for name in PROPERTY_NAMES]
+    # Subclass tree: each non-root class under a random earlier class,
+    # biased toward shallow, broad hierarchies like real catalogs.
+    for index in range(1, len(classes)):
+        parent = classes[rng.randrange(max(1, index // 2))]
+        schema.add_subclass(classes[index], parent)
+    # Subproperty links: later properties specialize earlier ones.
+    added = 0
+    while added < config.subproperty_statements:
+        child = properties[rng.randrange(len(properties) // 2, len(properties))]
+        parent = properties[rng.randrange(len(properties) // 2)]
+        if child != parent and schema.add_subproperty(child, parent):
+            added += 1
+    # Domain and range typing over random properties and classes.
+    added = 0
+    while added < config.domain_statements:
+        prop = properties[rng.randrange(len(properties))]
+        cls = classes[rng.randrange(len(classes))]
+        if schema.add_domain(prop, cls):
+            added += 1
+    added = 0
+    while added < config.range_statements:
+        prop = properties[rng.randrange(len(properties))]
+        cls = classes[rng.randrange(len(classes))]
+        if schema.add_range(prop, cls):
+            added += 1
+    return schema
+
+
+def _zipf_choice(rng: random.Random, items, skew: float = 1.1):
+    """Pick an item with Zipf-like skew toward the front of the list."""
+    rank = int(len(items) * (rng.random() ** skew))
+    return items[min(rank, len(items) - 1)]
+
+
+def generate_barton(config: BartonConfig | None = None) -> tuple[TripleStore, RDFSchema]:
+    """Generate the synthetic catalog: a (non-saturated) store + RDFS.
+
+    The store contains only data triples (rdf:type assertions with the
+    most specific class, and property assertions); the schema is
+    returned separately, as the entailment workflows expect.
+    """
+    config = config or BartonConfig()
+    rng = random.Random(config.seed + 1)
+    schema = build_schema(config)
+    classes = [_class_uri(name) for name in CLASS_NAMES]
+    properties = [_property_uri(name) for name in PROPERTY_NAMES]
+    class_instances: dict[URI, list[URI]] = {cls: [] for cls in classes}
+    store = TripleStore()
+    # Type each entity with one (skewed) most-specific class.
+    entities = []
+    for index in range(config.num_entities):
+        entity = URI(f"{BARTON_NS}e{index}")
+        cls = _zipf_choice(rng, classes)
+        store.add(Triple(entity, RDF_TYPE, cls))
+        class_instances[cls].append(entity)
+        entities.append(entity)
+    # Property triples up to the target size.
+    target = max(0, config.num_triples - len(store))
+    produced = 0
+    while produced < target:
+        prop = _zipf_choice(rng, properties)
+        subject = _pick_instance(rng, schema.domains(prop), class_instances, entities)
+        if rng.random() < config.literal_probability:
+            obj = Literal(f"value-{rng.randrange(config.num_entities * 2)}")
+        else:
+            obj = _pick_instance(rng, schema.ranges(prop), class_instances, entities)
+        if store.add(Triple(subject, prop, obj)):
+            produced += 1
+    return store, schema
+
+
+def _pick_instance(rng, preferred_classes, class_instances, entities):
+    """An entity of one of the preferred classes, else any entity.
+
+    Honoring declared domains/ranges most of the time makes the implicit
+    triples of saturation meaningful (rule 1 finds superclass instances,
+    rules 3/4 find typed subjects/objects).
+    """
+    candidates = []
+    for cls in preferred_classes:
+        candidates.extend(class_instances.get(cls, ()))
+    if candidates and rng.random() < 0.9:
+        return candidates[rng.randrange(len(candidates))]
+    return entities[rng.randrange(len(entities))]

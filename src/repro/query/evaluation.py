@@ -1,0 +1,179 @@
+"""Evaluation of conjunctive queries and unions over a triple store.
+
+The evaluator is the "standard query evaluation for plain RDF" the paper
+relies on (its ``evaluate`` function in Theorem 4.2). Atoms are matched
+through the store's pattern indexes; the join order is chosen greedily by
+current exact pattern cardinality, a simple but effective index-nested-
+loop strategy reminiscent of RDF-3X's selectivity ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.query.cq import Atom, ConjunctiveQuery, UnionQuery, Variable
+from repro.rdf.store import EncodedPattern, TripleStore
+from repro.rdf.terms import Term
+
+#: A query answer: one RDF term per head position.
+Answer = tuple[Term, ...]
+
+
+def _encode_atom_pattern(
+    atom: Atom,
+    store: TripleStore,
+    binding: dict[Variable, int],
+) -> EncodedPattern | None:
+    """Encoded pattern for an atom under the current variable binding.
+
+    Returns None when a constant does not occur in the store at all, in
+    which case the atom (and the whole query) has no matches.
+    """
+    encoded: list[int | None] = []
+    for term in atom:
+        if isinstance(term, Variable):
+            encoded.append(binding.get(term))
+        else:
+            code = store.encode_term(term)
+            if code is None:
+                return None
+            encoded.append(code)
+    return (encoded[0], encoded[1], encoded[2])
+
+
+def _match_binding(
+    atom: Atom,
+    triple: tuple[int, int, int],
+    binding: dict[Variable, int],
+    store: TripleStore | None = None,
+    non_literal: frozenset[Variable] = frozenset(),
+) -> dict[Variable, int] | None:
+    """Extend ``binding`` so the atom's variables match an encoded triple.
+
+    Bindings of restricted variables (``non_literal``) to literal codes
+    are rejected — the rule-4 reformulation semantics.
+    """
+    extended = binding
+    copied = False
+    for term, code in zip(atom, triple):
+        if not isinstance(term, Variable):
+            continue
+        bound = extended.get(term)
+        if bound is None:
+            if (
+                store is not None
+                and term in non_literal
+                and store.dictionary.is_literal_code(code)
+            ):
+                return None
+            if not copied:
+                extended = dict(extended)
+                copied = True
+            extended[term] = code
+        elif bound != code:
+            return None
+    return extended
+
+
+def _evaluate_rec(
+    remaining: list[Atom],
+    binding: dict[Variable, int],
+    store: TripleStore,
+    query: ConjunctiveQuery,
+    results: set[Answer],
+) -> None:
+    if not remaining:
+        answer = []
+        for term in query.head:
+            if isinstance(term, Variable):
+                answer.append(store.dictionary.decode(binding[term]))
+            else:
+                answer.append(term)
+        results.add(tuple(answer))
+        return
+    # Greedy: expand the atom with the fewest matches under the binding.
+    best_index = None
+    best_count = None
+    best_pattern: EncodedPattern | None = None
+    for index, atom in enumerate(remaining):
+        pattern = _encode_atom_pattern(atom, store, binding)
+        if pattern is None:
+            return  # a constant absent from the data: no answers
+        count = store.count_encoded(pattern)
+        if best_count is None or count < best_count:
+            best_index, best_count, best_pattern = index, count, pattern
+            if count == 0:
+                return
+    assert best_index is not None and best_pattern is not None
+    atom = remaining[best_index]
+    rest = remaining[:best_index] + remaining[best_index + 1 :]
+    for triple in store.match_encoded(best_pattern):
+        extended = _match_binding(atom, triple, binding, store, query.non_literal)
+        if extended is not None:
+            _evaluate_rec(rest, extended, store, query, results)
+
+
+def evaluate(query: ConjunctiveQuery, store: TripleStore) -> set[Answer]:
+    """All answers of a conjunctive query on the store (set semantics)."""
+    results: set[Answer] = set()
+    _evaluate_rec(list(query.atoms), {}, store, query, results)
+    return results
+
+
+def evaluate_union(union: UnionQuery | Iterable[ConjunctiveQuery], store: TripleStore) -> set[Answer]:
+    """All answers of a union of conjunctive queries (duplicates removed)."""
+    disjuncts = union.disjuncts if isinstance(union, UnionQuery) else tuple(union)
+    results: set[Answer] = set()
+    for disjunct in disjuncts:
+        results |= evaluate(disjunct, store)
+    return results
+
+
+def count_answers(query: ConjunctiveQuery, store: TripleStore) -> int:
+    """Number of distinct answers; convenience for statistics collection."""
+    return len(evaluate(query, store))
+
+
+def evaluate_nested_loop(query: ConjunctiveQuery, store: TripleStore) -> set[Answer]:
+    """Scan-based nested-loop evaluation: no index selection, fixed atom
+    order, full-table scan per atom.
+
+    This is the benchmarks' "plain triple table" baseline (the role the
+    unindexed relational plan plays in the paper's Figure 8); production
+    callers should use :func:`evaluate`.
+    """
+    triples = list(store.match_encoded((None, None, None)))
+    results: set[Answer] = set()
+
+    def extend(index: int, binding: dict[Variable, int]) -> None:
+        if index == len(query.atoms):
+            answer = tuple(
+                store.dictionary.decode(binding[t]) if isinstance(t, Variable) else t
+                for t in query.head
+            )
+            results.add(answer)
+            return
+        atom = query.atoms[index]
+        constants: list[tuple[int, int | None]] = []
+        for position, term in enumerate(atom):
+            if isinstance(term, Variable):
+                constants.append((position, None))
+            else:
+                code = store.encode_term(term)
+                if code is None:
+                    return
+                constants.append((position, code))
+        for triple in triples:
+            ok = True
+            for position, code in constants:
+                if code is not None and triple[position] != code:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            extended = _match_binding(atom, triple, binding, store, query.non_literal)
+            if extended is not None:
+                extend(index + 1, extended)
+
+    extend(0, {})
+    return results

@@ -1,0 +1,132 @@
+"""A datalog-style textual syntax for RDF queries and views.
+
+The syntax mirrors the paper's notation::
+
+    q1(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y),
+                t(Y, hasPainted, Z)
+
+* tokens starting with an upper-case letter (or ``?name``) are variables;
+* ``<full-uri>`` is a URI; a bare lower-case token is a URI in the default
+  namespace; ``prefix:name`` resolves through the prefix table
+  (``rdf:`` and ``rdfs:`` are predefined);
+* ``"text"`` is a literal;
+* ``_:label`` is a blank node, parsed as an existential variable since
+  blank nodes in queries behave exactly like existential variables.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.query.cq import Atom, ConjunctiveQuery, QueryTerm, Variable
+from repro.rdf import vocabulary
+from repro.rdf.terms import Literal, URI
+
+DEFAULT_NAMESPACE = "http://example.org/"
+
+_DEFAULT_PREFIXES = {
+    "rdf": vocabulary.RDF_NS,
+    "rdfs": vocabulary.RDFS_NS,
+}
+
+
+class QuerySyntaxError(ValueError):
+    """Raised on malformed query text."""
+
+
+_QUERY_RE = re.compile(
+    r"^\s*(?P<name>\w+)\s*\(\s*(?P<head>[^)]*)\)\s*:-\s*(?P<body>.+)$", re.DOTALL
+)
+_ATOM_RE = re.compile(r"t\s*\(\s*([^()]*?)\s*\)")
+_TOKEN_SPLIT_RE = re.compile(r",(?=(?:[^\"]*\"[^\"]*\")*[^\"]*$)")
+
+
+def _parse_term(
+    token: str,
+    namespace: str,
+    prefixes: dict[str, str],
+    blank_nodes: dict[str, Variable],
+) -> QueryTerm:
+    token = token.strip()
+    if not token:
+        raise QuerySyntaxError("empty term")
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return Literal(token[1:-1])
+    if token.startswith("<") and token.endswith(">"):
+        return URI(token[1:-1])
+    if token.startswith("?"):
+        return Variable(token[1:])
+    if token.startswith("_:"):
+        label = token[2:]
+        if label not in blank_nodes:
+            blank_nodes[label] = Variable(f"_B_{label}")
+        return blank_nodes[label]
+    if ":" in token:
+        prefix, _, local = token.partition(":")
+        if prefix not in prefixes:
+            raise QuerySyntaxError(f"unknown prefix {prefix!r} in {token!r}")
+        return URI(prefixes[prefix] + local)
+    if token[0].isupper():
+        return Variable(token)
+    if re.fullmatch(r"[\w.\-]+", token):
+        return URI(namespace + token)
+    raise QuerySyntaxError(f"cannot parse term {token!r}")
+
+
+def parse_query(
+    text: str,
+    namespace: str = DEFAULT_NAMESPACE,
+    prefixes: dict[str, str] | None = None,
+) -> ConjunctiveQuery:
+    """Parse one query in the datalog-style syntax."""
+    table = dict(_DEFAULT_PREFIXES)
+    if prefixes:
+        table.update(prefixes)
+    match = _QUERY_RE.match(text.strip())
+    if match is None:
+        raise QuerySyntaxError(f"not a query: {text.strip()[:80]!r}")
+    blank_nodes: dict[str, Variable] = {}
+    head_tokens = [t for t in _TOKEN_SPLIT_RE.split(match.group("head")) if t.strip()]
+    head = tuple(
+        _parse_term(token, namespace, table, blank_nodes) for token in head_tokens
+    )
+    body = match.group("body")
+    atom_texts = _ATOM_RE.findall(body)
+    if not atom_texts:
+        raise QuerySyntaxError(f"query body has no atoms: {body.strip()[:80]!r}")
+    leftover = _ATOM_RE.sub("", body).replace(",", "").strip()
+    if leftover:
+        raise QuerySyntaxError(f"unparsed body fragment: {leftover[:80]!r}")
+    atoms = []
+    for atom_text in atom_texts:
+        tokens = [t for t in _TOKEN_SPLIT_RE.split(atom_text) if t.strip()]
+        if len(tokens) != 3:
+            raise QuerySyntaxError(f"atom needs exactly 3 terms: t({atom_text})")
+        s, p, o = (_parse_term(t, namespace, table, blank_nodes) for t in tokens)
+        atoms.append(Atom(s, p, o))
+    return ConjunctiveQuery(head, tuple(atoms), name=match.group("name"))
+
+
+def parse_queries(
+    text: str,
+    namespace: str = DEFAULT_NAMESPACE,
+    prefixes: dict[str, str] | None = None,
+) -> list[ConjunctiveQuery]:
+    """Parse a workload: one query per non-empty, non-comment line.
+
+    A query may span several lines as long as continuation lines do not
+    look like the start of a new query (``name(...) :- ...``).
+    """
+    queries = []
+    buffer: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if _QUERY_RE.match(line) and buffer:
+            queries.append(parse_query(" ".join(buffer), namespace, prefixes))
+            buffer = []
+        buffer.append(line)
+    if buffer:
+        queries.append(parse_query(" ".join(buffer), namespace, prefixes))
+    return queries

@@ -1,0 +1,117 @@
+"""A SPARQL basic-graph-pattern (BGP) parser.
+
+The paper's query language is "the basic graph pattern queries of SPARQL"
+(Section 2). This module accepts the corresponding SPARQL subset::
+
+    PREFIX ex: <http://example.org/>
+    SELECT ?painter ?work
+    WHERE {
+        ?painter ex:hasPainted ex:starryNight .
+        ?painter ex:isParentOf ?child .
+        ?child a ex:painter .
+    }
+
+Supported: ``PREFIX`` declarations, ``SELECT`` with explicit variables or
+``*``, triple patterns with ``?var``, ``<uri>``, ``prefix:name``,
+``"literal"``, ``_:label`` blank nodes (treated as existential variables)
+and the ``a`` keyword for ``rdf:type``. Anything else raises
+:class:`SparqlSyntaxError`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.query.cq import Atom, ConjunctiveQuery, QueryTerm, Variable
+from repro.rdf import vocabulary
+from repro.rdf.terms import Literal, URI
+
+
+class SparqlSyntaxError(ValueError):
+    """Raised on SPARQL text outside the supported BGP subset."""
+
+
+_PREFIX_RE = re.compile(r"PREFIX\s+(\w*):\s*<([^>]*)>", re.IGNORECASE)
+_SELECT_RE = re.compile(
+    r"SELECT\s+(?P<vars>\*|(?:\?\w+\s*)+)\s*WHERE\s*\{(?P<body>.*)\}\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_TERM_RE = re.compile(
+    r"""
+      \?(?P<var>\w+)
+    | <(?P<uri>[^>]*)>
+    | "(?P<lit>[^"]*)"
+    | _:(?P<bnode>\w+)
+    | (?P<a>\ba\b)
+    | (?P<pname>[\w-]*:[\w.\-]+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _parse_term(
+    match: re.Match,
+    prefixes: dict[str, str],
+    blank_nodes: dict[str, Variable],
+) -> QueryTerm:
+    if match.group("var") is not None:
+        return Variable(match.group("var"))
+    if match.group("uri") is not None:
+        return URI(match.group("uri"))
+    if match.group("lit") is not None:
+        return Literal(match.group("lit"))
+    if match.group("bnode") is not None:
+        label = match.group("bnode")
+        if label not in blank_nodes:
+            blank_nodes[label] = Variable(f"_B_{label}")
+        return blank_nodes[label]
+    if match.group("a") is not None:
+        return vocabulary.RDF_TYPE
+    pname = match.group("pname")
+    prefix, _, local = pname.partition(":")
+    if prefix not in prefixes:
+        raise SparqlSyntaxError(f"undeclared prefix {prefix!r} in {pname!r}")
+    return URI(prefixes[prefix] + local)
+
+
+def parse_sparql_bgp(text: str, name: str = "q") -> ConjunctiveQuery:
+    """Parse a SPARQL BGP SELECT query into a conjunctive query."""
+    prefixes = {"rdf": vocabulary.RDF_NS, "rdfs": vocabulary.RDFS_NS}
+    for match in _PREFIX_RE.finditer(text):
+        prefixes[match.group(1)] = match.group(2)
+    stripped = _PREFIX_RE.sub("", text).strip()
+    select = _SELECT_RE.search(stripped)
+    if select is None:
+        raise SparqlSyntaxError("expected 'SELECT ... WHERE { ... }'")
+    blank_nodes: dict[str, Variable] = {}
+    atoms = []
+    for pattern in select.group("body").split("."):
+        pattern = pattern.strip()
+        if not pattern:
+            continue
+        terms = []
+        position = 0
+        for _ in range(3):
+            term_match = _TERM_RE.match(pattern, position)
+            if term_match is None:
+                raise SparqlSyntaxError(f"cannot parse triple pattern {pattern!r}")
+            terms.append(_parse_term(term_match, prefixes, blank_nodes))
+            position = term_match.end()
+            while position < len(pattern) and pattern[position].isspace():
+                position += 1
+        if position != len(pattern):
+            raise SparqlSyntaxError(f"trailing tokens in pattern {pattern!r}")
+        atoms.append(Atom(*terms))
+    if not atoms:
+        raise SparqlSyntaxError("empty basic graph pattern")
+    variables_text = select.group("vars").strip()
+    if variables_text == "*":
+        seen: list[Variable] = []
+        for atom in atoms:
+            for term in atom:
+                if isinstance(term, Variable) and term not in seen:
+                    seen.append(term)
+        head: tuple[QueryTerm, ...] = tuple(seen)
+    else:
+        head = tuple(Variable(v) for v in re.findall(r"\?(\w+)", variables_text))
+    return ConjunctiveQuery(head, tuple(atoms), name=name)

@@ -1,0 +1,36 @@
+"""RDF substrate: terms, triples, dictionary encoding, indexed storage,
+RDF Schema modeling, RDFS entailment (saturation), and N-Triples I/O.
+
+This package is the storage and semantics layer that the view-selection
+algorithms (``repro.selection``) and the reformulation algorithm
+(``repro.reformulation``) are built upon.
+"""
+
+from repro.rdf.terms import URI, Literal, BlankNode, Term, is_term
+from repro.rdf.triples import Triple, WellFormednessError
+from repro.rdf.dictionary import Dictionary
+from repro.rdf.store import TripleStore
+from repro.rdf.schema import RDFSchema, SchemaStatement, SchemaKind
+from repro.rdf.entailment import saturate, saturation_triples
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf import vocabulary
+
+__all__ = [
+    "URI",
+    "Literal",
+    "BlankNode",
+    "Term",
+    "is_term",
+    "Triple",
+    "WellFormednessError",
+    "Dictionary",
+    "TripleStore",
+    "RDFSchema",
+    "SchemaStatement",
+    "SchemaKind",
+    "saturate",
+    "saturation_triples",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "vocabulary",
+]

@@ -1,0 +1,72 @@
+"""Dictionary encoding of RDF terms.
+
+The paper stores data "in a dictionary-encoded triple table, using a
+distinct integer for each distinct URI or literal" (Section 6). This module
+provides that bidirectional mapping. The encoding dictionary also records
+the average rendered size per position-agnostic term, which the cost model
+uses to estimate view storage space.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.terms import Literal, Term, is_term
+
+
+class Dictionary:
+    """Bidirectional term <-> integer code mapping.
+
+    Codes are dense non-negative integers assigned in first-seen order,
+    which keeps encodings deterministic for a fixed insertion sequence.
+    """
+
+    def __init__(self) -> None:
+        self._term_to_code: dict[Term, int] = {}
+        self._code_to_term: list[Term] = []
+        self._literal_codes: set[int] = set()
+        self._total_size = 0
+
+    def __len__(self) -> int:
+        return len(self._code_to_term)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._term_to_code
+
+    def encode(self, term: Term) -> int:
+        """Return the code for ``term``, assigning a fresh one if unseen."""
+        code = self._term_to_code.get(term)
+        if code is not None:
+            return code
+        if not is_term(term):
+            raise TypeError(f"cannot encode non-term value {term!r}")
+        code = len(self._code_to_term)
+        self._term_to_code[term] = code
+        self._code_to_term.append(term)
+        if isinstance(term, Literal):
+            self._literal_codes.add(code)
+        self._total_size += len(term.n3())
+        return code
+
+    def is_literal_code(self, code: int) -> bool:
+        """True when ``code`` encodes a literal (O(1), no decode)."""
+        return code in self._literal_codes
+
+    def lookup(self, term: Term) -> int | None:
+        """Return the code for ``term`` or None if the term is unknown."""
+        return self._term_to_code.get(term)
+
+    def decode(self, code: int) -> Term:
+        """Return the term for ``code``; raises KeyError for unknown codes."""
+        if 0 <= code < len(self._code_to_term):
+            return self._code_to_term[code]
+        raise KeyError(f"unknown dictionary code {code}")
+
+    def average_term_size(self) -> float:
+        """Average rendered (N-Triples) byte size over all encoded terms.
+
+        Used by the cost model as the per-attribute width when estimating
+        view space occupancy. Returns a nominal width for an empty
+        dictionary so cost formulas stay well-defined.
+        """
+        if not self._code_to_term:
+            return 8.0
+        return self._total_size / len(self._code_to_term)

@@ -1,0 +1,90 @@
+"""RDFS saturation: materializing the implicit triples of Section 4.1.
+
+We implement the RDF entailment rules associated with an RDF Schema
+(the "third kind" of rules in the paper, derived from Table 1):
+
+1. ``(s, rdf:type, c1)`` and ``c1 rdfs:subClassOf c2``   entail ``(s, rdf:type, c2)``
+2. ``(s, p1, o)``       and ``p1 rdfs:subPropertyOf p2`` entail ``(s, p2, o)``
+3. ``(s, p, o)``        and ``p rdfs:domain c``          entail ``(s, rdf:type, c)``
+4. ``(s, p, o)``        and ``p rdfs:range c``           entail ``(o, rdf:type, c)``
+
+The rules are applied to a fixpoint with a worklist, so transitive chains
+(subclass-of-subclass, domain inherited through subproperties, ...) are
+captured without precomputing closures. Rule 4 is skipped when the object
+is a literal, since literals cannot be subjects of well-formed triples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.rdf import vocabulary
+from repro.rdf.schema import RDFSchema
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+
+
+def _consequences(triple: Triple, schema: RDFSchema) -> Iterable[Triple]:
+    """Direct (one-step) consequences of a single triple under ``schema``."""
+    s, p, o = triple
+    if p == vocabulary.RDF_TYPE and isinstance(o, URI):
+        # Rule 1: propagate the instance up the class hierarchy.
+        for superclass in schema.direct_superclasses(o):
+            yield Triple(s, vocabulary.RDF_TYPE, superclass)
+        return
+    if not isinstance(p, URI) or p in vocabulary.SCHEMA_PROPERTIES:
+        return
+    # Rule 2: propagate the assertion up the property hierarchy.
+    for superproperty in schema.direct_superproperties(p):
+        yield Triple(s, superproperty, o)
+    # Rule 3: the subject belongs to the property's domain classes.
+    for cls in schema.domains(p):
+        yield Triple(s, vocabulary.RDF_TYPE, cls)
+    # Rule 4: the object belongs to the property's range classes
+    # (only when the object may legally be a subject).
+    if not isinstance(o, Literal):
+        for cls in schema.ranges(p):
+            yield Triple(o, vocabulary.RDF_TYPE, cls)
+
+
+def saturation_triples(
+    triples: Iterable[Triple], schema: RDFSchema
+) -> set[Triple]:
+    """All triples entailed by ``triples`` under ``schema`` (fixpoint).
+
+    The result includes the input triples; the *implicit* triples are the
+    result minus the input.
+    """
+    saturated: set[Triple] = set()
+    worklist: list[Triple] = []
+    for triple in triples:
+        if triple not in saturated:
+            saturated.add(triple)
+            worklist.append(triple)
+    while worklist:
+        triple = worklist.pop()
+        for consequence in _consequences(triple, schema):
+            if consequence not in saturated:
+                saturated.add(consequence)
+                worklist.append(consequence)
+    return saturated
+
+
+def saturate(store: TripleStore, schema: RDFSchema) -> TripleStore:
+    """Return a *new* store containing the saturation of ``store``.
+
+    The input store is left untouched, mirroring the paper's observation
+    that saturation may be impossible without write access (Section 4.2);
+    callers choosing the saturation route build the saturated copy.
+    """
+    saturated_store = TripleStore()
+    for triple in saturation_triples(iter(store), schema):
+        saturated_store.add(triple)
+    return saturated_store
+
+
+def implicit_triples(store: TripleStore, schema: RDFSchema) -> set[Triple]:
+    """Only the entailed triples that are not already explicit in ``store``."""
+    explicit = set(iter(store))
+    return saturation_triples(explicit, schema) - explicit

@@ -1,0 +1,106 @@
+"""A small, strict N-Triples parser and serializer.
+
+Supports the line-based N-Triples syntax: ``<uri>``, ``_:label`` blank
+nodes, and ``"literal"`` with optional ``@lang`` or ``^^<datatype>``.
+Comment lines (``#``) and blank lines are skipped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+from repro.rdf.terms import BlankNode, Literal, Term, URI
+from repro.rdf.triples import Triple
+
+
+class NTriplesParseError(ValueError):
+    """Raised on malformed N-Triples input, with line information."""
+
+    def __init__(self, message: str, line_number: int, line: str) -> None:
+        super().__init__(f"line {line_number}: {message}: {line.strip()!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+_TERM_RE = re.compile(
+    r"""\s*(?:
+        <(?P<uri>[^>]*)>
+      | _:(?P<bnode>[A-Za-z0-9_]+)
+      | "(?P<lit>(?:[^"\\]|\\.)*)"
+            (?:@(?P<lang>[A-Za-z0-9-]+)|\^\^<(?P<dtype>[^>]*)>)?
+    )""",
+    re.VERBOSE,
+)
+
+_UNESCAPES = {
+    "\\\\": "\\",
+    '\\"': '"',
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+}
+
+
+def _unescape(text: str) -> str:
+    out = []
+    i = 0
+    while i < len(text):
+        if text[i] == "\\" and i + 1 < len(text):
+            pair = text[i : i + 2]
+            if pair in _UNESCAPES:
+                out.append(_UNESCAPES[pair])
+                i += 2
+                continue
+        out.append(text[i])
+        i += 1
+    return "".join(out)
+
+
+def _parse_term(text: str, position: int) -> tuple[Term, int]:
+    """Parse one term starting at ``position``; returns (term, next position)."""
+    match = _TERM_RE.match(text, position)
+    if match is None:
+        raise ValueError(f"expected a term at offset {position}")
+    if match.group("uri") is not None:
+        return URI(match.group("uri")), match.end()
+    if match.group("bnode") is not None:
+        return BlankNode(match.group("bnode")), match.end()
+    lexical = _unescape(match.group("lit"))
+    language = match.group("lang")
+    datatype = match.group("dtype")
+    if language is not None:
+        return Literal(lexical, language=language), match.end()
+    if datatype is not None:
+        return Literal(lexical, datatype=URI(datatype)), match.end()
+    return Literal(lexical), match.end()
+
+
+def parse_ntriples_line(line: str) -> Triple | None:
+    """Parse one N-Triples line; returns None for blank/comment lines."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    s, position = _parse_term(line, 0)
+    p, position = _parse_term(line, position)
+    o, position = _parse_term(line, position)
+    remainder = line[position:].strip()
+    if remainder != ".":
+        raise ValueError("expected terminating '.'")
+    return Triple(s, p, o)
+
+
+def parse_ntriples(text: str) -> Iterator[Triple]:
+    """Parse N-Triples text into triples, raising on malformed lines."""
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        try:
+            triple = parse_ntriples_line(line)
+        except ValueError as exc:
+            raise NTriplesParseError(str(exc), line_number, line) from exc
+        if triple is not None:
+            yield triple
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize triples as N-Triples text (one per line)."""
+    return "".join(f"{triple.n3()} .\n" for triple in triples)

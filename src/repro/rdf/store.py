@@ -1,0 +1,221 @@
+"""In-memory dictionary-encoded triple table with exhaustive indexing.
+
+This is the storage substrate replacing the paper's PostgreSQL back-end.
+Following Section 6 ("we indexed the encoded triple table on s, p, o, and
+all two- and three-column combinations"), the store answers any triple
+pattern — any subset of the three attributes bound to constants — through
+an index, and provides *exact* counts for such patterns. Those counts are
+precisely the statistics gathered by the cost model (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.rdf.dictionary import Dictionary
+from repro.rdf.terms import Term
+from repro.rdf.triples import Triple
+
+#: An encoded triple: three dictionary codes.
+EncodedTriple = tuple[int, int, int]
+
+#: An encoded pattern: a code, or None for an unbound position.
+EncodedPattern = tuple[int | None, int | None, int | None]
+
+_COLUMNS = ("s", "p", "o")
+
+
+class TripleStore:
+    """A set of well-formed RDF triples with hexastore-style indexing.
+
+    Triples are dictionary-encoded on insertion. The public API accepts
+    and returns :class:`~repro.rdf.triples.Triple` objects; the encoded
+    layer (``*_encoded`` methods) is used by the evaluation engine.
+    """
+
+    def __init__(self) -> None:
+        self.dictionary = Dictionary()
+        self._triples: set[EncodedTriple] = set()
+        # One-column indexes: value -> set of triples.
+        self._idx_s: dict[int, set[EncodedTriple]] = {}
+        self._idx_p: dict[int, set[EncodedTriple]] = {}
+        self._idx_o: dict[int, set[EncodedTriple]] = {}
+        # Two-column indexes: (value, value) -> set of triples.
+        self._idx_sp: dict[tuple[int, int], set[EncodedTriple]] = {}
+        self._idx_so: dict[tuple[int, int], set[EncodedTriple]] = {}
+        self._idx_po: dict[tuple[int, int], set[EncodedTriple]] = {}
+        # Per-column distinct-value counters (for join selectivities).
+        self._col_values: tuple[Counter, Counter, Counter] = (
+            Counter(),
+            Counter(),
+            Counter(),
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple. Returns True if it was not already present."""
+        encoded = (
+            self.dictionary.encode(triple.s),
+            self.dictionary.encode(triple.p),
+            self.dictionary.encode(triple.o),
+        )
+        return self._add_encoded(encoded)
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns the number of new ones."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove a triple. Returns True if it was present."""
+        codes = tuple(self.dictionary.lookup(term) for term in triple)
+        if None in codes:
+            return False
+        encoded: EncodedTriple = codes  # type: ignore[assignment]
+        if encoded not in self._triples:
+            return False
+        self._triples.discard(encoded)
+        s, p, o = encoded
+        self._idx_s[s].discard(encoded)
+        self._idx_p[p].discard(encoded)
+        self._idx_o[o].discard(encoded)
+        self._idx_sp[(s, p)].discard(encoded)
+        self._idx_so[(s, o)].discard(encoded)
+        self._idx_po[(p, o)].discard(encoded)
+        for counter, value in zip(self._col_values, encoded):
+            counter[value] -= 1
+            if counter[value] <= 0:
+                del counter[value]
+        return True
+
+    def _add_encoded(self, encoded: EncodedTriple) -> bool:
+        if encoded in self._triples:
+            return False
+        self._triples.add(encoded)
+        s, p, o = encoded
+        self._idx_s.setdefault(s, set()).add(encoded)
+        self._idx_p.setdefault(p, set()).add(encoded)
+        self._idx_o.setdefault(o, set()).add(encoded)
+        self._idx_sp.setdefault((s, p), set()).add(encoded)
+        self._idx_so.setdefault((s, o), set()).add(encoded)
+        self._idx_po.setdefault((p, o), set()).add(encoded)
+        for counter, value in zip(self._col_values, encoded):
+            counter[value] += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        codes = tuple(self.dictionary.lookup(term) for term in triple)
+        return None not in codes and codes in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return (self._decode(encoded) for encoded in self._triples)
+
+    def encode_term(self, term: Term) -> int | None:
+        """Code for ``term`` or None when the term never occurs in the data."""
+        return self.dictionary.lookup(term)
+
+    def _decode(self, encoded: EncodedTriple) -> Triple:
+        s, p, o = encoded
+        return Triple(
+            self.dictionary.decode(s),
+            self.dictionary.decode(p),
+            self.dictionary.decode(o),
+        )
+
+    def match(
+        self,
+        s: Term | None = None,
+        p: Term | None = None,
+        o: Term | None = None,
+    ) -> Iterator[Triple]:
+        """Iterate over triples matching a pattern of bound terms / wildcards."""
+        pattern = self._encode_pattern(s, p, o)
+        if pattern is None:
+            return iter(())
+        return (self._decode(encoded) for encoded in self.match_encoded(pattern))
+
+    def count(
+        self,
+        s: Term | None = None,
+        p: Term | None = None,
+        o: Term | None = None,
+    ) -> int:
+        """Exact number of triples matching the pattern (index lookup)."""
+        pattern = self._encode_pattern(s, p, o)
+        if pattern is None:
+            return 0
+        return self.count_encoded(pattern)
+
+    def _encode_pattern(
+        self, s: Term | None, p: Term | None, o: Term | None
+    ) -> EncodedPattern | None:
+        """Encode a term pattern; None result means "cannot match anything"."""
+        encoded: list[int | None] = []
+        for term in (s, p, o):
+            if term is None:
+                encoded.append(None)
+            else:
+                code = self.dictionary.lookup(term)
+                if code is None:
+                    return None
+                encoded.append(code)
+        return tuple(encoded)  # type: ignore[return-value]
+
+    def match_encoded(self, pattern: EncodedPattern) -> Iterable[EncodedTriple]:
+        """Triples matching an encoded pattern, via the tightest index."""
+        s, p, o = pattern
+        if s is not None and p is not None and o is not None:
+            triple = (s, p, o)
+            return (triple,) if triple in self._triples else ()
+        if s is not None and p is not None:
+            return self._idx_sp.get((s, p), ())
+        if s is not None and o is not None:
+            return self._idx_so.get((s, o), ())
+        if p is not None and o is not None:
+            return self._idx_po.get((p, o), ())
+        if s is not None:
+            return self._idx_s.get(s, ())
+        if p is not None:
+            return self._idx_p.get(p, ())
+        if o is not None:
+            return self._idx_o.get(o, ())
+        return self._triples
+
+    def count_encoded(self, pattern: EncodedPattern) -> int:
+        """Exact count of triples matching an encoded pattern."""
+        matches = self.match_encoded(pattern)
+        if matches is self._triples:
+            return len(self._triples)
+        return len(matches) if isinstance(matches, (set, tuple)) else sum(1 for _ in matches)
+
+    # ------------------------------------------------------------------
+    # Statistics (Section 3.3 of the paper)
+    # ------------------------------------------------------------------
+
+    def distinct_values(self, column: str) -> int:
+        """Number of distinct values appearing in column ``s``/``p``/``o``."""
+        return len(self._col_values[_COLUMNS.index(column)])
+
+    def column_value_counts(self, column: str) -> Counter:
+        """Multiplicity of each value in the given column (a copy)."""
+        return Counter(self._col_values[_COLUMNS.index(column)])
+
+    def average_term_size(self) -> float:
+        """Average rendered term size; the width unit of the cost model."""
+        return self.dictionary.average_term_size()
+
+    def copy(self) -> "TripleStore":
+        """An independent deep copy (shares no index structures)."""
+        clone = TripleStore()
+        clone.add_all(iter(self))
+        return clone

@@ -1,0 +1,114 @@
+"""RDF term model: URIs, literals, and blank nodes.
+
+Terms are small immutable value objects. They are hashable so they can be
+dictionary-encoded (:mod:`repro.rdf.dictionary`) and used as keys in the
+store indexes (:mod:`repro.rdf.store`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class URI:
+    """A Uniform Resource Identifier reference.
+
+    The ``value`` is kept verbatim; no IRI normalization is attempted
+    (the paper's datasets use opaque URIs).
+    """
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("URI value must be a non-empty string")
+
+    def n3(self) -> str:
+        """Render in N-Triples syntax."""
+        return f"<{self.value}>"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"URI({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An RDF literal (a value), optionally tagged with a datatype URI.
+
+    Language tags are supported through ``language``; a literal has at most
+    one of ``datatype`` / ``language`` per the RDF specification.
+    """
+
+    lexical: str
+    datatype: URI | None = None
+    language: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.datatype is not None and self.language is not None:
+            raise ValueError("a literal cannot have both a datatype and a language tag")
+
+    def n3(self) -> str:
+        """Render in N-Triples syntax."""
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        rendered = f'"{escaped}"'
+        if self.language is not None:
+            return f"{rendered}@{self.language}"
+        if self.datatype is not None:
+            return f"{rendered}^^{self.datatype.n3()}"
+        return rendered
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    def __repr__(self) -> str:
+        extras = ""
+        if self.datatype is not None:
+            extras = f", datatype={self.datatype!r}"
+        elif self.language is not None:
+            extras = f", language={self.language!r}"
+        return f"Literal({self.lexical!r}{extras})"
+
+
+@dataclass(frozen=True, slots=True)
+class BlankNode:
+    """A blank node: a placeholder for an unknown URI or literal.
+
+    From a database perspective blank nodes behave as existential
+    variables in the data (Section 2 of the paper): two triples referring
+    to the same blank node label join on it.
+    """
+
+    label: str
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("blank node label must be a non-empty string")
+
+    def n3(self) -> str:
+        """Render in N-Triples syntax."""
+        return f"_:{self.label}"
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+    def __repr__(self) -> str:
+        return f"BlankNode({self.label!r})"
+
+
+Term = Union[URI, Literal, BlankNode]
+
+
+def is_term(value: object) -> bool:
+    """Return True if ``value`` is an RDF term."""
+    return isinstance(value, (URI, Literal, BlankNode))

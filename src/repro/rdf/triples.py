@@ -1,0 +1,54 @@
+"""RDF triples and well-formedness checking.
+
+Per the RDF specification (and Section 2 of the paper), a triple
+``(s, p, o)`` is well-formed when:
+
+* the subject is a URI or a blank node,
+* the property is a URI,
+* the object is a URI, a blank node, or a literal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rdf.terms import URI, BlankNode, Literal, Term
+
+
+class WellFormednessError(ValueError):
+    """Raised when constructing a triple that violates RDF well-formedness."""
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """A well-formed RDF triple ``(subject, property, object)``."""
+
+    s: Term
+    p: Term
+    o: Term
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.s, (URI, BlankNode)):
+            raise WellFormednessError(
+                f"triple subject must be a URI or blank node, got {self.s!r}"
+            )
+        if not isinstance(self.p, URI):
+            raise WellFormednessError(f"triple property must be a URI, got {self.p!r}")
+        if not isinstance(self.o, (URI, BlankNode, Literal)):
+            raise WellFormednessError(
+                f"triple object must be a URI, blank node or literal, got {self.o!r}"
+            )
+
+    def n3(self) -> str:
+        """Render in N-Triples syntax (without the trailing dot)."""
+        return f"{self.s.n3()} {self.p.n3()} {self.o.n3()}"
+
+    def as_tuple(self) -> tuple[Term, Term, Term]:
+        """Return the triple as a plain ``(s, p, o)`` tuple."""
+        return (self.s, self.p, self.o)
+
+    def __iter__(self):
+        return iter((self.s, self.p, self.o))
+
+    def __repr__(self) -> str:
+        return f"Triple({self.s!r}, {self.p!r}, {self.o!r})"

@@ -1,0 +1,26 @@
+"""Predefined RDF / RDFS vocabulary URIs used by the entailment rules.
+
+Only the URIs relevant to the paper's setting (Table 1 and Section 4.1)
+are defined; they are module-level constants so call sites read like the
+paper: ``vocabulary.RDF_TYPE``, ``vocabulary.RDFS_SUBCLASSOF``...
+"""
+
+from repro.rdf.terms import URI
+
+RDF_NS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+RDFS_NS = "http://www.w3.org/2000/01/rdf-schema#"
+
+RDF_TYPE = URI(RDF_NS + "type")
+RDF_PROPERTY = URI(RDF_NS + "Property")
+
+RDFS_CLASS = URI(RDFS_NS + "Class")
+RDFS_SUBCLASSOF = URI(RDFS_NS + "subClassOf")
+RDFS_SUBPROPERTYOF = URI(RDFS_NS + "subPropertyOf")
+RDFS_DOMAIN = URI(RDFS_NS + "domain")
+RDFS_RANGE = URI(RDFS_NS + "range")
+
+#: URIs that carry schema-level semantics; used to split a dataset into
+#: schema statements and plain data triples.
+SCHEMA_PROPERTIES = frozenset(
+    {RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF, RDFS_DOMAIN, RDFS_RANGE}
+)

@@ -1,0 +1,21 @@
+"""RDF query reformulation (Section 4): Algorithm 1 and the
+pre-/post-reformulation view-selection workflows of Section 4.3.
+"""
+
+from repro.reformulation.reformulate import (
+    reformulate,
+    reformulation_bound,
+)
+from repro.reformulation.workflows import (
+    post_reformulation_views,
+    pre_reformulation_initial_state,
+    reformulate_workload,
+)
+
+__all__ = [
+    "reformulate",
+    "reformulation_bound",
+    "post_reformulation_views",
+    "pre_reformulation_initial_state",
+    "reformulate_workload",
+]

@@ -1,0 +1,59 @@
+"""Pre- and post-reformulation view-selection workflows (Section 4.3).
+
+Three ways to account for RDF entailment during view selection:
+
+* **Saturation** — run the plain search against a saturated store
+  (no special support needed: pass ``StoreStatistics(saturate(store))``).
+* **Pre-reformulation** — reformulate every workload query first; the
+  initial state has one view per disjunct and union rewritings. The
+  search space explodes with the workload (Theorem 4.1), which is
+  exactly what Figure 7 measures.
+* **Post-reformulation** — search the original workload with
+  reformulation-aware statistics
+  (:class:`repro.selection.statistics.ReformulationAwareStatistics`),
+  then reformulate only the *recommended views* before materializing
+  them. Theorem 4.2 guarantees the materialized reformulated views on
+  the plain store equal the plain views on the saturated store.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.query.cq import ConjunctiveQuery, UnionQuery
+from repro.rdf.schema import RDFSchema
+from repro.reformulation.reformulate import reformulate
+from repro.selection.state import State, ViewNamer, initial_state_from_unions
+
+
+def reformulate_workload(
+    queries: Sequence[ConjunctiveQuery], schema: RDFSchema
+) -> list[UnionQuery]:
+    """Reformulate every workload query (the ``Qr`` of Table 3)."""
+    return [reformulate(query, schema) for query in queries]
+
+
+def pre_reformulation_initial_state(
+    queries: Sequence[ConjunctiveQuery],
+    schema: RDFSchema,
+    namer: ViewNamer | None = None,
+) -> State:
+    """The pre-reformulation initial state S0(Qr).
+
+    Every disjunct of every reformulated query becomes a view, and each
+    query's rewriting is the union of its disjunct scans.
+    """
+    unions = reformulate_workload(queries, schema)
+    return initial_state_from_unions(unions, namer)
+
+
+def post_reformulation_views(
+    state: State, schema: RDFSchema
+) -> dict[str, UnionQuery]:
+    """Reformulated definitions of a recommended state's views.
+
+    Materializing these unions on the non-saturated store yields the
+    same view extents as materializing the plain views on the saturated
+    store (Theorem 4.2), so the state's rewritings stay valid.
+    """
+    return {view.name: reformulate(view, schema) for view in state.views}

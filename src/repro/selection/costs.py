@@ -1,0 +1,233 @@
+"""The cost model of Section 3.3: cε = cs·VSOε + cr·RECε + cm·VMCε.
+
+* **View cardinality** ``|v|ε`` starts from the exact per-atom counts of
+  the statistics layer and applies textbook System-R formulas under the
+  uniformity and independence assumptions: the product of atom counts
+  times, for each join variable, ``1/max(distinct)`` per extra
+  occurrence.
+* **VSOε** is ``|v|ε`` times the head width times the average term size.
+* **RECε** is ``Σ_r c1·io(r) + c2·cpu(r)``: I/O reads every view in the
+  rewriting once; CPU charges a pass per selection and a hash join's
+  build + probe + output per join. Projections and renames are free
+  (pipelined), which preserves the paper's invariant that View Fusion
+  never increases a state's cost (the AVF optimization relies on it).
+* **VMCε** is ``Σ_v f^len(v)`` for a user-provided factor ``f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.algebra import Join, Plan, Project, Rename, Scan, Select, iter_nodes
+from repro.query.cq import ATTRIBUTES, ConjunctiveQuery, Variable
+from repro.selection.state import State
+from repro.selection.statistics import Statistics
+
+
+@dataclass(frozen=True, slots=True)
+class CostWeights:
+    """The tunable knobs of the cost model.
+
+    ``cs``/``cr``/``cm`` weight space, rewriting-evaluation, and
+    maintenance (Section 3.3); ``c1``/``c2`` weight I/O vs CPU inside
+    RECε; ``f`` is the fan-out factor of VMCε. Defaults follow the
+    experimental setup of Section 6: cs=1, cr=1, cm=0.5, f=2.
+    """
+
+    cs: float = 1.0
+    cr: float = 1.0
+    cm: float = 0.5
+    c1: float = 1.0
+    c2: float = 1.0
+    f: float = 2.0
+
+
+@dataclass(frozen=True, slots=True)
+class CostBreakdown:
+    """The three components and the weighted total of a state's cost."""
+
+    vso: float
+    rec: float
+    vmc: float
+    total: float
+
+
+class CostModel:
+    """Estimates state costs from a statistics snapshot.
+
+    The model is pure: for fixed statistics and weights, ``cost(state)``
+    is deterministic, so searches are reproducible.
+    """
+
+    def __init__(self, statistics: Statistics, weights: CostWeights | None = None) -> None:
+        self.statistics = statistics
+        self.weights = weights or CostWeights()
+        self._cardinality_cache: dict[ConjunctiveQuery, float] = {}
+        # Plans are immutable and shared across states (substitution
+        # returns untouched subtrees by identity), so each plan's
+        # (io, cpu) is computed once. The plan reference is kept in the
+        # value to pin the id.
+        self._plan_cost_cache: dict[int, tuple[float, float, Plan]] = {}
+
+    # ------------------------------------------------------------------
+    # Cardinality estimation
+    # ------------------------------------------------------------------
+
+    def view_cardinality(self, view: ConjunctiveQuery) -> float:
+        """``|v|ε``: estimated number of tuples in the view's body join."""
+        cached = self._cardinality_cache.get(view)
+        if cached is not None:
+            return cached
+        estimate = 1.0
+        for atom in view.atoms:
+            estimate *= float(self.statistics.atom_count(atom))
+        # One selectivity factor per *extra* occurrence of each variable.
+        occurrences: dict[Variable, list[str]] = {}
+        for atom in view.atoms:
+            for attribute, term in zip(ATTRIBUTES, atom):
+                if isinstance(term, Variable):
+                    occurrences.setdefault(term, []).append(attribute)
+        for columns in occurrences.values():
+            if len(columns) <= 1:
+                continue
+            denominator = max(
+                self.statistics.distinct_values(column) for column in columns
+            )
+            denominator = max(denominator, 1)
+            estimate *= (1.0 / denominator) ** (len(columns) - 1)
+        # A view kept by the search always has a witness in satisfiable
+        # workloads; clamping avoids degenerate zero-cost states when
+        # the independence assumption drives the product below one row.
+        estimate = max(estimate, 1.0)
+        self._cardinality_cache[view] = estimate
+        return estimate
+
+    def plan_cardinality(self, plan: Plan) -> float:
+        """Estimated output cardinality of a rewriting plan node.
+
+        Every node built by the transitions carries the conjunctive
+        query it computes; the estimate reuses :meth:`view_cardinality`
+        on that query, keeping plan and view estimates consistent.
+        """
+        if plan.query is not None:
+            return self.view_cardinality(plan.query)
+        if isinstance(plan, Scan):
+            raise ValueError(f"scan of {plan.view!r} lacks a view annotation")
+        if isinstance(plan, (Select, Project, Rename)):
+            return self.plan_cardinality(plan.child)
+        # An unannotated join: fall back on the product bound.
+        return self.plan_cardinality(plan.left) * self.plan_cardinality(plan.right)
+
+    # ------------------------------------------------------------------
+    # Cost components
+    # ------------------------------------------------------------------
+
+    def view_space(self, view: ConjunctiveQuery) -> float:
+        """Space occupied by one materialized view."""
+        width = max(len(view.head), 1) * self.statistics.average_term_size()
+        return self.view_cardinality(view) * width
+
+    def vso(self, state: State) -> float:
+        """View space occupancy: total size of all materialized views."""
+        return sum(self.view_space(view) for view in state.views)
+
+    def plan_io_cpu(self, plan: Plan) -> tuple[float, float]:
+        """(ioε, cpuε) of one rewriting plan, memoized per plan object.
+
+        io reads every scanned view once; cpu charges a pass per
+        selection and build+probe+output per join (projections and
+        renames are pipelined for free).
+        """
+        cached = self._plan_cost_cache.get(id(plan))
+        if cached is not None and cached[2] is plan:
+            return cached[0], cached[1]
+        io = 0.0
+        cpu = 0.0
+        for node in iter_nodes(plan):
+            if isinstance(node, Scan):
+                if node.query is None:
+                    raise ValueError(f"scan of {node.view!r} lacks a view annotation")
+                io += self.view_cardinality(node.query)
+            elif isinstance(node, Select):
+                cpu += self.plan_cardinality(node.child)
+            elif isinstance(node, Join):
+                cpu += (
+                    self.plan_cardinality(node.left)
+                    + self.plan_cardinality(node.right)
+                    + self.plan_cardinality(node)
+                )
+        if len(self._plan_cost_cache) > 500_000:
+            self._plan_cost_cache.clear()
+        self._plan_cost_cache[id(plan)] = (io, cpu, plan)
+        return io, cpu
+
+    def rewriting_io(self, state: State) -> float:
+        """ioε: every view appearing in a rewriting is read once."""
+        return sum(
+            self.plan_io_cpu(disjunct.plan)[0]
+            for rewriting in state.rewritings.values()
+            for disjunct in rewriting
+        )
+
+    def rewriting_cpu(self, state: State) -> float:
+        """cpuε: selections cost a pass, joins cost build+probe+output."""
+        return sum(
+            self.plan_io_cpu(disjunct.plan)[1]
+            for rewriting in state.rewritings.values()
+            for disjunct in rewriting
+        )
+
+    def rec(self, state: State) -> float:
+        """Rewriting evaluation cost: c1·io + c2·cpu over all rewritings."""
+        io = 0.0
+        cpu = 0.0
+        for rewriting in state.rewritings.values():
+            for disjunct in rewriting:
+                node_io, node_cpu = self.plan_io_cpu(disjunct.plan)
+                io += node_io
+                cpu += node_cpu
+        return self.weights.c1 * io + self.weights.c2 * cpu
+
+    def vmc(self, state: State) -> float:
+        """View maintenance cost: Σ f^len(v)."""
+        return sum(self.weights.f ** len(view) for view in state.views)
+
+    def cost(self, state: State) -> CostBreakdown:
+        """The full breakdown and the weighted total cε."""
+        vso = self.vso(state)
+        rec = self.rec(state)
+        vmc = self.vmc(state)
+        total = self.weights.cs * vso + self.weights.cr * rec + self.weights.cm * vmc
+        return CostBreakdown(vso=vso, rec=rec, vmc=vmc, total=total)
+
+    def total_cost(self, state: State) -> float:
+        """Shorthand for ``cost(state).total``."""
+        return self.cost(state).total
+
+
+def calibrate_maintenance_weight(
+    initial: State,
+    statistics: Statistics,
+    weights: CostWeights | None = None,
+    ratio: float = 0.5,
+) -> CostWeights:
+    """Pick ``cm`` the way Section 6 does.
+
+    "For each workload, we set the value of cm ... so that for the
+    initial state S0, cm·VMC is within at most two orders of magnitude
+    from the other two cost components." We set
+    ``cm·VMC(S0) = ratio · max(cs·VSO(S0), cr·REC(S0))`` (``ratio=0.5``
+    keeps it the same order of magnitude), falling back to the paper's
+    usual cm=0.5 when the state has no measurable cost.
+    """
+    weights = weights or CostWeights()
+    probe = CostModel(statistics, weights)
+    vso = weights.cs * probe.vso(initial)
+    rec = weights.cr * probe.rec(initial)
+    vmc = probe.vmc(initial)
+    if vmc <= 0 or max(vso, rec) <= 0:
+        return weights
+    cm = ratio * max(vso, rec) / vmc
+    return CostWeights(
+        cs=weights.cs, cr=weights.cr, cm=cm, c1=weights.c1, c2=weights.c2, f=weights.f
+    )

@@ -1,0 +1,197 @@
+"""Incremental maintenance of materialized views.
+
+The cost model's VMCε (Section 3.3) prices the propagation of updates
+into the materialized views; this module implements the propagation
+itself, so the recommended view sets are *operational* under updates:
+
+* **insertion** — classic delta rules: for every atom of every view that
+  the new triple can match, bind that atom to the triple and evaluate
+  the remainder of the view on the updated store; the projected rows are
+  the view's delta.
+* **deletion** — the same binding trick computes the *candidate* rows
+  that used the deleted triple; since a row may have alternative
+  derivations under set semantics, each candidate is re-checked against
+  the updated store and only underivable rows are dropped.
+
+With an RDF Schema, each view is maintained through its reformulation
+(a union of conjunctive queries): the deltas of one explicit triple then
+include everything the triple entails, with no saturation step —
+Theorem 4.2 at work on updates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.query.cq import Atom, ConjunctiveQuery, UnionQuery, Variable
+from repro.query.evaluation import Answer, evaluate
+from repro.rdf.schema import RDFSchema
+from repro.rdf.store import TripleStore
+from repro.rdf.triples import Triple
+from repro.selection.materialize import answer_query
+from repro.selection.state import State
+
+
+def _bind_atom_to_triple(
+    atom: Atom, triple: Triple
+) -> dict[Variable, object] | None:
+    """The substitution making ``atom`` match ``triple``, or None."""
+    binding: dict[Variable, object] = {}
+    for term, value in zip(atom, triple):
+        if isinstance(term, Variable):
+            bound = binding.get(term)
+            if bound is None:
+                binding[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return binding
+
+
+def _delta_rows(
+    view: ConjunctiveQuery, triple: Triple, store: TripleStore
+) -> set[Answer]:
+    """Rows of ``view`` on ``store`` that have a derivation using
+    ``triple`` (the delta-rule union over the view's atoms)."""
+    rows: set[Answer] = set()
+    for index, atom in enumerate(view.atoms):
+        binding = _bind_atom_to_triple(atom, triple)
+        if binding is None:
+            continue
+        # Literal-restricted variables may not bind to literals.
+        from repro.rdf.terms import Literal
+
+        if any(
+            isinstance(binding.get(variable), Literal)
+            for variable in view.non_literal
+        ):
+            continue
+        bound = view.substitute(binding)  # type: ignore[arg-type]
+        remainder_atoms = bound.atoms[:index] + bound.atoms[index + 1 :]
+        if remainder_atoms:
+            probe = ConjunctiveQuery(
+                bound.head,
+                remainder_atoms,
+                name=view.name,
+                non_literal=bound.non_literal,
+            )
+            rows |= evaluate(probe, store)
+        else:
+            # Single-atom view: the head is fully bound by the triple.
+            rows.add(tuple(binding.get(t, t) if isinstance(t, Variable) else t
+                           for t in bound.head))
+    return rows
+
+
+def _row_still_derivable(
+    view: ConjunctiveQuery, row: Answer, store: TripleStore
+) -> bool:
+    """True when ``row`` remains an answer of ``view`` on ``store``."""
+    mapping: dict[Variable, object] = {}
+    for term, value in zip(view.head, row):
+        if isinstance(term, Variable):
+            if term in mapping and mapping[term] != value:
+                return False
+            mapping[term] = value
+        elif term != value:
+            return False
+    probe = view.substitute(mapping).with_head(())  # type: ignore[arg-type]
+    return bool(evaluate(probe, store))
+
+
+class MaterializedViewSet:
+    """A state's views kept materialized and current under updates.
+
+    The instance owns the store: route every ``insert`` / ``remove``
+    through it so the extents stay consistent. With ``schema`` given,
+    views are maintained through their reformulations, so implicit
+    triples are reflected without saturating the store.
+    """
+
+    def __init__(
+        self,
+        state: State,
+        store: TripleStore,
+        schema: RDFSchema | None = None,
+    ) -> None:
+        self.state = state
+        self.store = store
+        self._definitions: dict[str, tuple[ConjunctiveQuery, ...]] = {}
+        for view in state.views:
+            if schema is None:
+                self._definitions[view.name] = (view,)
+            else:
+                from repro.reformulation.reformulate import reformulate
+
+                union: UnionQuery = reformulate(view, schema)
+                self._definitions[view.name] = union.disjuncts
+        self._extents: dict[str, set[Answer]] = {
+            name: set().union(
+                *(evaluate(disjunct, store) for disjunct in disjuncts)
+            )
+            for name, disjuncts in self._definitions.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, triple: Triple) -> dict[str, int]:
+        """Add a triple; returns per-view counts of new rows."""
+        if not self.store.add(triple):
+            return {name: 0 for name in self._extents}
+        added: dict[str, int] = {}
+        for name, disjuncts in self._definitions.items():
+            extent = self._extents[name]
+            before = len(extent)
+            for disjunct in disjuncts:
+                extent |= _delta_rows(disjunct, triple, self.store)
+            added[name] = len(extent) - before
+        return added
+
+    def remove(self, triple: Triple) -> dict[str, int]:
+        """Remove a triple; returns per-view counts of dropped rows."""
+        # Candidates must be computed while the triple is still present.
+        candidates: dict[str, set[Answer]] = {
+            name: set().union(
+                *(_delta_rows(disjunct, triple, self.store) for disjunct in disjuncts)
+            )
+            for name, disjuncts in self._definitions.items()
+        }
+        if not self.store.remove(triple):
+            return {name: 0 for name in self._extents}
+        removed: dict[str, int] = {}
+        for name, disjuncts in self._definitions.items():
+            extent = self._extents[name]
+            dropped = 0
+            for row in candidates[name] & extent:
+                if not any(
+                    _row_still_derivable(disjunct, row, self.store)
+                    for disjunct in disjuncts
+                ):
+                    extent.discard(row)
+                    dropped += 1
+            removed[name] = dropped
+        return removed
+
+    def insert_all(self, triples: Iterable[Triple]) -> None:
+        """Insert many triples."""
+        for triple in triples:
+            self.insert(triple)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def extent(self, name: str) -> set[Answer]:
+        """The current extent of one view (a copy)."""
+        return set(self._extents[name])
+
+    def extents(self) -> Mapping[str, list[Answer]]:
+        """All extents, in the shape :func:`answer_query` expects."""
+        return {name: list(rows) for name, rows in self._extents.items()}
+
+    def answer(self, query_name: str) -> set[Answer]:
+        """Answer a workload query from the maintained extents."""
+        return answer_query(self.state, query_name, self.extents())

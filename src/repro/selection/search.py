@@ -1,0 +1,512 @@
+"""Search strategies over the space of candidate view sets (Section 5).
+
+Implemented strategies:
+
+* :func:`exhaustive_naive_search` — EXNAÏVE (Algorithm 2): any transition
+  on any candidate state, duplicate states detected by canonical keys.
+* :func:`exhaustive_stratified_search` — EXSTR: like EXNAÏVE but every
+  path respects the stratification ``VB* SC* JC* VF*`` (Definition 5.3),
+  which provably never applies more transitions (Theorem 5.3).
+* :func:`dfs_search` — DFS: stratified depth-first exploration; the
+  candidate set stays small, which is the paper's answer to the memory
+  blow-ups of the relational strategies.
+* :func:`greedy_stratified_search` — GSTR: exhausts each stratum but
+  keeps only the best state between strata.
+
+Options shared by all strategies:
+
+* **AVF** (aggressive view fusion): immediately closes every new state
+  under View Fusion and keeps only the fused fixpoint — sound because VF
+  never increases cost (Section 3.3).
+* **Stop conditions** ``stoptt`` / ``stopvar`` / ``stoptime``
+  (Section 5.2): discard states with a full-triple-table view, discard
+  states with an all-variable view, and bound the wall-clock time. A
+  stop condition satisfied by the initial state is disabled, as the
+  paper requires.
+
+Every search returns a :class:`SearchResult` with the Figure-5 state
+accounting (created / duplicates / discarded / explored) and the
+Figure-7 cost-over-time trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.query.cq import ConjunctiveQuery, Variable
+from repro.selection.costs import CostModel
+from repro.selection.state import State
+from repro.selection.transitions import (
+    STRATIFIED_ORDER,
+    Transition,
+    TransitionEnumerator,
+    TransitionKind,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SearchBudget:
+    """Limits on a search run.
+
+    ``time_limit`` is the stoptime condition in seconds; ``max_states``
+    bounds the number of states created (a memory stand-in). ``None``
+    means unlimited.
+    """
+
+    time_limit: float | None = None
+    max_states: int | None = None
+
+
+@dataclass(slots=True)
+class SearchStats:
+    """State accounting in the sense of Figure 5."""
+
+    created: int = 0
+    duplicates: int = 0
+    discarded: int = 0
+    explored: int = 0
+    transitions: int = 0
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run."""
+
+    best_state: State
+    best_cost: float
+    initial_cost: float
+    stats: SearchStats
+    runtime: float
+    cost_history: list[tuple[float, float]] = field(default_factory=list)
+    completed: bool = True
+
+    @property
+    def rcr(self) -> float:
+        """Relative cost reduction (Section 6.1):
+        ``(cε(S0) - cε(Sb)) / cε(S0)``."""
+        if self.initial_cost == 0:
+            return 0.0
+        return (self.initial_cost - self.best_cost) / self.initial_cost
+
+    def average_view_atoms(self) -> float:
+        """Average atoms per recommended view (reported in Section 6.4)."""
+        views = self.best_state.views
+        return sum(len(view) for view in views) / len(views)
+
+
+def view_is_triple_table(view: ConjunctiveQuery) -> bool:
+    """stoptt: the view is the full triple table ``t(s, p, o)``."""
+    if len(view.atoms) != 1:
+        return False
+    atom = view.atoms[0]
+    terms = list(atom)
+    return all(isinstance(t, Variable) for t in terms) and len(set(terms)) == 3
+
+
+def view_is_all_variables(view: ConjunctiveQuery) -> bool:
+    """stopvar: the view contains no constants at all."""
+    return not view.constants()
+
+
+class _Run:
+    """Shared bookkeeping for one search run."""
+
+    def __init__(
+        self,
+        initial: State,
+        cost_model: CostModel,
+        budget: SearchBudget,
+        use_stoptt: bool,
+        use_stopvar: bool,
+    ) -> None:
+        self.cost_model = cost_model
+        self.budget = budget
+        self.stats = SearchStats()
+        self.started = time.perf_counter()
+        self.initial_cost = cost_model.total_cost(initial)
+        self.best_state = initial
+        self.best_cost = self.initial_cost
+        self.cost_history: list[tuple[float, float]] = [(0.0, self.initial_cost)]
+        self.completed = True
+        # Stop conditions satisfied by S0 are disabled (Section 5.2).
+        self.use_stoptt = use_stoptt and not any(
+            view_is_triple_table(v) for v in initial.views
+        )
+        self.use_stopvar = use_stopvar and not any(
+            view_is_all_variables(v) for v in initial.views
+        )
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started
+
+    def out_of_budget(self) -> bool:
+        budget = self.budget
+        if budget.time_limit is not None and self.elapsed() > budget.time_limit:
+            self.completed = False
+            return True
+        if budget.max_states is not None and self.stats.created > budget.max_states:
+            self.completed = False
+            return True
+        return False
+
+    def rejected(self, state: State) -> bool:
+        """Apply the stoptt / stopvar stop conditions."""
+        if self.use_stoptt and any(view_is_triple_table(v) for v in state.views):
+            return True
+        if self.use_stopvar and any(view_is_all_variables(v) for v in state.views):
+            return True
+        return False
+
+    def offer(self, state: State) -> None:
+        """Record a (kept) state as a candidate best."""
+        cost = self.cost_model.total_cost(state)
+        if cost < self.best_cost:
+            self.best_cost = cost
+            self.best_state = state
+            self.cost_history.append((self.elapsed(), cost))
+
+    def result(self) -> SearchResult:
+        return SearchResult(
+            best_state=self.best_state,
+            best_cost=self.best_cost,
+            initial_cost=self.initial_cost,
+            stats=self.stats,
+            runtime=self.elapsed(),
+            cost_history=self.cost_history,
+            completed=self.completed,
+        )
+
+
+def avf_closure(
+    state: State, enumerator: TransitionEnumerator, run: _Run | None = None
+) -> State:
+    """Aggressive View Fusion: fuse until no two views are isomorphic.
+
+    Intermediate states are discarded (and counted as such); repeated
+    fusions converge to a single state since each strictly shrinks the
+    view count.
+    """
+    current = state
+    while True:
+        pairs = enumerator.vf_candidates(current)
+        if not pairs:
+            return current
+        transition = enumerator.apply_vf(current, *pairs[0])
+        if run is not None:
+            run.stats.created += 1
+            run.stats.transitions += 1
+            run.stats.discarded += 1  # the pre-fusion intermediate is dropped
+        current = transition.result
+
+
+_KIND_INDEX = {kind: index for index, kind in enumerate(STRATIFIED_ORDER)}
+
+
+def dfs_search(
+    initial: State,
+    cost_model: CostModel,
+    enumerator: TransitionEnumerator | None = None,
+    budget: SearchBudget | None = None,
+    use_avf: bool = True,
+    use_stoptt: bool = True,
+    use_stopvar: bool = True,
+) -> SearchResult:
+    """Stratified depth-first search (DFS, Section 5.2)."""
+    enumerator = enumerator or TransitionEnumerator()
+    budget = budget or SearchBudget()
+    run = _Run(initial, cost_model, budget, use_stoptt, use_stopvar)
+    seen: set[tuple] = {initial.key}
+    # Each entry: (state, minimum stratum index allowed from here).
+    stack: list[tuple[State, int]] = [(initial, 0)]
+    while stack:
+        if run.out_of_budget():
+            break
+        state, stage = stack.pop()
+        run.stats.explored += 1
+        pending: list[tuple[float, State, int]] = []
+        aborted = False
+        for kind_index in range(stage, len(STRATIFIED_ORDER)):
+            kind = STRATIFIED_ORDER[kind_index]
+            for transition in enumerator.transitions(state, [kind]):
+                run.stats.created += 1
+                run.stats.transitions += 1
+                successor = transition.result
+                if use_avf and kind is not TransitionKind.VF:
+                    successor = avf_closure(successor, enumerator, run)
+                if successor.key in seen:
+                    run.stats.duplicates += 1
+                    continue
+                seen.add(successor.key)
+                if run.rejected(successor):
+                    run.stats.discarded += 1
+                    continue
+                run.offer(successor)
+                pending.append(
+                    (cost_model.total_cost(successor), successor, kind_index)
+                )
+                if run.out_of_budget():
+                    aborted = True
+                    break
+            if aborted:
+                break
+        # Expand the cheapest successor first (the stack pops from the
+        # end): under a stoptime condition, cost-guided depth-first
+        # descent reaches low-cost regions long before plain DFS order.
+        pending.sort(key=lambda entry: -entry[0])
+        stack.extend((state, stage) for _, state, stage in pending)
+    return run.result()
+
+
+def exhaustive_naive_search(
+    initial: State,
+    cost_model: CostModel,
+    enumerator: TransitionEnumerator | None = None,
+    budget: SearchBudget | None = None,
+    use_avf: bool = False,
+    use_stoptt: bool = True,
+    use_stopvar: bool = False,
+) -> SearchResult:
+    """EXNAÏVE (Algorithm 2): unordered transitions, CS/ES bookkeeping."""
+    return _exhaustive(
+        initial, cost_model, enumerator, budget, stratified=False,
+        use_avf=use_avf, use_stoptt=use_stoptt, use_stopvar=use_stopvar,
+    )
+
+
+def exhaustive_stratified_search(
+    initial: State,
+    cost_model: CostModel,
+    enumerator: TransitionEnumerator | None = None,
+    budget: SearchBudget | None = None,
+    use_avf: bool = False,
+    use_stoptt: bool = True,
+    use_stopvar: bool = False,
+) -> SearchResult:
+    """EXSTR: exhaustive search along stratified paths only."""
+    return _exhaustive(
+        initial, cost_model, enumerator, budget, stratified=True,
+        use_avf=use_avf, use_stoptt=use_stoptt, use_stopvar=use_stopvar,
+    )
+
+
+def _exhaustive(
+    initial: State,
+    cost_model: CostModel,
+    enumerator: TransitionEnumerator | None,
+    budget: SearchBudget | None,
+    stratified: bool,
+    use_avf: bool,
+    use_stoptt: bool,
+    use_stopvar: bool,
+) -> SearchResult:
+    enumerator = enumerator or TransitionEnumerator()
+    budget = budget or SearchBudget()
+    run = _Run(initial, cost_model, budget, use_stoptt, use_stopvar)
+    seen: set[tuple] = {initial.key}
+    # Candidate states carry a lazy transition iterator; exhausted
+    # candidates move to the explored set (only counted, not stored).
+    candidates: list[tuple[State, object]] = []
+
+    def make_iterator(state: State, stage: int):
+        kinds = STRATIFIED_ORDER[stage:] if stratified else STRATIFIED_ORDER
+        return enumerator.transitions(state, kinds)
+
+    def stage_of(transition: Transition) -> int:
+        return _KIND_INDEX[transition.kind] if stratified else 0
+
+    candidates.append((initial, make_iterator(initial, 0)))
+    while candidates:
+        if run.out_of_budget():
+            break
+        progressed = False
+        for position in range(len(candidates)):
+            if run.out_of_budget():
+                break
+            state, iterator = candidates[position]
+            advanced = False
+            for transition in iterator:  # resume where we left off
+                run.stats.created += 1
+                run.stats.transitions += 1
+                successor = transition.result
+                if use_avf and transition.kind is not TransitionKind.VF:
+                    successor = avf_closure(successor, enumerator, run)
+                if successor.key in seen:
+                    run.stats.duplicates += 1
+                    continue
+                seen.add(successor.key)
+                if run.rejected(successor):
+                    run.stats.discarded += 1
+                    continue
+                run.offer(successor)
+                candidates.append(
+                    (successor, make_iterator(successor, stage_of(transition)))
+                )
+                advanced = True
+                break
+            if not advanced:
+                candidates[position] = None  # type: ignore[assignment]
+                run.stats.explored += 1
+            else:
+                progressed = True
+        candidates = [entry for entry in candidates if entry is not None]
+        if not progressed and not candidates:
+            break
+    return run.result()
+
+
+def descent_search(
+    initial: State,
+    cost_model: CostModel,
+    enumerator: TransitionEnumerator | None = None,
+    budget: SearchBudget | None = None,
+    use_avf: bool = True,
+    use_stoptt: bool = True,
+    use_stopvar: bool = True,
+    kinds: tuple[TransitionKind, ...] = (
+        TransitionKind.JC,
+        TransitionKind.VB,
+        TransitionKind.SC,
+    ),
+) -> SearchResult:
+    """First-improvement stratified descent — the large-workload scaling
+    mode of DFS.
+
+    At each step the applicable transitions are generated lazily in
+    stratified order and the first one that lowers the state cost is
+    applied immediately (with aggressive view fusion), instead of fully
+    expanding every state. This is the lazy traversal order of the
+    paper's recursive DFS pseudocode, restricted to the improving branch
+    — on 100+-query workloads it applies thousands of cost-reducing
+    transitions within a stoptime budget where eager expansion would not
+    finish expanding the initial state (the paper's runs had hours; see
+    Section 6.4).
+
+    Transition kinds are tried per view in the order JC, VB, SC (VF is
+    folded in through aggressive view fusion): SC never lowers the cost
+    (Section 3.3), so the improving moves concentrate on the cuts and
+    breaks. A work queue visits one view at a time and re-enqueues the
+    views a transition produces, so each improvement costs one view's
+    candidates rather than a full state expansion. Like GSTR, this
+    strategy trades the completeness guarantee for throughput.
+    """
+    from collections import deque
+
+    enumerator = enumerator or TransitionEnumerator()
+    budget = budget or SearchBudget()
+    run = _Run(initial, cost_model, budget, use_stoptt, use_stopvar)
+    seen: set[tuple] = {initial.key}
+    current = avf_closure(initial, enumerator, run) if use_avf else initial
+    current_cost = cost_model.total_cost(current)
+    if current is not initial:
+        run.offer(current)
+
+    def view_candidates(state: State, view_name: str):
+        """Lazily yield this view's transitions, in the ``kinds`` order."""
+        view = state.view(view_name)
+        for kind in kinds:
+            if kind is TransitionKind.JC:
+                for atom_index, attribute in enumerator.jc_candidates(view):
+                    yield enumerator.apply_jc(state, view_name, atom_index, attribute)
+            elif kind is TransitionKind.VB:
+                for part1, part2 in enumerator.vb_candidates(view):
+                    yield enumerator.apply_vb(state, view_name, part1, part2)
+            elif kind is TransitionKind.SC:
+                for atom_index, attribute, _ in enumerator.sc_candidates(view):
+                    yield enumerator.apply_sc(state, view_name, atom_index, attribute)
+
+    queue = deque(view.name for view in current.views)
+    queued = set(queue)
+    while queue and not run.out_of_budget():
+        view_name = queue.popleft()
+        queued.discard(view_name)
+        if not any(view.name == view_name for view in current.views):
+            continue  # the view was fused away in the meantime
+        improved = False
+        for transition in view_candidates(current, view_name):
+            run.stats.created += 1
+            run.stats.transitions += 1
+            successor = transition.result
+            if use_avf:
+                successor = avf_closure(successor, enumerator, run)
+            if successor.key in seen:
+                run.stats.duplicates += 1
+                continue
+            seen.add(successor.key)
+            if run.rejected(successor):
+                run.stats.discarded += 1
+                continue
+            cost = cost_model.total_cost(successor)
+            if cost < current_cost:
+                run.offer(successor)
+                old_names = {view.name for view in current.views}
+                current, current_cost = successor, cost
+                run.stats.explored += 1
+                improved = True
+                for view in current.views:
+                    if view.name not in old_names and view.name not in queued:
+                        queue.append(view.name)
+                        queued.add(view.name)
+                break
+            run.stats.discarded += 1
+            if run.out_of_budget():
+                break
+        if improved and view_name not in queued:
+            # The view may have survived (e.g. a sibling was split off);
+            # give it another chance later.
+            queue.append(view_name)
+            queued.add(view_name)
+    return run.result()
+
+
+def greedy_stratified_search(
+    initial: State,
+    cost_model: CostModel,
+    enumerator: TransitionEnumerator | None = None,
+    budget: SearchBudget | None = None,
+    use_avf: bool = True,
+    use_stoptt: bool = True,
+    use_stopvar: bool = True,
+) -> SearchResult:
+    """GSTR: exhaust each stratum, keep only the best state in between."""
+    enumerator = enumerator or TransitionEnumerator()
+    budget = budget or SearchBudget()
+    run = _Run(initial, cost_model, budget, use_stoptt, use_stopvar)
+    current = initial
+    for kind in STRATIFIED_ORDER:
+        # Explore everything reachable from `current` using `kind` only.
+        seen: set[tuple] = {current.key}
+        stack = [current]
+        stratum_best = current
+        stratum_best_cost = run.cost_model.total_cost(current)
+        while stack:
+            if run.out_of_budget():
+                break
+            state = stack.pop()
+            run.stats.explored += 1
+            for transition in enumerator.transitions(state, [kind]):
+                run.stats.created += 1
+                run.stats.transitions += 1
+                successor = transition.result
+                if use_avf and kind is not TransitionKind.VF:
+                    successor = avf_closure(successor, enumerator, run)
+                if successor.key in seen:
+                    run.stats.duplicates += 1
+                    continue
+                seen.add(successor.key)
+                if run.rejected(successor):
+                    run.stats.discarded += 1
+                    continue
+                run.offer(successor)
+                cost = run.cost_model.total_cost(successor)
+                if cost < stratum_best_cost:
+                    stratum_best, stratum_best_cost = successor, cost
+                stack.append(successor)
+                if run.out_of_budget():
+                    break
+        # All states but the stratum best are discarded (GSTR).
+        run.stats.discarded += max(0, len(seen) - 1)
+        current = stratum_best
+        if run.out_of_budget():
+            break
+    return run.result()

@@ -1,0 +1,518 @@
+"""The four state transitions of Section 3.2: SC, JC, VB, VF.
+
+Each transition replaces one view (or fuses two) and substitutes the old
+view symbol in every rewriting with an equivalent expression over the new
+views, exactly as Definitions 3.2–3.5 prescribe:
+
+* **Selection Cut (SC)** promotes a constant to a head variable;
+  rewritings re-apply the selection: ``π_head(v)(σ_e(v'))``.
+* **Join Cut (JC)** renames one occurrence of a join variable; if the
+  view stays connected the rewriting re-applies the join predicate as a
+  selection, otherwise the view splits in two and the rewriting joins
+  them back: ``π_head(v)(v'1 ⋈_e v'2)``.
+* **View Break (VB)** splits a view along two connected, covering,
+  mutually non-included node sets; the rewriting is a natural join.
+  The new heads export, besides the old head variables present in each
+  part, *all* variables shared between the two parts (this includes the
+  variables of overlap atoms the paper's definition lists, and is what
+  the natural join needs to be lossless).
+* **View Fusion (VF)** merges two views with isomorphic bodies into one
+  whose head is the union of heads (Definition 3.5); rewritings project
+  (and rename) the fused view back to each original shape.
+
+All produced plan nodes carry the conjunctive query they compute, so the
+cost model prices every intermediate result consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Sequence
+
+from repro.query.algebra import (
+    EqualsColumn,
+    EqualsConstant,
+    Join,
+    Plan,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    replace_scan,
+)
+from repro.query.cq import (
+    ATTRIBUTES,
+    Atom,
+    ConjunctiveQuery,
+    Variable,
+    fresh_variable,
+)
+from repro.query.containment import find_isomorphism
+from repro.rdf.terms import Term
+from repro.selection.state import State, ViewNamer
+
+
+class TransitionKind(Enum):
+    """Transition types, in stratification order VB < SC < JC < VF."""
+
+    VB = "VB"
+    SC = "SC"
+    JC = "JC"
+    VF = "VF"
+
+
+#: The stratified application order of Definition 5.3.
+STRATIFIED_ORDER = (
+    TransitionKind.VB,
+    TransitionKind.SC,
+    TransitionKind.JC,
+    TransitionKind.VF,
+)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One applied transition: its kind, a label, and the state reached."""
+
+    kind: TransitionKind
+    description: str
+    result: State
+
+
+def _scan(view: ConjunctiveQuery) -> Scan:
+    """A scan of a view; the schema is the view's head variable names."""
+    return Scan(view.name, tuple(term.name for term in view.head), query=view)
+
+
+def _head_with(
+    head: tuple, extra: Sequence[Variable]
+) -> tuple[Variable, ...]:
+    """Extend a head with new variables, keeping order and uniqueness."""
+    result = list(head)
+    for variable in extra:
+        if variable not in result:
+            result.append(variable)
+    return tuple(result)
+
+
+def _ordered_vars(atoms: Sequence[Atom], include: set[Variable]) -> list[Variable]:
+    """The subset ``include`` of variables, in first-occurrence order."""
+    ordered: list[Variable] = []
+    for atom in atoms:
+        for term in atom:
+            if isinstance(term, Variable) and term in include and term not in ordered:
+                ordered.append(term)
+    return ordered
+
+
+class TransitionEnumerator:
+    """Enumerates and applies transitions on states.
+
+    ``vb_mode`` selects how View Break candidates are generated:
+    ``"disjoint"`` (default) splits the atom set in two connected
+    halves; ``"overlapping"`` additionally enumerates covers with shared
+    atoms, as in the paper's Figure 1 example (more states, slower).
+    ``max_vb_per_view`` caps the number of VB candidates per view.
+    """
+
+    def __init__(
+        self,
+        namer: ViewNamer | None = None,
+        vb_mode: str = "disjoint",
+        max_vb_per_view: int = 64,
+    ) -> None:
+        if vb_mode not in ("disjoint", "overlapping"):
+            raise ValueError(f"unknown vb_mode {vb_mode!r}")
+        self.namer = namer or ViewNamer()
+        self.vb_mode = vb_mode
+        self.max_vb_per_view = max_vb_per_view
+
+    # ------------------------------------------------------------------
+    # Selection Cut
+    # ------------------------------------------------------------------
+
+    def apply_sc(
+        self, state: State, view_name: str, atom_index: int, attribute: str
+    ) -> Transition:
+        """Cut the selection edge at ``(atom_index, attribute)`` of a view."""
+        view = state.view(view_name)
+        constant = view.atoms[atom_index].term_at(attribute)
+        if isinstance(constant, Variable):
+            raise ValueError(
+                f"no constant at {view_name}.n{atom_index}.{attribute} to cut"
+            )
+        promoted = fresh_variable("C")
+        new_atoms = tuple(
+            atom.replace_at(attribute, promoted) if index == atom_index else atom
+            for index, atom in enumerate(view.atoms)
+        )
+        new_view = ConjunctiveQuery(
+            _head_with(view.head, [promoted]),
+            new_atoms,
+            name=self.namer.fresh(),
+            non_literal=view.non_literal,
+        )
+        old_schema = tuple(term.name for term in view.head)
+        selection = Select(
+            _scan(new_view),
+            (EqualsConstant(promoted.name, constant),),
+            query=view,
+        )
+        replacement: Plan = Project(selection, old_schema, query=view)
+        result = state.replace_views(
+            [view_name],
+            [new_view],
+            lambda plan: replace_scan(plan, view_name, replacement),
+        )
+        description = f"SC({view_name}.n{atom_index}.{attribute}={constant.n3()})"
+        return Transition(TransitionKind.SC, description, result)
+
+    def sc_candidates(self, view: ConjunctiveQuery) -> list[tuple[int, str, Term]]:
+        """All selection edges of a view."""
+        return view.constant_occurrences()
+
+    # ------------------------------------------------------------------
+    # Join Cut
+    # ------------------------------------------------------------------
+
+    def apply_jc(
+        self, state: State, view_name: str, atom_index: int, attribute: str
+    ) -> Transition:
+        """Cut the join variable occurrence at ``(atom_index, attribute)``."""
+        view = state.view(view_name)
+        variable = view.atoms[atom_index].term_at(attribute)
+        if not isinstance(variable, Variable):
+            raise ValueError(
+                f"no variable at {view_name}.n{atom_index}.{attribute} to cut"
+            )
+        occurrences = sum(
+            1
+            for atom in view.atoms
+            for term in atom
+            if term == variable
+        )
+        if occurrences < 2:
+            raise ValueError(f"{variable} is not a join variable in {view_name}")
+        renamed = fresh_variable("J")
+        new_atoms = tuple(
+            atom.replace_at(attribute, renamed) if index == atom_index else atom
+            for index, atom in enumerate(view.atoms)
+        )
+        probe = ConjunctiveQuery((), new_atoms)
+        components = probe.connected_components()
+        old_schema = tuple(term.name for term in view.head)
+        description = f"JC({view_name}.n{atom_index}.{attribute}:{variable})"
+        # A fresh variable standing in for a restricted occurrence keeps
+        # the restriction (the position's semantics did not change).
+        restriction = view.non_literal
+        if variable in restriction:
+            restriction = restriction | {renamed}
+        if len(components) == 1:
+            new_view = ConjunctiveQuery(
+                _head_with(view.head, [variable, renamed]),
+                new_atoms,
+                name=self.namer.fresh(),
+                non_literal=restriction,
+            )
+            selection = Select(
+                _scan(new_view),
+                (EqualsColumn(renamed.name, variable.name),),
+                query=view,
+            )
+            replacement: Plan = Project(selection, old_schema, query=view)
+            result = state.replace_views(
+                [view_name],
+                [new_view],
+                lambda plan: replace_scan(plan, view_name, replacement),
+            )
+            return Transition(TransitionKind.JC, description, result)
+        if len(components) != 2:
+            raise AssertionError(
+                f"join cut split {view_name} into {len(components)} components"
+            )
+        first, second = components
+        if atom_index not in first:
+            first, second = second, first
+        head_vars = set(view.head)
+        views = []
+        for indices, join_var in ((first, renamed), (second, variable)):
+            atoms = tuple(new_atoms[i] for i in indices)
+            body_vars = set()
+            for atom in atoms:
+                body_vars.update(atom.variables())
+            head = _ordered_vars(atoms, (head_vars & body_vars) | {join_var})
+            # Keep the original head order for old head variables.
+            ordered_head = [t for t in view.head if t in body_vars]
+            ordered_head = _head_with(tuple(ordered_head), head)
+            views.append(
+                ConjunctiveQuery(
+                    ordered_head,
+                    atoms,
+                    name=self.namer.fresh(),
+                    non_literal=restriction,  # trimmed to body vars on init
+                )
+            )
+        left_view, right_view = views
+        join = Join(
+            _scan(left_view),
+            _scan(right_view),
+            pairs=((renamed.name, variable.name),),
+            query=view,
+        )
+        replacement = Project(join, old_schema, query=view)
+        result = state.replace_views(
+            [view_name],
+            [left_view, right_view],
+            lambda plan: replace_scan(plan, view_name, replacement),
+        )
+        return Transition(TransitionKind.JC, description, result)
+
+    def jc_candidates(self, view: ConjunctiveQuery) -> list[tuple[int, str]]:
+        """All cuttable join-variable occurrences ``(atom index, attribute)``."""
+        counts: dict[Variable, int] = {}
+        for atom in view.atoms:
+            for term in atom:
+                if isinstance(term, Variable):
+                    counts[term] = counts.get(term, 0) + 1
+        candidates = []
+        for index, atom in enumerate(view.atoms):
+            for attribute, term in zip(ATTRIBUTES, atom):
+                if isinstance(term, Variable) and counts[term] >= 2:
+                    candidates.append((index, attribute))
+        return candidates
+
+    # ------------------------------------------------------------------
+    # View Break
+    # ------------------------------------------------------------------
+
+    def apply_vb(
+        self,
+        state: State,
+        view_name: str,
+        part1: Sequence[int],
+        part2: Sequence[int],
+    ) -> Transition:
+        """Break a view along two covering, connected node sets."""
+        view = state.view(view_name)
+        set1, set2 = set(part1), set(part2)
+        if set1 | set2 != set(range(len(view.atoms))):
+            raise ValueError("view break parts must cover all atoms")
+        if set1 <= set2 or set2 <= set1:
+            raise ValueError("view break parts must be mutually non-included")
+        if len(view.atoms) <= 2:
+            raise ValueError("view break requires more than two atoms")
+        bodies = []
+        variable_sets = []
+        for indices in (sorted(set1), sorted(set2)):
+            atoms = tuple(view.atoms[i] for i in indices)
+            if not ConjunctiveQuery((), atoms).is_connected():
+                raise ValueError(f"view break part {indices} is not connected")
+            bodies.append(atoms)
+            variables: set[Variable] = set()
+            for atom in atoms:
+                variables.update(atom.variables())
+            variable_sets.append(variables)
+        shared = variable_sets[0] & variable_sets[1]
+        head_vars = set(view.head)
+        views = []
+        for atoms, variables in zip(bodies, variable_sets):
+            ordered_head = [t for t in view.head if t in variables]
+            extra = _ordered_vars(atoms, shared)
+            views.append(
+                ConjunctiveQuery(
+                    _head_with(tuple(ordered_head), extra),
+                    atoms,
+                    name=self.namer.fresh(),
+                    non_literal=view.non_literal,  # trimmed to body vars
+                )
+            )
+        left_view, right_view = views
+        old_schema = tuple(term.name for term in view.head)
+        join = Join(_scan(left_view), _scan(right_view), query=view)
+        replacement = Project(join, old_schema, query=view)
+        result = state.replace_views(
+            [view_name],
+            [left_view, right_view],
+            lambda plan: replace_scan(plan, view_name, replacement),
+        )
+        description = f"VB({view_name}:{sorted(set1)}|{sorted(set2)})"
+        return Transition(TransitionKind.VB, description, result)
+
+    def vb_candidates(
+        self, view: ConjunctiveQuery
+    ) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """Candidate (part1, part2) splits for a view (capped)."""
+        n = len(view.atoms)
+        if n <= 2:
+            return []
+        adjacency = _adjacency(view)
+        connected = _connected_subsets(n, adjacency)
+        candidates: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+        all_atoms = frozenset(range(n))
+        connected_set = set(connected)
+        if self.vb_mode == "disjoint":
+            for subset in connected:
+                if 0 not in subset or len(subset) == n:
+                    continue  # fix 0 in part1 to enumerate unordered pairs once
+                complement = frozenset(all_atoms - subset)
+                if complement in connected_set:
+                    candidates.append((tuple(sorted(subset)), tuple(sorted(complement))))
+                if len(candidates) >= self.max_vb_per_view:
+                    break
+            return candidates
+        seen_pairs: set[frozenset[frozenset[int]]] = set()
+        for subset1 in connected:
+            if len(subset1) == n:
+                continue
+            for subset2 in connected:
+                if subset1 | subset2 != all_atoms:
+                    continue
+                if subset1 <= subset2 or subset2 <= subset1:
+                    continue
+                pair = frozenset((subset1, subset2))
+                if pair in seen_pairs:
+                    continue
+                seen_pairs.add(pair)
+                candidates.append((tuple(sorted(subset1)), tuple(sorted(subset2))))
+                if len(candidates) >= self.max_vb_per_view:
+                    return candidates
+        return candidates
+
+    # ------------------------------------------------------------------
+    # View Fusion
+    # ------------------------------------------------------------------
+
+    def apply_vf(self, state: State, name1: str, name2: str) -> Transition:
+        """Fuse two views with isomorphic bodies (Definition 3.5)."""
+        view1, view2 = state.view(name1), state.view(name2)
+        mapping = find_isomorphism(view1, view2)
+        if mapping is None:
+            raise ValueError(f"views {name1} and {name2} are not isomorphic")
+        if {mapping[v] for v in view2.non_literal} != set(view1.non_literal):
+            raise ValueError(
+                f"views {name1} and {name2} differ in non-literal restrictions"
+            )
+        mapped_head2 = tuple(mapping[term] for term in view2.head)
+        fused_head = _head_with(view1.head, mapped_head2)
+        fused = ConjunctiveQuery(
+            fused_head,
+            view1.atoms,
+            name=self.namer.fresh(),
+            non_literal=view1.non_literal,
+        )
+        schema1 = tuple(term.name for term in view1.head)
+        schema2 = tuple(term.name for term in view2.head)
+        replacement1: Plan = Project(_scan(fused), schema1, query=view1)
+        projected2 = Project(
+            _scan(fused), tuple(term.name for term in mapped_head2), query=view2
+        )
+        replacement2: Plan = Rename(projected2, schema2, query=view2)
+
+        def substitute(plan: Plan) -> Plan:
+            plan = replace_scan(plan, name1, replacement1)
+            return replace_scan(plan, name2, replacement2)
+
+        result = state.replace_views([name1, name2], [fused], substitute)
+        description = f"VF({name1},{name2})"
+        return Transition(TransitionKind.VF, description, result)
+
+    def vf_candidates(self, state: State) -> list[tuple[str, str]]:
+        """Pairs of views with isomorphic bodies, cheap filters first."""
+        signatures: dict[tuple, list[ConjunctiveQuery]] = {}
+        for view in state.views:
+            signatures.setdefault(_body_signature(view), []).append(view)
+        pairs = []
+        for group in signatures.values():
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    mapping = find_isomorphism(group[i], group[j])
+                    if mapping is None:
+                        continue
+                    mapped = {mapping[v] for v in group[j].non_literal}
+                    if mapped != set(group[i].non_literal):
+                        continue
+                    pairs.append((group[i].name, group[j].name))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Uniform enumeration
+    # ------------------------------------------------------------------
+
+    def transitions(
+        self, state: State, kinds: Sequence[TransitionKind] = STRATIFIED_ORDER
+    ) -> Iterator[Transition]:
+        """Lazily yield applicable transitions of the given kinds, in order."""
+        for kind in kinds:
+            if kind is TransitionKind.VB:
+                for view in state.views:
+                    for part1, part2 in self.vb_candidates(view):
+                        yield self.apply_vb(state, view.name, part1, part2)
+            elif kind is TransitionKind.SC:
+                for view in state.views:
+                    for atom_index, attribute, _ in self.sc_candidates(view):
+                        yield self.apply_sc(state, view.name, atom_index, attribute)
+            elif kind is TransitionKind.JC:
+                for view in state.views:
+                    for atom_index, attribute in self.jc_candidates(view):
+                        yield self.apply_jc(state, view.name, atom_index, attribute)
+            else:
+                for name1, name2 in self.vf_candidates(state):
+                    yield self.apply_vf(state, name1, name2)
+
+
+#: Per-view-object body signature cache; views are immutable and shared
+#: across many states, and avf_closure recomputes signatures constantly.
+_SIGNATURE_CACHE: dict[int, tuple[tuple, ConjunctiveQuery]] = {}
+
+
+def _body_signature(view: ConjunctiveQuery) -> tuple:
+    """A cheap isomorphism-invariant filter key for a view body."""
+    cached = _SIGNATURE_CACHE.get(id(view))
+    if cached is not None and cached[1] is view:
+        return cached[0]
+    signature = tuple(
+        sorted(
+            tuple(
+                term.n3() if not isinstance(term, Variable) else "?"
+                for term in atom
+            )
+            for atom in view.atoms
+        )
+    )
+    if len(_SIGNATURE_CACHE) > 500_000:
+        _SIGNATURE_CACHE.clear()
+    _SIGNATURE_CACHE[id(view)] = (signature, view)
+    return signature
+
+
+def _adjacency(view: ConjunctiveQuery) -> dict[int, set[int]]:
+    adjacency: dict[int, set[int]] = {i: set() for i in range(len(view.atoms))}
+    for i, _, j, _ in view.join_graph_edges():
+        adjacency[i].add(j)
+        adjacency[j].add(i)
+    return adjacency
+
+
+def _connected_subsets(n: int, adjacency: dict[int, set[int]]) -> list[frozenset[int]]:
+    """All non-empty connected subsets of atom indices.
+
+    Standard enumeration: grow each subset only with neighbours greater
+    than its smallest excluded vertex barrier — here a simple recursive
+    expansion with dedup, adequate for the paper's view sizes (≤ ~12
+    atoms).
+    """
+    found: set[frozenset[int]] = set()
+
+    def grow(subset: frozenset[int], frontier: set[int]) -> None:
+        found.add(subset)
+        for vertex in sorted(frontier):
+            extended = subset | {vertex}
+            if extended in found:
+                continue
+            new_frontier = (frontier | adjacency[vertex]) - extended
+            grow(extended, new_frontier)
+
+    for start in range(n):
+        grow(frozenset({start}), set(adjacency[start]))
+    return sorted(found, key=lambda s: (len(s), sorted(s)))

@@ -1,0 +1,21 @@
+"""Workload generation (Section 6, "Data and queries").
+
+The paper built two query generators because the Barton workload has few
+queries and no commonality: one outputs queries of controllable size,
+shape and commonality; the other additionally guarantees non-empty
+answers on a given dataset. Both are reproduced here.
+"""
+
+from repro.workload.shapes import QueryShape
+from repro.workload.generator import (
+    SatisfiableWorkloadGenerator,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "QueryShape",
+    "SatisfiableWorkloadGenerator",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+]

@@ -1,0 +1,270 @@
+"""The two workload generators of Section 6.
+
+:class:`WorkloadGenerator` outputs queries of controllable size, shape
+and commonality, with maximum flexibility (no dataset needed).
+:class:`SatisfiableWorkloadGenerator` additionally takes a dataset and
+generates queries guaranteed to have non-empty answers on it, by
+abstracting concrete subgraphs of the data into patterns.
+
+Commonality controls how much vocabulary (properties, constants, and
+hence atom patterns) queries share:
+
+* ``"high"`` — all queries draw from one small shared pool, so the same
+  atoms recur across queries and View Fusion finds factorization
+  opportunities;
+* ``"low"`` — each query draws from its own disjoint pool.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.query.cq import Atom, ConjunctiveQuery, Variable
+from repro.query.containment import minimize
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Term, URI
+from repro.workload.shapes import QueryShape, build_shape
+
+DEFAULT_NAMESPACE = "http://example.org/"
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Parameters of one generated workload."""
+
+    num_queries: int
+    atoms_per_query: int
+    shape: QueryShape = QueryShape.CHAIN
+    commonality: str = "high"
+    constant_probability: float = 0.5
+    head_size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 1:
+            raise ValueError("num_queries must be positive")
+        if self.atoms_per_query < 1:
+            raise ValueError("atoms_per_query must be positive")
+        if self.commonality not in ("high", "low"):
+            raise ValueError(f"commonality must be 'high' or 'low', got {self.commonality!r}")
+
+
+class WorkloadGenerator:
+    """Generates synthetic workloads without reference to a dataset."""
+
+    def __init__(self, seed: int = 0, namespace: str = DEFAULT_NAMESPACE) -> None:
+        self._seed = seed
+        self._namespace = namespace
+
+    def _pools(
+        self, spec: WorkloadSpec, query_index: int
+    ) -> tuple[list[URI], list[URI]]:
+        """Property/object pools; shared for high commonality, disjoint
+        per query for low commonality."""
+        ns = self._namespace
+        pool_size = max(4, spec.atoms_per_query)
+        if spec.commonality == "high":
+            # One pool shared by every query: atoms recur across queries.
+            properties = [URI(f"{ns}p{i}") for i in range(pool_size)]
+            objects = [URI(f"{ns}c{i}") for i in range(max(3, pool_size // 2))]
+        else:
+            # Disjoint vocabulary per query: no factorization to find.
+            properties = [URI(f"{ns}q{query_index}_p{i}") for i in range(pool_size)]
+            objects = [URI(f"{ns}q{query_index}_c{i}") for i in range(pool_size)]
+        return properties, objects
+
+    def generate(self, spec: WorkloadSpec) -> list[ConjunctiveQuery]:
+        """A deterministic workload for ``spec`` (seeded)."""
+        rng = random.Random(f"{self._seed}:{spec.num_queries}:{spec.atoms_per_query}:{spec.shape.value}:{spec.commonality}")
+        queries = []
+        for index in range(spec.num_queries):
+            properties, objects = self._pools(spec, index)
+            atoms = self._distinct_atoms(rng, spec, properties, objects)
+            query = _close_over_head(atoms, spec.head_size, f"q{index + 1}")
+            queries.append(minimize(query))
+        return queries
+
+    def _distinct_atoms(
+        self,
+        rng: random.Random,
+        spec: WorkloadSpec,
+        properties: list[URI],
+        objects: list[URI],
+    ) -> list[Atom]:
+        """Build a shape, retrying a few times to avoid duplicate atoms
+        (duplicates would be minimized away, shrinking the query)."""
+        for _ in range(8):
+            atoms = build_shape(
+                spec.shape,
+                rng,
+                spec.atoms_per_query,
+                properties,
+                objects,
+                spec.constant_probability,
+            )
+            if len(set(atoms)) == len(atoms):
+                return atoms
+        return atoms  # accept duplicates if the pool is too small
+
+
+class SatisfiableWorkloadGenerator:
+    """Generates workloads with non-empty answers on a given dataset.
+
+    Queries are produced by sampling connected subgraphs of the data
+    (stars around a subject, or join walks) and abstracting terms into
+    variables; the sampled subgraph itself witnesses satisfiability.
+    """
+
+    def __init__(
+        self, store: TripleStore, seed: int = 0
+    ) -> None:
+        if len(store) == 0:
+            raise ValueError("cannot generate satisfiable queries on an empty store")
+        self._store = store
+        self._seed = seed
+        self._triples = sorted(
+            (triple for triple in store), key=lambda t: t.n3()
+        )
+
+    def generate(self, spec: WorkloadSpec) -> list[ConjunctiveQuery]:
+        """A deterministic satisfiable workload for ``spec``."""
+        rng = random.Random(f"{self._seed}:{spec.num_queries}:{spec.atoms_per_query}:{spec.shape.value}:{spec.commonality}")
+        queries = []
+        # Anchor triples seed the sampled subgraphs. Prefer high-degree
+        # subjects so star/walk samples can actually reach the requested
+        # size; high commonality reuses a few anchors across queries.
+        anchor_pool_size = 2 if spec.commonality == "high" else spec.num_queries * 4
+        candidates = self._anchor_candidates(spec.atoms_per_query)
+        anchors = [
+            candidates[rng.randrange(len(candidates))]
+            for _ in range(max(1, anchor_pool_size))
+        ]
+        for index in range(spec.num_queries):
+            seed_triple = anchors[rng.randrange(len(anchors))]
+            if spec.shape in (QueryShape.STAR, QueryShape.MIXED):
+                sample = self._sample_star(rng, seed_triple, spec.atoms_per_query)
+            else:
+                sample = self._sample_walk(rng, seed_triple, spec.atoms_per_query)
+            atoms = self._abstract(rng, sample, spec.constant_probability)
+            query = _close_over_head(atoms, spec.head_size, f"q{index + 1}")
+            queries.append(minimize(query))
+        return queries
+
+    def _anchor_candidates(self, wanted_degree: int) -> list:
+        """Triples whose subject has enough distinct triples to seed a
+        sample of the requested size; falls back to the densest tier."""
+        by_degree: dict = {}
+        for triple in self._triples:
+            by_degree.setdefault(triple.s, []).append(triple)
+        good = [
+            triples[0]
+            for triples in by_degree.values()
+            if len(triples) >= wanted_degree
+        ]
+        if good:
+            return sorted(good, key=lambda t: t.n3())
+        best = max(len(triples) for triples in by_degree.values())
+        return sorted(
+            (triples[0] for triples in by_degree.values() if len(triples) == best),
+            key=lambda t: t.n3(),
+        )
+
+    def _sample_star(self, rng, seed_triple, size) -> list:
+        """Triples sharing ``seed_triple``'s subject.
+
+        Distinct properties are preferred: repeated properties fold away
+        under query minimization, shrinking the star below ``size``.
+        """
+        candidates = sorted(
+            self._store.match(s=seed_triple.s), key=lambda t: t.n3()
+        )
+        by_property: dict = {}
+        for triple in candidates:
+            by_property.setdefault(triple.p, []).append(triple)
+        primary = [triples[0] for triples in by_property.values()]
+        rng.shuffle(primary)
+        sample = primary[:size]
+        if len(sample) < size:
+            rest = [t for t in candidates if t not in sample]
+            rng.shuffle(rest)
+            sample.extend(rest[: size - len(sample)])
+        return sample or [seed_triple]
+
+    def _sample_walk(self, rng, seed_triple, size) -> list:
+        """A join walk: follow the object of each triple as the next
+        subject; fall back to star expansion when the walk dead-ends."""
+        walk = [seed_triple]
+        current = seed_triple
+        while len(walk) < size:
+            successors = sorted(
+                self._store.match(s=current.o), key=lambda t: t.n3()
+            )
+            successors = [t for t in successors if t not in walk]
+            if not successors:
+                siblings = sorted(
+                    self._store.match(s=current.s), key=lambda t: t.n3()
+                )
+                siblings = [t for t in siblings if t not in walk]
+                if not siblings:
+                    break
+                current = siblings[rng.randrange(len(siblings))]
+                walk.append(current)
+                continue
+            current = successors[rng.randrange(len(successors))]
+            walk.append(current)
+        return walk
+
+    def _abstract(self, rng, triples, constant_probability) -> list[Atom]:
+        """Replace data terms by variables, consistently per term.
+
+        Properties stay constant (the typical RDF pattern); subjects
+        always become variables; objects become variables unless kept as
+        selection constants.
+        """
+        mapping: dict[Term, Variable] = {}
+        counter = [0]
+        # Terms serving as a join link (subject anywhere in the sample)
+        # must become variables everywhere, or the join would be lost and
+        # the query could disconnect.
+        subjects = {triple.s for triple in triples}
+
+        def var_for(term: Term) -> Variable:
+            if term not in mapping:
+                mapping[term] = Variable(f"X{counter[0]}")
+                counter[0] += 1
+            return mapping[term]
+
+        atoms = []
+        for triple in triples:
+            subject = var_for(triple.s)
+            keep_constant = (
+                triple.o not in subjects
+                and triple.o not in mapping
+                and rng.random() <= constant_probability
+            )
+            if keep_constant:
+                obj: Variable | Term = triple.o
+            else:
+                obj = var_for(triple.o)
+            atoms.append(Atom(subject, triple.p, obj))
+        return list(dict.fromkeys(atoms))
+
+
+def _close_over_head(
+    atoms: list[Atom], head_size: int, name: str
+) -> ConjunctiveQuery:
+    """Pick the head: the first and last variables by occurrence order."""
+    ordered: list[Variable] = []
+    for atom in atoms:
+        for term in atom:
+            if isinstance(term, Variable) and term not in ordered:
+                ordered.append(term)
+    if not ordered:
+        raise ValueError("generated query has no variables")
+    if head_size >= len(ordered):
+        head = tuple(ordered)
+    elif head_size == 1:
+        head = (ordered[0],)
+    else:
+        head = tuple([ordered[0], ordered[-1]] + ordered[1 : head_size - 1])
+    return ConjunctiveQuery(head, tuple(atoms), name=name)

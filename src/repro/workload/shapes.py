@@ -1,0 +1,204 @@
+"""Query shapes used in the paper's experiments (Sections 6.2 and 6.4).
+
+* **star** — all atoms share one subject variable: the query graph is a
+  clique, the hardest case for the search (most VB/JC opportunities);
+* **chain** — atoms form a path, the "average difficulty" case;
+* **cycle** — a chain closed back on its first variable;
+* **random sparse / random dense** — atoms connect random variable
+  pairs, with few or many edges per variable;
+* **mixed** — a blend of all of the above within one workload.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+
+from repro.query.cq import Atom, ConjunctiveQuery, Variable
+from repro.rdf.terms import URI
+
+
+class QueryShape(Enum):
+    """The workload shapes of Figure 6."""
+
+    STAR = "star"
+    CHAIN = "chain"
+    CYCLE = "cycle"
+    RANDOM_SPARSE = "random-sparse"
+    RANDOM_DENSE = "random-dense"
+    MIXED = "mixed"
+
+
+def _variable(index: int) -> Variable:
+    return Variable(f"X{index}")
+
+
+def build_star(
+    rng: random.Random,
+    atom_count: int,
+    properties: list[URI],
+    objects: list[URI],
+    constant_probability: float,
+) -> list[Atom]:
+    """Atoms ``t(X0, p_i, o_i)`` around a shared center variable.
+
+    Properties are sampled without replacement when the pool allows:
+    repeating a property in a star makes the more general atom redundant
+    (it folds onto the more specific one), and the paper assumes minimal
+    queries of the requested size.
+    """
+    center = _variable(0)
+    if len(properties) >= atom_count:
+        chosen = rng.sample(properties, atom_count)
+    else:
+        chosen = [rng.choice(properties) for _ in range(atom_count)]
+    atoms = []
+    for index in range(atom_count):
+        prop = chosen[index]
+        if rng.random() < constant_probability:
+            obj = rng.choice(objects)
+        else:
+            obj = _variable(index + 1)
+        atoms.append(Atom(center, prop, obj))
+    return atoms
+
+
+def build_chain(
+    rng: random.Random,
+    atom_count: int,
+    properties: list[URI],
+    objects: list[URI],
+    constant_probability: float,
+) -> list[Atom]:
+    """Atoms ``t(X_i, p_i, X_{i+1})``, optionally ending at a constant."""
+    atoms = []
+    for index in range(atom_count):
+        subject = _variable(index)
+        prop = rng.choice(properties)
+        is_last = index == atom_count - 1
+        if is_last and rng.random() < constant_probability:
+            obj: Variable | URI = rng.choice(objects)
+        else:
+            obj = _variable(index + 1)
+        atoms.append(Atom(subject, prop, obj))
+    return atoms
+
+
+def build_cycle(
+    rng: random.Random,
+    atom_count: int,
+    properties: list[URI],
+    objects: list[URI],
+    constant_probability: float,
+) -> list[Atom]:
+    """A chain whose last atom closes back on the first variable."""
+    atoms = build_chain(rng, atom_count, properties, objects, 0.0)
+    last = atoms[-1]
+    atoms[-1] = Atom(last.s, last.p, _variable(0))
+    return atoms
+
+
+def build_random(
+    rng: random.Random,
+    atom_count: int,
+    properties: list[URI],
+    objects: list[URI],
+    constant_probability: float,
+    dense: bool,
+) -> list[Atom]:
+    """Random-graph queries.
+
+    Sparse graphs spread atoms over ~one variable per atom (tree-like);
+    dense graphs reuse a small variable pool so most variables join many
+    atoms. A spanning structure keeps the query connected (the model
+    excludes Cartesian products).
+    """
+    variable_count = max(2, atom_count // 3 + 1) if dense else atom_count + 1
+    variables = [_variable(i) for i in range(variable_count)]
+    atoms = []
+    connected = {0}
+    for index in range(atom_count):
+        if index < variable_count - 1:
+            # Spanning phase: attach a new variable to a connected one.
+            subject = variables[rng.choice(sorted(connected))]
+            obj_var = variables[index + 1]
+            connected.add(index + 1)
+        else:
+            subject = variables[rng.randrange(variable_count)]
+            obj_var = variables[rng.randrange(variable_count)]
+        prop = rng.choice(properties)
+        if rng.random() < constant_probability:
+            obj: Variable | URI = rng.choice(objects)
+            # Keep connectivity: if the object was the joining link,
+            # reuse the subject from the connected part (already done).
+        else:
+            obj = obj_var
+        atoms.append(Atom(subject, prop, obj))
+    return _stitch_connected(atoms)
+
+
+def _stitch_connected(atoms: list[Atom]) -> list[Atom]:
+    """Merge join-graph components by renaming one variable of each later
+    component onto an anchor variable of the first, preserving the
+    internal joins of every component."""
+    while True:
+        query = ConjunctiveQuery((), tuple(atoms))
+        components = query.connected_components()
+        if len(components) == 1:
+            return atoms
+        anchor = _first_variable(atoms, components[0])
+        victim = _first_variable(atoms, components[1])
+        if anchor is None or victim is None:
+            # A component without variables cannot be stitched by
+            # renaming; fall back to replacing its subject.
+            index = components[1][0]
+            replacement = anchor or Variable("X0")
+            atoms[index] = Atom(replacement, atoms[index].p, atoms[index].o)
+            continue
+        mapping = {victim: anchor}
+        for index in components[1]:
+            atoms[index] = atoms[index].substitute(mapping)
+
+
+def _first_variable(atoms: list[Atom], indices) -> Variable | None:
+    for index in indices:
+        for term in atoms[index]:
+            if isinstance(term, Variable):
+                return term
+    return None
+
+
+def build_shape(
+    shape: QueryShape,
+    rng: random.Random,
+    atom_count: int,
+    properties: list[URI],
+    objects: list[URI],
+    constant_probability: float,
+) -> list[Atom]:
+    """Dispatch on shape; MIXED picks one concrete shape at random."""
+    if shape is QueryShape.MIXED:
+        shape = rng.choice(
+            [
+                QueryShape.STAR,
+                QueryShape.CHAIN,
+                QueryShape.CYCLE,
+                QueryShape.RANDOM_SPARSE,
+                QueryShape.RANDOM_DENSE,
+            ]
+        )
+    if shape is QueryShape.STAR:
+        return build_star(rng, atom_count, properties, objects, constant_probability)
+    if shape is QueryShape.CHAIN:
+        return build_chain(rng, atom_count, properties, objects, constant_probability)
+    if shape is QueryShape.CYCLE:
+        return build_cycle(rng, atom_count, properties, objects, constant_probability)
+    if shape is QueryShape.RANDOM_SPARSE:
+        return build_random(
+            rng, atom_count, properties, objects, constant_probability, dense=False
+        )
+    if shape is QueryShape.RANDOM_DENSE:
+        return build_random(
+            rng, atom_count, properties, objects, constant_probability, dense=True
+        )
+    raise ValueError(f"unknown shape {shape!r}")

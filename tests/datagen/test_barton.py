@@ -1,0 +1,72 @@
+"""Unit tests for the synthetic Barton-like catalog generator."""
+
+import pytest
+
+from repro.datagen.barton import (
+    BartonConfig,
+    CLASS_NAMES,
+    PROPERTY_NAMES,
+    build_schema,
+    generate_barton,
+)
+from repro.rdf.entailment import saturate
+from repro.rdf.schema import SchemaKind
+from repro.rdf.vocabulary import RDF_TYPE
+
+
+def test_vocabulary_sizes_match_barton():
+    """Section 6.5: 39 classes, 61 properties, 106 RDFS statements."""
+    assert len(CLASS_NAMES) == 39
+    assert len(PROPERTY_NAMES) == 61
+    schema = build_schema(BartonConfig())
+    assert len(schema) == 106
+    assert len(schema.classes) == 39
+
+
+def test_schema_statement_mix():
+    schema = build_schema(BartonConfig())
+    assert len(schema.statements(SchemaKind.SUBCLASS)) == 38
+    assert len(schema.statements(SchemaKind.SUBPROPERTY)) == 15
+    assert len(schema.statements(SchemaKind.DOMAIN)) == 30
+    assert len(schema.statements(SchemaKind.RANGE)) == 23
+
+
+def test_store_respects_target_size():
+    store, _ = generate_barton(BartonConfig(num_triples=3_000, num_entities=500, seed=3))
+    assert len(store) == 3_000
+
+
+def test_generation_is_deterministic():
+    config = BartonConfig(num_triples=1_000, num_entities=200, seed=5)
+    store1, schema1 = generate_barton(config)
+    store2, schema2 = generate_barton(config)
+    assert set(store1) == set(store2)
+    assert schema1.statements() == schema2.statements()
+
+
+def test_different_seeds_differ():
+    store1, _ = generate_barton(BartonConfig(num_triples=1_000, num_entities=200, seed=1))
+    store2, _ = generate_barton(BartonConfig(num_triples=1_000, num_entities=200, seed=2))
+    assert set(store1) != set(store2)
+
+
+def test_data_is_not_saturated(barton_store, barton_schema):
+    """Implicit triples must exist — entailment experiments need them."""
+    saturated = saturate(barton_store, barton_schema)
+    assert len(saturated) > len(barton_store)
+
+
+def test_every_entity_has_one_type(barton_store):
+    typed_entities = {t.s for t in barton_store.match(p=RDF_TYPE)}
+    assert typed_entities  # types are asserted
+    for triple in list(barton_store.match(p=RDF_TYPE))[:50]:
+        # Exactly one most-specific type per entity in raw data.
+        types = list(barton_store.match(s=triple.s, p=RDF_TYPE))
+        assert len(types) == 1
+
+
+def test_property_usage_is_skewed(barton_store):
+    counts = sorted(
+        barton_store.column_value_counts("p").values(), reverse=True
+    )
+    assert counts[0] > counts[-1] * 3, "expected skewed property usage"

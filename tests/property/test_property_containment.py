@@ -1,0 +1,94 @@
+"""Property-based checks of containment, minimization and canonical forms."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.query.containment import (
+    canonical_form,
+    canonical_rename,
+    equivalent,
+    is_contained_in,
+    is_isomorphic,
+    minimize,
+)
+from repro.query.cq import ConjunctiveQuery, Variable
+
+from tests.property import strategies as us
+
+COMMON = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def shuffled_and_renamed(query: ConjunctiveQuery, seed: int) -> ConjunctiveQuery:
+    """A syntactically different but isomorphic copy."""
+    rng = random.Random(seed)
+    variables = sorted(query.variables(), key=lambda v: v.name)
+    fresh = [Variable(f"R{i}") for i in range(len(variables))]
+    rng.shuffle(fresh)
+    mapping = dict(zip(variables, fresh))
+    renamed = query.substitute(mapping)
+    atoms = list(renamed.atoms)
+    rng.shuffle(atoms)
+    return ConjunctiveQuery(renamed.head, tuple(atoms), name=query.name)
+
+
+@COMMON
+@given(query=us.queries(), seed=st.integers(0, 10_000))
+def test_canonical_form_invariant_under_isomorphism(query, seed):
+    other = shuffled_and_renamed(query, seed)
+    assert canonical_form(query) == canonical_form(other)
+    assert is_isomorphic(query, other, match_heads=True)
+
+
+@COMMON
+@given(query=us.queries(), seed=st.integers(0, 10_000))
+def test_canonical_forms_agree_iff_isomorphic(query, seed):
+    other = shuffled_and_renamed(query, seed)
+    assert (canonical_form(query) == canonical_form(other)) == is_isomorphic(
+        query, other, match_heads=True
+    )
+
+
+@COMMON
+@given(query=us.queries())
+def test_minimize_is_equivalent_and_idempotent(query):
+    minimized = minimize(query)
+    assert equivalent(query, minimized)
+    assert len(minimize(minimized)) == len(minimized)
+    assert len(minimized) <= len(query)
+
+
+@COMMON
+@given(query=us.queries())
+def test_containment_is_reflexive(query):
+    assert is_contained_in(query, query)
+
+
+@COMMON
+@given(q1=us.queries(max_atoms=2), q2=us.queries(max_atoms=2))
+def test_containment_is_antisymmetric_up_to_equivalence(q1, q2):
+    if is_contained_in(q1, q2) and is_contained_in(q2, q1):
+        assert equivalent(q1, q2)
+
+
+@COMMON
+@given(query=us.queries())
+def test_canonical_rename_roundtrip(query):
+    renamed = canonical_rename(query)
+    assert canonical_form(renamed) == canonical_form(query)
+    assert equivalent(renamed, query)
+
+
+@COMMON
+@given(query=us.queries())
+def test_adding_an_atom_tightens(query):
+    """q ∧ extra ⊆ q (monotonicity of conjunction)."""
+    extra = query.atoms[0]
+    bigger = ConjunctiveQuery(query.head, query.atoms + (extra,), name="b")
+    assert is_contained_in(bigger, query)
+    assert is_contained_in(query, bigger)  # duplicate atom: still equivalent

@@ -1,0 +1,68 @@
+"""Property-based check: incremental view maintenance always agrees with
+re-materialization from scratch, with and without entailment."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.query.evaluation import evaluate, evaluate_union
+from repro.reformulation.reformulate import reformulate
+from repro.rdf.store import TripleStore
+from repro.selection.maintenance import MaterializedViewSet
+from repro.selection.state import initial_state
+
+from tests.property import strategies as us
+
+COMMON = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON
+@given(
+    initial=us.data_triples(max_size=12),
+    updates=us.data_triples(min_size=1, max_size=8),
+    removal_flags=st.lists(st.booleans(), min_size=8, max_size=8),
+    query=us.connected_queries(max_atoms=2, allow_property_variable=False),
+)
+def test_maintenance_equals_rematerialization(
+    initial, updates, removal_flags, query
+):
+    store = TripleStore()
+    store.add_all(initial)
+    state = initial_state([query.with_name("q")])
+    maintained = MaterializedViewSet(state, store)
+    for triple, remove in zip(updates, removal_flags):
+        if remove:
+            maintained.remove(triple)
+        else:
+            maintained.insert(triple)
+    view = state.views[0]
+    assert maintained.extent(view.name) == evaluate(view, store)
+    assert maintained.answer("q") == evaluate(query, store)
+
+
+@COMMON
+@given(
+    initial=us.data_triples(max_size=10),
+    updates=us.data_triples(min_size=1, max_size=6),
+    removal_flags=st.lists(st.booleans(), min_size=6, max_size=6),
+    schema=us.schemas(max_statements=4),
+    query=us.connected_queries(max_atoms=2, allow_property_variable=False),
+)
+def test_entailment_aware_maintenance(
+    initial, updates, removal_flags, schema, query
+):
+    store = TripleStore()
+    store.add_all(initial)
+    state = initial_state([query.with_name("q")])
+    maintained = MaterializedViewSet(state, store, schema=schema)
+    for triple, remove in zip(updates, removal_flags):
+        if remove:
+            maintained.remove(triple)
+        else:
+            maintained.insert(triple)
+    view = state.views[0]
+    expected = evaluate_union(reformulate(view, schema), store)
+    assert maintained.extent(view.name) == expected

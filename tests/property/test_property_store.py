@@ -1,0 +1,106 @@
+"""Model-based property test: the indexed store vs a plain set of triples."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.query.evaluation import evaluate
+from repro.rdf.store import TripleStore
+
+from tests.property import strategies as us
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON
+@given(
+    additions=us.data_triples(max_size=30),
+    removal_picks=st.lists(st.integers(0, 100), max_size=10),
+)
+def test_store_matches_set_model(additions, removal_picks):
+    """Adds and removes keep every index consistent with a model set."""
+    store = TripleStore()
+    model: set = set()
+    for triple in additions:
+        assert store.add(triple) == (triple not in model)
+        model.add(triple)
+    for pick in removal_picks:
+        if not model:
+            break
+        victim = sorted(model, key=lambda t: t.n3())[pick % len(model)]
+        assert store.remove(victim) is True
+        model.discard(victim)
+    assert set(store) == model
+    assert len(store) == len(model)
+    # Every single-position pattern count agrees with the model.
+    subjects = {t.s for t in model}
+    properties = {t.p for t in model}
+    objects = {t.o for t in model}
+    for s in subjects:
+        assert store.count(s=s) == sum(1 for t in model if t.s == s)
+    for p in properties:
+        assert store.count(p=p) == sum(1 for t in model if t.p == p)
+    for o in objects:
+        assert store.count(o=o) == sum(1 for t in model if t.o == o)
+    # Two-position patterns, sampled.
+    for t in sorted(model, key=lambda t: t.n3())[:5]:
+        assert store.count(s=t.s, p=t.p) == sum(
+            1 for m in model if m.s == t.s and m.p == t.p
+        )
+        assert store.count(p=t.p, o=t.o) == sum(
+            1 for m in model if m.p == t.p and m.o == t.o
+        )
+    # Column distincts.
+    assert store.distinct_values("s") == len(subjects)
+    assert store.distinct_values("p") == len(properties)
+    assert store.distinct_values("o") == len(objects)
+
+
+@COMMON
+@given(store=us.stores(max_size=20), query=us.connected_queries(max_atoms=2))
+def test_evaluation_matches_naive_join(store, query):
+    """The index-backed evaluator agrees with a brute-force join."""
+    answers = evaluate(query, store)
+    brute = brute_force(query, store)
+    assert answers == brute
+
+
+def brute_force(query, store):
+    """Nested-loop evaluation straight from the definition."""
+    from repro.query.cq import Variable
+
+    triples = list(store)
+    results = set()
+
+    def extend(index, binding):
+        if index == len(query.atoms):
+            results.add(
+                tuple(
+                    binding[t] if isinstance(t, Variable) else t
+                    for t in query.head
+                )
+            )
+            return
+        atom = query.atoms[index]
+        for triple in triples:
+            new_binding = dict(binding)
+            ok = True
+            for term, value in zip(atom, triple):
+                if isinstance(term, Variable):
+                    if term in new_binding:
+                        if new_binding[term] != value:
+                            ok = False
+                            break
+                    else:
+                        new_binding[term] = value
+                elif term != value:
+                    ok = False
+                    break
+            if ok:
+                extend(index + 1, new_binding)
+
+    extend(0, {})
+    return results

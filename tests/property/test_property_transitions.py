@@ -1,0 +1,106 @@
+"""Property-based soundness of the transitions: any random sequence of
+applicable transitions preserves the answers of every workload query when
+the rewritings are executed over materialized views."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.query.evaluation import evaluate
+from repro.selection.costs import CostModel
+from repro.selection.materialize import answer_query, materialize_views
+from repro.selection.state import ViewNamer, initial_state
+from repro.selection.statistics import StoreStatistics
+from repro.selection.transitions import TransitionEnumerator, TransitionKind
+
+from tests.property import strategies as us
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON
+@given(
+    store=us.stores(max_size=20),
+    q1=us.connected_queries(max_atoms=3, allow_property_variable=False),
+    q2=us.connected_queries(max_atoms=2, allow_property_variable=False),
+    picks=st.lists(st.integers(0, 1_000), min_size=1, max_size=5),
+)
+def test_random_transition_sequences_are_sound(store, q1, q2, picks):
+    queries = [q1.with_name("q1"), q2.with_name("q2")]
+    namer = ViewNamer()
+    enumerator = TransitionEnumerator(namer, vb_mode="overlapping")
+    state = initial_state(queries, namer)
+    for pick in picks:
+        transitions = list(enumerator.transitions(state))
+        if not transitions:
+            break
+        state = transitions[pick % len(transitions)].result
+    extents = materialize_views(state, store)
+    for query in queries:
+        assert answer_query(state, query.name, extents) == evaluate(query, store)
+
+
+@COMMON
+@given(
+    q1=us.connected_queries(max_atoms=3, allow_property_variable=False),
+    picks=st.lists(st.integers(0, 1_000), min_size=1, max_size=4),
+)
+def test_transitions_preserve_state_invariants(q1, picks):
+    """All views keep variable-only duplicate-free heads and stay free of
+    Cartesian products (connected bodies)."""
+    namer = ViewNamer()
+    enumerator = TransitionEnumerator(namer, vb_mode="overlapping")
+    state = initial_state([q1.with_name("q1")], namer)
+    for pick in picks:
+        transitions = list(enumerator.transitions(state))
+        if not transitions:
+            break
+        state = transitions[pick % len(transitions)].result
+        for view in state.views:
+            assert view.is_connected(), f"Cartesian product in {view}"
+            head_vars = set(view.head)
+            assert len(head_vars) == len(view.head)
+
+
+@COMMON
+@given(
+    store=us.stores(max_size=15),
+    q1=us.connected_queries(max_atoms=2, allow_property_variable=False),
+)
+def test_vf_of_duplicated_query_is_sound(store, q1):
+    """Fusing the views of two renamed copies of one query preserves both
+    queries' answers (Definition 3.5 end-to-end)."""
+    copy = q1.rename_apart(q1.variables()).with_name("q2")
+    queries = [q1.with_name("q1"), copy]
+    namer = ViewNamer()
+    enumerator = TransitionEnumerator(namer)
+    state = initial_state(queries, namer)
+    pairs = enumerator.vf_candidates(state)
+    assert pairs, "renamed copies must be fusable"
+    fused = enumerator.apply_vf(state, *pairs[0]).result
+    assert len(fused.views) == 1
+    extents = materialize_views(fused, store)
+    for query in queries:
+        assert answer_query(fused, query.name, extents) == evaluate(query, store)
+
+
+@COMMON
+@given(q1=us.connected_queries(max_atoms=3, allow_property_variable=False))
+def test_sc_increases_and_vf_never_increases_cost(q1):
+    """The Section 3.3 'impact of transitions' claims, on random inputs."""
+    namer = ViewNamer()
+    enumerator = TransitionEnumerator(namer)
+    model = CostModel(_fixed_stats())
+    state = initial_state([q1.with_name("q1")], namer)
+    base = model.total_cost(state)
+    for transition in enumerator.transitions(state, [TransitionKind.SC]):
+        assert model.total_cost(transition.result) >= base - 1e-9
+
+
+def _fixed_stats():
+    from repro.selection.statistics import FixedStatistics
+
+    return FixedStatistics(total=10_000, selectivity=0.05)

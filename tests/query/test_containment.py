@@ -1,0 +1,167 @@
+"""Unit tests for containment, minimization, isomorphism and canonical
+forms — the Chandra–Merlin machinery View Fusion depends on."""
+
+from repro.query.cq import Atom, ConjunctiveQuery, Variable
+from repro.query.containment import (
+    canonical_form,
+    canonical_rename,
+    containment_mapping,
+    equivalent,
+    find_isomorphism,
+    is_contained_in,
+    is_isomorphic,
+    is_minimal,
+    minimize,
+)
+from repro.rdf.terms import URI
+
+X, Y, Z, W, V = (Variable(n) for n in "XYZWV")
+P, Q, C = URI("http://p"), URI("http://q"), URI("http://c")
+
+
+def cq(head, atoms, name="q"):
+    return ConjunctiveQuery(tuple(head), tuple(atoms), name=name)
+
+
+class TestContainment:
+    def test_identity_mapping(self):
+        q = cq([X], [Atom(X, P, Y)])
+        assert containment_mapping(q, q) is not None
+
+    def test_more_specific_contained_in_more_general(self):
+        general = cq([X], [Atom(X, P, Y)])
+        specific = cq([X], [Atom(X, P, C)])
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_extra_atom_means_contained(self):
+        small = cq([X], [Atom(X, P, Y)])
+        big = cq([X], [Atom(X, P, Y), Atom(X, Q, Z)])
+        assert is_contained_in(big, small)
+        assert not is_contained_in(small, big)
+
+    def test_head_positions_must_correspond(self):
+        q1 = cq([X, Y], [Atom(X, P, Y)])
+        q2 = cq([Y, X], [Atom(X, P, Y)])  # swapped head
+        assert containment_mapping(q1, q1) is not None
+        # q2's head maps (Y,X) onto (X,Y): needs the atom reversed, absent.
+        assert not is_contained_in(q1, q2) or not is_contained_in(q2, q1)
+
+    def test_arity_mismatch(self):
+        q1 = cq([X], [Atom(X, P, Y)])
+        q2 = cq([X, Y], [Atom(X, P, Y)])
+        assert containment_mapping(q1, q2) is None
+
+    def test_equivalence_up_to_renaming(self):
+        q1 = cq([X], [Atom(X, P, Y), Atom(Y, Q, Z)])
+        q2 = cq([W], [Atom(W, P, V), Atom(V, Q, X)])
+        assert equivalent(q1, q2)
+
+    def test_constant_head_containment(self):
+        q1 = cq([X, C], [Atom(X, P, C)])
+        q2 = cq([X, C], [Atom(X, P, C)])
+        assert equivalent(q1, q2)
+
+
+class TestMinimization:
+    def test_redundant_general_atom_removed(self):
+        # t(X,P,Y) is subsumed by t(X,P,C) via Y -> C (Y not in head).
+        query = cq([X], [Atom(X, P, C), Atom(X, P, Y)])
+        minimized = minimize(query)
+        assert len(minimized) == 1
+        assert equivalent(minimized, query)
+
+    def test_minimal_query_untouched(self):
+        query = cq([X, Z], [Atom(X, P, Y), Atom(Y, Q, Z)])
+        assert len(minimize(query)) == 2
+        assert is_minimal(query)
+
+    def test_head_variable_protects_atom(self):
+        # Y is in the head, so t(X,P,Y) cannot fold onto t(X,P,C).
+        query = cq([X, Y], [Atom(X, P, C), Atom(X, P, Y)])
+        assert len(minimize(query)) == 2
+
+    def test_duplicate_atoms_collapse(self):
+        query = cq([X], [Atom(X, P, Y), Atom(X, P, Y)])
+        assert len(minimize(query)) == 1
+
+    def test_chain_with_shortcut(self):
+        # A 2-chain plus a general shortcut chain that folds onto it.
+        query = cq(
+            [X, Z],
+            [Atom(X, P, Y), Atom(Y, P, Z), Atom(X, P, W), Atom(W, P, Z)],
+        )
+        minimized = minimize(query)
+        assert len(minimized) == 2
+        assert equivalent(minimized, query)
+
+
+class TestIsomorphism:
+    def test_renamed_bodies_isomorphic(self):
+        q1 = cq([X], [Atom(X, P, Y), Atom(Y, Q, C)])
+        q2 = cq([W], [Atom(W, P, V), Atom(V, Q, C)])
+        mapping = find_isomorphism(q1, q2)
+        assert mapping == {W: X, V: Y}
+
+    def test_different_constants_not_isomorphic(self):
+        q1 = cq([X], [Atom(X, P, C)])
+        q2 = cq([X], [Atom(X, Q, C)])
+        assert not is_isomorphic(q1, q2)
+
+    def test_homomorphic_but_not_isomorphic(self):
+        # q2 folds onto q1 but has more atoms: not isomorphic.
+        q1 = cq([X], [Atom(X, P, Y)])
+        q2 = cq([X], [Atom(X, P, Y), Atom(X, P, Z)])
+        assert not is_isomorphic(q1, q2)
+
+    def test_variable_to_constant_never_isomorphic(self):
+        q1 = cq([X], [Atom(X, P, C)])
+        q2 = cq([X], [Atom(X, P, Y)])
+        assert not is_isomorphic(q1, q2)
+        assert not is_isomorphic(q2, q1)
+
+    def test_match_heads_option(self):
+        q1 = cq([X, Y], [Atom(X, P, Y)])
+        q2 = cq([V, W], [Atom(V, P, W)])
+        q3 = cq([W, V], [Atom(V, P, W)])  # head reversed
+        assert is_isomorphic(q1, q2, match_heads=True)
+        assert is_isomorphic(q1, q3)  # bodies only
+        assert not is_isomorphic(q1, q3, match_heads=True)
+
+
+class TestCanonicalForm:
+    def test_invariant_under_renaming(self):
+        q1 = cq([X, Z], [Atom(X, P, Y), Atom(Y, Q, Z)])
+        q2 = q1.substitute({X: W, Y: V, Z: X})
+        assert canonical_form(q1) == canonical_form(q2)
+
+    def test_invariant_under_atom_reordering(self):
+        q1 = cq([X], [Atom(X, P, Y), Atom(Y, Q, C)])
+        q2 = cq([X], [Atom(Y, Q, C), Atom(X, P, Y)])
+        assert canonical_form(q1) == canonical_form(q2)
+
+    def test_head_distinguishes(self):
+        q1 = cq([X], [Atom(X, P, Y)])
+        q2 = cq([Y], [Atom(X, P, Y)])
+        assert canonical_form(q1) != canonical_form(q2)
+        assert canonical_form(q1, include_head=False) == canonical_form(
+            q2, include_head=False
+        )
+
+    def test_different_structures_differ(self):
+        chain = cq([X], [Atom(X, P, Y), Atom(Y, P, Z)])
+        star = cq([X], [Atom(X, P, Y), Atom(X, P, Z)])
+        assert canonical_form(chain) != canonical_form(star)
+
+    def test_symmetric_star_is_fast_and_stable(self):
+        atoms = [Atom(X, P, Variable(f"O{i}")) for i in range(8)]
+        q1 = cq([X], atoms)
+        q2 = cq([X], list(reversed(atoms)))
+        assert canonical_form(q1) == canonical_form(q2)
+
+    def test_canonical_rename_is_equivalent_and_stable(self):
+        q = cq([X, Z], [Atom(X, P, Y), Atom(Y, Q, Z)])
+        renamed = canonical_rename(q)
+        assert equivalent(q, renamed)
+        assert canonical_form(q) == canonical_form(renamed)
+        assert canonical_rename(renamed) == renamed

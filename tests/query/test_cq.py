@@ -1,0 +1,154 @@
+"""Unit tests for the conjunctive-query model."""
+
+import pytest
+
+from repro.query.cq import (
+    Atom,
+    ConjunctiveQuery,
+    UnionQuery,
+    Variable,
+    fresh_variable,
+)
+from repro.rdf.terms import Literal, URI
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+P = URI("http://p")
+Q = URI("http://q")
+C = URI("http://c")
+
+
+class TestAtom:
+    def test_terms_and_iteration(self):
+        atom = Atom(X, P, C)
+        assert atom.terms() == (X, P, C)
+        assert list(atom) == [X, P, C]
+
+    def test_term_at(self):
+        atom = Atom(X, P, Y)
+        assert atom.term_at("s") == X
+        assert atom.term_at("p") == P
+        assert atom.term_at("o") == Y
+
+    def test_variables_and_constants(self):
+        atom = Atom(X, P, C)
+        assert atom.variables() == {X}
+        assert atom.constants() == {P, C}
+
+    def test_substitute(self):
+        atom = Atom(X, P, Y).substitute({X: Z, Y: C})
+        assert atom == Atom(Z, P, C)
+
+    def test_replace_at(self):
+        assert Atom(X, P, Y).replace_at("o", C) == Atom(X, P, C)
+
+    def test_invalid_term_rejected(self):
+        with pytest.raises(TypeError):
+            Atom("X", P, Y)  # plain string is not a term
+
+
+class TestConjunctiveQuery:
+    def make_chain(self):
+        return ConjunctiveQuery(
+            (X, Z), (Atom(X, P, Y), Atom(Y, Q, Z)), name="chain"
+        )
+
+    def test_len_counts_atoms(self):
+        assert len(self.make_chain()) == 2
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery((W,), (Atom(X, P, Y),))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery((), ())
+
+    def test_variable_partition(self):
+        query = self.make_chain()
+        assert query.variables() == {X, Y, Z}
+        assert query.head_variables() == {X, Z}
+        assert query.existential_variables() == {Y}
+
+    def test_constants(self):
+        query = ConjunctiveQuery((X,), (Atom(X, P, C),))
+        assert query.constants() == {P, C}
+
+    def test_constant_occurrences(self):
+        query = ConjunctiveQuery((X,), (Atom(X, P, C), Atom(X, P, Y)))
+        occurrences = query.constant_occurrences()
+        assert (0, "p", P) in occurrences
+        assert (0, "o", C) in occurrences
+        assert (1, "p", P) in occurrences
+        assert len(occurrences) == 3
+
+    def test_join_graph_edges(self):
+        query = self.make_chain()
+        assert query.join_graph_edges() == [(0, "o", 1, "s")]
+
+    def test_join_edges_multi(self):
+        # Two atoms sharing X twice: s=s and s=o.
+        query = ConjunctiveQuery((X,), (Atom(X, P, Y), Atom(X, Q, X)))
+        edges = query.join_graph_edges()
+        assert (0, "s", 1, "s") in edges
+        assert (0, "s", 1, "o") in edges
+
+    def test_connectivity(self):
+        assert self.make_chain().is_connected()
+        cartesian = ConjunctiveQuery((X, Z), (Atom(X, P, Y), Atom(Z, Q, W)))
+        assert not cartesian.is_connected()
+        assert len(cartesian.connected_components()) == 2
+
+    def test_single_atom_is_connected(self):
+        assert ConjunctiveQuery((X,), (Atom(X, P, Y),)).is_connected()
+
+    def test_substitute_hits_head_and_body(self):
+        query = self.make_chain().substitute({X: W})
+        assert query.head == (W, Z)
+        assert query.atoms[0] == Atom(W, P, Y)
+
+    def test_replace_atom(self):
+        query = self.make_chain().replace_atom(0, Atom(X, Q, Y))
+        assert query.atoms[0] == Atom(X, Q, Y)
+        assert query.atoms[1] == Atom(Y, Q, Z)
+
+    def test_name_does_not_affect_equality(self):
+        q1 = self.make_chain()
+        q2 = q1.with_name("other")
+        assert q1 == q2
+
+    def test_rename_apart(self):
+        query = self.make_chain()
+        renamed = query.rename_apart({X, Y})
+        assert renamed.variables().isdisjoint({X, Y}) or Z in renamed.variables()
+        assert X not in renamed.variables()
+        assert Y not in renamed.variables()
+
+    def test_head_constants_allowed(self):
+        query = ConjunctiveQuery((X, C), (Atom(X, P, C),))
+        assert query.head == (X, C)
+
+
+class TestUnionQuery:
+    def test_arity_must_agree(self):
+        q1 = ConjunctiveQuery((X,), (Atom(X, P, Y),))
+        q2 = ConjunctiveQuery((X, Y), (Atom(X, P, Y),))
+        with pytest.raises(ValueError):
+            UnionQuery((q1, q2))
+
+    def test_counters(self):
+        q1 = ConjunctiveQuery((X,), (Atom(X, P, C),))
+        q2 = ConjunctiveQuery((Y,), (Atom(Y, P, C), Atom(Y, Q, Z)))
+        union = UnionQuery((q1, q2))
+        assert len(union) == 2
+        assert union.arity == 1
+        assert union.total_atoms() == 3
+        assert union.total_constants() == 5
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(ValueError):
+            UnionQuery(())
+
+
+def test_fresh_variables_never_repeat():
+    names = {fresh_variable().name for _ in range(100)}
+    assert len(names) == 100

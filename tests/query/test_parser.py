@@ -1,0 +1,112 @@
+"""Unit tests for the datalog-style query parser."""
+
+import pytest
+
+from repro.query.cq import Variable
+from repro.query.parser import QuerySyntaxError, parse_queries, parse_query
+from repro.rdf.terms import Literal, URI
+from repro.rdf.vocabulary import RDF_TYPE, RDFS_SUBCLASSOF
+
+
+class TestTermForms:
+    def test_uppercase_token_is_variable(self):
+        query = parse_query("q(X) :- t(X, p, Y)")
+        assert query.head == (Variable("X"),)
+        assert query.atoms[0].o == Variable("Y")
+
+    def test_question_mark_variable(self):
+        query = parse_query("q(?x) :- t(?x, p, ?y)")
+        assert query.head == (Variable("x"),)
+
+    def test_lowercase_token_is_namespaced_uri(self):
+        query = parse_query("q(X) :- t(X, hasPainted, starryNight)")
+        assert query.atoms[0].p == URI("http://example.org/hasPainted")
+        assert query.atoms[0].o == URI("http://example.org/starryNight")
+
+    def test_angle_bracket_uri(self):
+        query = parse_query("q(X) :- t(X, <http://other/p>, Y)")
+        assert query.atoms[0].p == URI("http://other/p")
+
+    def test_rdf_prefix(self):
+        query = parse_query("q(X) :- t(X, rdf:type, painting)")
+        assert query.atoms[0].p == RDF_TYPE
+
+    def test_rdfs_prefix(self):
+        query = parse_query("q(X) :- t(X, rdfs:subClassOf, Y)")
+        assert query.atoms[0].p == RDFS_SUBCLASSOF
+
+    def test_custom_prefix(self):
+        query = parse_query(
+            "q(X) :- t(X, dc:title, Y)", prefixes={"dc": "http://purl.org/dc/"}
+        )
+        assert query.atoms[0].p == URI("http://purl.org/dc/title")
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q(X) :- t(X, nope:title, Y)")
+
+    def test_quoted_literal(self):
+        query = parse_query('q(X) :- t(X, title, "Starry Night")')
+        assert query.atoms[0].o == Literal("Starry Night")
+
+    def test_blank_node_becomes_shared_variable(self):
+        query = parse_query("q(X) :- t(X, p, _:b), t(_:b, q, Y)")
+        assert query.atoms[0].o == query.atoms[1].s
+        assert isinstance(query.atoms[0].o, Variable)
+
+    def test_custom_namespace(self):
+        query = parse_query("q(X) :- t(X, p, c)", namespace="http://my/")
+        assert query.atoms[0].p == URI("http://my/p")
+
+
+class TestQueryStructure:
+    def test_running_example(self):
+        query = parse_query(
+            "q1(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), "
+            "t(Y, hasPainted, Z)"
+        )
+        assert query.name == "q1"
+        assert len(query) == 3
+        assert query.head == (Variable("X"), Variable("Z"))
+
+    def test_missing_body_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q(X) :- ")
+
+    def test_not_a_query_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT * FROM t")
+
+    def test_wrong_atom_arity_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q(X) :- t(X, p)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q(X) :- t(X, p, Y) extra stuff")
+
+    def test_unsafe_query_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("q(W) :- t(X, p, Y)")
+
+
+class TestWorkloadParsing:
+    def test_multiple_queries(self):
+        text = """
+        # workload
+        q1(X) :- t(X, p, c)
+        q2(X, Y) :- t(X, p, Y), t(Y, q, d)
+        """
+        queries = parse_queries(text)
+        assert [q.name for q in queries] == ["q1", "q2"]
+
+    def test_multiline_query(self):
+        text = """
+        q1(X, Z) :- t(X, hasPainted, starryNight),
+                    t(X, isParentOf, Y),
+                    t(Y, hasPainted, Z)
+        q2(A) :- t(A, p, c)
+        """
+        queries = parse_queries(text)
+        assert len(queries) == 2
+        assert len(queries[0]) == 3

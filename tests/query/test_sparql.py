@@ -1,0 +1,105 @@
+"""Unit tests for the SPARQL BGP parser."""
+
+import pytest
+
+from repro.query.cq import Variable
+from repro.query.sparql import SparqlSyntaxError, parse_sparql_bgp
+from repro.rdf.terms import Literal, URI
+from repro.rdf.vocabulary import RDF_TYPE
+
+
+def test_basic_select():
+    query = parse_sparql_bgp(
+        """
+        PREFIX ex: <http://example.org/>
+        SELECT ?painter ?work WHERE {
+            ?painter ex:hasPainted ?work .
+            ?work ex:isLocatedIn ex:moma .
+        }
+        """
+    )
+    assert query.head == (Variable("painter"), Variable("work"))
+    assert len(query) == 2
+    assert query.atoms[1].o == URI("http://example.org/moma")
+
+
+def test_a_keyword_is_rdf_type():
+    query = parse_sparql_bgp(
+        "PREFIX ex: <http://e/> SELECT ?x WHERE { ?x a ex:painter . }"
+    )
+    assert query.atoms[0].p == RDF_TYPE
+
+
+def test_star_selects_all_variables_in_order():
+    query = parse_sparql_bgp(
+        "PREFIX ex: <http://e/> SELECT * WHERE { ?a ex:p ?b . ?b ex:q ?c . }"
+    )
+    assert query.head == (Variable("a"), Variable("b"), Variable("c"))
+
+
+def test_literal_object():
+    query = parse_sparql_bgp(
+        'PREFIX ex: <http://e/> SELECT ?x WHERE { ?x ex:title "Mona Lisa" . }'
+    )
+    assert query.atoms[0].o == Literal("Mona Lisa")
+
+
+def test_blank_node_is_existential_variable():
+    query = parse_sparql_bgp(
+        "PREFIX ex: <http://e/> SELECT ?x WHERE { ?x ex:p _:b . _:b ex:q ?y . }"
+    )
+    assert query.atoms[0].o == query.atoms[1].s
+    assert query.atoms[0].o not in query.head
+
+
+def test_full_uris_without_prefix():
+    query = parse_sparql_bgp(
+        "SELECT ?x WHERE { ?x <http://e/p> <http://e/c> . }"
+    )
+    assert query.atoms[0].p == URI("http://e/p")
+
+
+def test_rdf_prefix_is_predeclared():
+    query = parse_sparql_bgp("SELECT ?x WHERE { ?x rdf:type ?c . }")
+    assert query.atoms[0].p == RDF_TYPE
+
+
+def test_undeclared_prefix_rejected():
+    with pytest.raises(SparqlSyntaxError):
+        parse_sparql_bgp("SELECT ?x WHERE { ?x nope:p ?y . }")
+
+
+def test_empty_pattern_rejected():
+    with pytest.raises(SparqlSyntaxError):
+        parse_sparql_bgp("SELECT ?x WHERE { }")
+
+
+def test_missing_where_rejected():
+    with pytest.raises(SparqlSyntaxError):
+        parse_sparql_bgp("SELECT ?x FROM somewhere")
+
+
+def test_malformed_pattern_rejected():
+    with pytest.raises(SparqlSyntaxError):
+        parse_sparql_bgp("SELECT ?x WHERE { ?x ?p . }")
+
+
+def test_agrees_with_datalog_parser(museum_store):
+    from repro.query.evaluation import evaluate
+    from repro.query.parser import parse_query
+
+    sparql = parse_sparql_bgp(
+        """
+        PREFIX ex: <http://example.org/>
+        SELECT ?x ?z WHERE {
+            ?x ex:hasPainted ex:starryNight .
+            ?x ex:isParentOf ?y .
+            ?y ex:hasPainted ?z .
+        }
+        """
+    )
+    datalog = parse_query(
+        "q1(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), "
+        "t(Y, hasPainted, Z)"
+    )
+    assert evaluate(sparql, museum_store) == evaluate(datalog, museum_store)

@@ -1,0 +1,73 @@
+"""Unit tests for dictionary encoding."""
+
+import pytest
+
+from repro.rdf.dictionary import Dictionary
+from repro.rdf.terms import Literal, URI
+
+
+def test_encode_assigns_dense_codes():
+    d = Dictionary()
+    assert d.encode(URI("http://a")) == 0
+    assert d.encode(URI("http://b")) == 1
+    assert d.encode(Literal("x")) == 2
+    assert len(d) == 3
+
+
+def test_encode_is_idempotent():
+    d = Dictionary()
+    code = d.encode(URI("http://a"))
+    assert d.encode(URI("http://a")) == code
+    assert len(d) == 1
+
+
+def test_decode_roundtrip():
+    d = Dictionary()
+    terms = [URI("http://a"), Literal("x", language="en"), URI("http://b")]
+    codes = [d.encode(t) for t in terms]
+    assert [d.decode(c) for c in codes] == terms
+
+
+def test_decode_unknown_code_raises():
+    d = Dictionary()
+    with pytest.raises(KeyError):
+        d.decode(0)
+    d.encode(URI("http://a"))
+    with pytest.raises(KeyError):
+        d.decode(5)
+
+
+def test_lookup_returns_none_for_unknown():
+    d = Dictionary()
+    assert d.lookup(URI("http://a")) is None
+    d.encode(URI("http://a"))
+    assert d.lookup(URI("http://a")) == 0
+
+
+def test_contains():
+    d = Dictionary()
+    assert URI("http://a") not in d
+    d.encode(URI("http://a"))
+    assert URI("http://a") in d
+
+
+def test_non_term_rejected():
+    d = Dictionary()
+    with pytest.raises(TypeError):
+        d.encode("not-a-term")
+
+
+def test_average_term_size_tracks_rendered_lengths():
+    d = Dictionary()
+    assert d.average_term_size() == pytest.approx(8.0)  # nominal default
+    d.encode(URI("http://abcd"))  # n3: <http://abcd> = 13 chars
+    assert d.average_term_size() == pytest.approx(13.0)
+    d.encode(Literal("xyz"))  # n3: "xyz" = 5 chars
+    assert d.average_term_size() == pytest.approx(9.0)
+
+
+def test_distinct_literals_by_language_get_distinct_codes():
+    d = Dictionary()
+    c1 = d.encode(Literal("x"))
+    c2 = d.encode(Literal("x", language="en"))
+    assert c1 != c2

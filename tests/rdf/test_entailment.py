@@ -1,0 +1,104 @@
+"""Unit tests for RDFS saturation (Section 4.1's entailment examples)."""
+
+from repro.rdf.entailment import implicit_triples, saturate, saturation_triples
+from repro.rdf.schema import RDFSchema
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.triples import Triple
+from repro.rdf.vocabulary import RDF_TYPE
+
+
+def u(x: str) -> URI:
+    return URI(f"http://t/{x}")
+
+
+def art_schema() -> RDFSchema:
+    """The exact Section 4.1 example schema."""
+    schema = RDFSchema()
+    schema.add_subclass(u("painting"), u("masterpiece"))
+    schema.add_subclass(u("masterpiece"), u("work"))
+    schema.add_subproperty(u("hasPainted"), u("hasCreated"))
+    schema.add_range(u("hasPainted"), u("painting"))
+    schema.add_range(u("hasCreated"), u("masterpiece"))
+    return schema
+
+
+class TestPaperExample:
+    def test_section_41_value_propagation(self):
+        """(u, hasPainted, _:b) entails hasCreated, and the three types."""
+        schema = art_schema()
+        blank = BlankNode("b")
+        base = {Triple(u("u"), u("hasPainted"), blank)}
+        saturated = saturation_triples(base, schema)
+        assert Triple(u("u"), u("hasCreated"), blank) in saturated
+        assert Triple(blank, RDF_TYPE, u("painting")) in saturated
+        assert Triple(blank, RDF_TYPE, u("masterpiece")) in saturated
+        assert Triple(blank, RDF_TYPE, u("work")) in saturated
+
+    def test_subclass_chain_closure_on_types(self):
+        schema = art_schema()
+        base = {Triple(u("x"), RDF_TYPE, u("painting"))}
+        saturated = saturation_triples(base, schema)
+        assert Triple(u("x"), RDF_TYPE, u("masterpiece")) in saturated
+        assert Triple(u("x"), RDF_TYPE, u("work")) in saturated
+        assert len(saturated) == 3
+
+    def test_domain_rule(self):
+        schema = RDFSchema()
+        schema.add_domain(u("driverLicenseNo"), u("person"))
+        base = {Triple(u("john"), u("driverLicenseNo"), Literal("12345"))}
+        saturated = saturation_triples(base, schema)
+        assert Triple(u("john"), RDF_TYPE, u("person")) in saturated
+
+    def test_range_rule_skips_literal_objects(self):
+        schema = RDFSchema()
+        schema.add_range(u("name"), u("label"))
+        base = {Triple(u("x"), u("name"), Literal("Jo"))}
+        saturated = saturation_triples(base, schema)
+        # A literal cannot be the subject of a type triple.
+        assert saturated == base
+
+
+class TestFixpointBehaviour:
+    def test_saturation_is_idempotent(self):
+        schema = art_schema()
+        base = {
+            Triple(u("u"), u("hasPainted"), u("art1")),
+            Triple(u("v"), RDF_TYPE, u("painting")),
+        }
+        once = saturation_triples(base, schema)
+        twice = saturation_triples(once, schema)
+        assert once == twice
+
+    def test_saturation_contains_input(self):
+        schema = art_schema()
+        base = {Triple(u("a"), u("hasPainted"), u("b"))}
+        assert base <= saturation_triples(base, schema)
+
+    def test_empty_schema_changes_nothing(self):
+        base = {Triple(u("a"), u("p"), u("b"))}
+        assert saturation_triples(base, RDFSchema()) == base
+
+
+class TestStoreSaturation:
+    def test_saturate_returns_new_store(self):
+        schema = art_schema()
+        store = TripleStore()
+        store.add(Triple(u("a"), u("hasPainted"), u("b")))
+        saturated = saturate(store, schema)
+        assert saturated is not store
+        assert len(store) == 1  # input untouched
+        assert len(saturated) == 5  # +hasCreated, +3 type triples
+
+    def test_implicit_triples_excludes_explicit(self):
+        schema = art_schema()
+        store = TripleStore()
+        store.add(Triple(u("a"), u("hasPainted"), u("b")))
+        store.add(Triple(u("b"), RDF_TYPE, u("painting")))  # already explicit
+        implicit = implicit_triples(store, schema)
+        assert Triple(u("b"), RDF_TYPE, u("painting")) not in implicit
+        assert Triple(u("a"), u("hasCreated"), u("b")) in implicit
+
+    def test_barton_saturation_grows_store(self, barton_store, barton_schema):
+        saturated = saturate(barton_store, barton_schema)
+        assert len(saturated) > len(barton_store)

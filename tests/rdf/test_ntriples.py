@@ -1,0 +1,72 @@
+"""Unit tests for the N-Triples parser/serializer."""
+
+import pytest
+
+from repro.rdf.ntriples import (
+    NTriplesParseError,
+    parse_ntriples,
+    parse_ntriples_line,
+    serialize_ntriples,
+)
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.triples import Triple
+
+
+class TestParsing:
+    def test_simple_uri_triple(self):
+        triple = parse_ntriples_line("<http://a> <http://p> <http://b> .")
+        assert triple == Triple(URI("http://a"), URI("http://p"), URI("http://b"))
+
+    def test_blank_node_subject_and_object(self):
+        triple = parse_ntriples_line("_:x <http://p> _:y .")
+        assert triple == Triple(BlankNode("x"), URI("http://p"), BlankNode("y"))
+
+    def test_plain_literal(self):
+        triple = parse_ntriples_line('<http://a> <http://p> "hello" .')
+        assert triple.o == Literal("hello")
+
+    def test_language_literal(self):
+        triple = parse_ntriples_line('<http://a> <http://p> "salut"@fr .')
+        assert triple.o == Literal("salut", language="fr")
+
+    def test_datatyped_literal(self):
+        triple = parse_ntriples_line('<http://a> <http://p> "7"^^<http://int> .')
+        assert triple.o == Literal("7", datatype=URI("http://int"))
+
+    def test_escaped_literal(self):
+        triple = parse_ntriples_line(r'<http://a> <http://p> "a\"b\nc" .')
+        assert triple.o == Literal('a"b\nc')
+
+    def test_comment_and_blank_lines_skipped(self):
+        text = "# a comment\n\n<http://a> <http://p> <http://b> .\n"
+        assert len(list(parse_ntriples(text))) == 1
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(NTriplesParseError) as info:
+            list(parse_ntriples("<http://a> <http://p> <http://b>"))
+        assert info.value.line_number == 1
+
+    def test_garbage_rejected(self):
+        with pytest.raises(NTriplesParseError):
+            list(parse_ntriples("not a triple at all ."))
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(NTriplesParseError):
+            list(parse_ntriples('"lit" <http://p> <http://b> .'))
+
+
+class TestRoundtrip:
+    def test_serialize_then_parse(self):
+        triples = [
+            Triple(URI("http://a"), URI("http://p"), URI("http://b")),
+            Triple(BlankNode("n"), URI("http://p"), Literal('tricky "quote"\n')),
+            Triple(URI("http://a"), URI("http://q"), Literal("x", language="en")),
+            Triple(URI("http://a"), URI("http://r"), Literal("3", datatype=URI("http://int"))),
+        ]
+        text = serialize_ntriples(triples)
+        assert list(parse_ntriples(text)) == triples
+
+    def test_museum_store_roundtrip(self, museum_store):
+        text = serialize_ntriples(iter(museum_store))
+        parsed = set(parse_ntriples(text))
+        assert parsed == set(museum_store)

@@ -1,0 +1,116 @@
+"""Unit tests for the RDF Schema model (Table 1 relationships)."""
+
+from repro.rdf.schema import RDFSchema, SchemaKind, SchemaStatement
+from repro.rdf.terms import URI
+from repro.rdf.triples import Triple
+from repro.rdf.vocabulary import RDFS_SUBCLASSOF, RDF_TYPE
+
+
+def c(x: str) -> URI:
+    return URI(f"http://c/{x}")
+
+
+def p(x: str) -> URI:
+    return URI(f"http://p/{x}")
+
+
+def build_art_schema() -> RDFSchema:
+    schema = RDFSchema()
+    schema.add_subclass(c("painting"), c("masterpiece"))
+    schema.add_subclass(c("masterpiece"), c("work"))
+    schema.add_subproperty(p("hasPainted"), p("hasCreated"))
+    schema.add_domain(p("hasPainted"), c("painter"))
+    schema.add_range(p("hasPainted"), c("painting"))
+    schema.add_range(p("hasCreated"), c("masterpiece"))
+    return schema
+
+
+class TestDirectAccessors:
+    def test_direct_superclasses(self):
+        schema = build_art_schema()
+        assert schema.direct_superclasses(c("painting")) == {c("masterpiece")}
+        assert schema.direct_superclasses(c("work")) == set()
+
+    def test_direct_subclasses(self):
+        schema = build_art_schema()
+        assert schema.direct_subclasses(c("masterpiece")) == {c("painting")}
+
+    def test_direct_subproperties(self):
+        schema = build_art_schema()
+        assert schema.direct_subproperties(p("hasCreated")) == {p("hasPainted")}
+
+    def test_domains_and_ranges(self):
+        schema = build_art_schema()
+        assert schema.domains(p("hasPainted")) == {c("painter")}
+        assert schema.ranges(p("hasPainted")) == {c("painting")}
+        assert schema.domains(p("hasCreated")) == set()
+
+    def test_properties_with_domain_and_range(self):
+        schema = build_art_schema()
+        assert schema.properties_with_domain(c("painter")) == {p("hasPainted")}
+        assert schema.properties_with_range(c("painting")) == {p("hasPainted")}
+        assert schema.properties_with_range(c("masterpiece")) == {p("hasCreated")}
+
+
+class TestTransitiveAccessors:
+    def test_superclasses_are_transitive_and_strict(self):
+        schema = build_art_schema()
+        assert schema.superclasses(c("painting")) == {c("masterpiece"), c("work")}
+        assert c("painting") not in schema.superclasses(c("painting"))
+
+    def test_subclasses_are_transitive(self):
+        schema = build_art_schema()
+        assert schema.subclasses(c("work")) == {c("painting"), c("masterpiece")}
+
+    def test_superproperties(self):
+        schema = build_art_schema()
+        assert schema.superproperties(p("hasPainted")) == {p("hasCreated")}
+
+    def test_cycle_does_not_hang(self):
+        schema = RDFSchema()
+        schema.add_subclass(c("a"), c("b"))
+        schema.add_subclass(c("b"), c("a"))
+        assert schema.superclasses(c("a")) == {c("a"), c("b")}
+
+
+class TestInventory:
+    def test_len_counts_statements(self):
+        assert len(build_art_schema()) == 6
+
+    def test_duplicate_statement_ignored(self):
+        schema = build_art_schema()
+        assert schema.add_subclass(c("painting"), c("masterpiece")) is False
+        assert len(schema) == 6
+
+    def test_classes_and_properties(self):
+        schema = build_art_schema()
+        assert c("painting") in schema.classes
+        assert c("painter") in schema.classes  # via domain typing
+        assert p("hasPainted") in schema.properties
+        assert p("hasCreated") in schema.properties
+
+    def test_statements_filter_by_kind(self):
+        schema = build_art_schema()
+        assert len(schema.statements(SchemaKind.SUBCLASS)) == 2
+        assert len(schema.statements(SchemaKind.RANGE)) == 2
+        assert len(schema.statements()) == 6
+
+
+class TestTripleInterop:
+    def test_statement_as_triple(self):
+        st = SchemaStatement(SchemaKind.SUBCLASS, c("a"), c("b"))
+        assert st.as_triple() == Triple(c("a"), RDFS_SUBCLASSOF, c("b"))
+
+    def test_from_triples_ignores_data(self):
+        triples = [
+            Triple(c("a"), RDFS_SUBCLASSOF, c("b")),
+            Triple(c("x"), RDF_TYPE, c("a")),  # data, not schema
+        ]
+        schema = RDFSchema.from_triples(triples)
+        assert len(schema) == 1
+        assert schema.direct_superclasses(c("a")) == {c("b")}
+
+    def test_roundtrip_through_triples(self):
+        schema = build_art_schema()
+        rebuilt = RDFSchema.from_triples(schema.triples())
+        assert set(rebuilt.statements()) == set(schema.statements())

@@ -1,0 +1,130 @@
+"""Unit tests for the indexed triple store."""
+
+import pytest
+
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+
+
+def u(x: str) -> URI:
+    return URI(f"http://t/{x}")
+
+
+@pytest.fixture()
+def store() -> TripleStore:
+    s = TripleStore()
+    s.add(Triple(u("a"), u("p"), u("b")))
+    s.add(Triple(u("a"), u("p"), u("c")))
+    s.add(Triple(u("a"), u("q"), u("b")))
+    s.add(Triple(u("d"), u("p"), u("b")))
+    s.add(Triple(u("d"), u("q"), Literal("v")))
+    return s
+
+
+class TestMutation:
+    def test_add_returns_true_only_for_new(self, store):
+        assert store.add(Triple(u("x"), u("p"), u("y"))) is True
+        assert store.add(Triple(u("x"), u("p"), u("y"))) is False
+
+    def test_len_and_contains(self, store):
+        assert len(store) == 5
+        assert Triple(u("a"), u("p"), u("b")) in store
+        assert Triple(u("a"), u("p"), u("zzz")) not in store
+
+    def test_add_all_counts_new_only(self):
+        s = TripleStore()
+        triples = [Triple(u("a"), u("p"), u("b"))] * 3
+        assert s.add_all(triples) == 1
+
+    def test_remove(self, store):
+        assert store.remove(Triple(u("a"), u("p"), u("b"))) is True
+        assert len(store) == 4
+        assert store.count(s=u("a"), p=u("p")) == 1
+        assert store.remove(Triple(u("a"), u("p"), u("b"))) is False
+
+    def test_remove_unknown_term_is_false(self, store):
+        assert store.remove(Triple(u("nope"), u("p"), u("b"))) is False
+
+
+class TestPatternMatching:
+    def test_full_scan(self, store):
+        assert len(list(store.match())) == 5
+
+    def test_by_subject(self, store):
+        assert len(list(store.match(s=u("a")))) == 3
+
+    def test_by_property(self, store):
+        assert len(list(store.match(p=u("p")))) == 3
+
+    def test_by_object(self, store):
+        assert len(list(store.match(o=u("b")))) == 3
+
+    def test_by_subject_property(self, store):
+        assert len(list(store.match(s=u("a"), p=u("p")))) == 2
+
+    def test_by_subject_object(self, store):
+        assert len(list(store.match(s=u("a"), o=u("b")))) == 2
+
+    def test_by_property_object(self, store):
+        assert len(list(store.match(p=u("p"), o=u("b")))) == 2
+
+    def test_fully_bound(self, store):
+        assert len(list(store.match(s=u("a"), p=u("p"), o=u("b")))) == 1
+        assert len(list(store.match(s=u("a"), p=u("p"), o=u("zz")))) == 0
+
+    def test_unknown_term_matches_nothing(self, store):
+        assert list(store.match(s=u("unknown"))) == []
+
+    def test_literal_object_pattern(self, store):
+        assert len(list(store.match(o=Literal("v")))) == 1
+
+
+class TestCounts:
+    def test_count_agrees_with_match(self, store):
+        patterns = [
+            dict(),
+            dict(s=u("a")),
+            dict(p=u("p")),
+            dict(o=u("b")),
+            dict(s=u("a"), p=u("p")),
+            dict(s=u("d"), o=Literal("v")),
+            dict(p=u("q"), o=u("b")),
+            dict(s=u("a"), p=u("p"), o=u("b")),
+        ]
+        for pattern in patterns:
+            assert store.count(**pattern) == len(list(store.match(**pattern)))
+
+    def test_counts_after_removal(self, store):
+        store.remove(Triple(u("a"), u("p"), u("c")))
+        assert store.count(s=u("a"), p=u("p")) == 1
+        assert store.count(p=u("p")) == 2
+
+
+class TestColumnStatistics:
+    def test_distinct_values(self, store):
+        assert store.distinct_values("s") == 2  # a, d
+        assert store.distinct_values("p") == 2  # p, q
+        assert store.distinct_values("o") == 3  # b, c, "v"
+
+    def test_distinct_values_after_removal(self, store):
+        store.remove(Triple(u("d"), u("q"), Literal("v")))
+        assert store.distinct_values("o") == 2
+
+    def test_column_value_counts(self, store):
+        counts = store.column_value_counts("p")
+        assert sum(counts.values()) == len(store)
+
+
+def test_copy_is_independent(store):
+    clone = store.copy()
+    assert len(clone) == len(store)
+    clone.add(Triple(u("new"), u("p"), u("b")))
+    assert len(clone) == len(store) + 1
+    assert Triple(u("new"), u("p"), u("b")) not in store
+
+
+def test_iteration_yields_decoded_triples(store):
+    triples = set(store)
+    assert Triple(u("a"), u("p"), u("b")) in triples
+    assert len(triples) == 5

@@ -1,0 +1,73 @@
+"""Unit tests for the RDF term model."""
+
+import pytest
+
+from repro.rdf.terms import BlankNode, Literal, URI, is_term
+
+
+class TestURI:
+    def test_equality_is_by_value(self):
+        assert URI("http://a") == URI("http://a")
+        assert URI("http://a") != URI("http://b")
+
+    def test_hashable(self):
+        assert len({URI("http://a"), URI("http://a"), URI("http://b")}) == 2
+
+    def test_n3_rendering(self):
+        assert URI("http://a#x").n3() == "<http://a#x>"
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(ValueError):
+            URI("")
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            URI("http://a").value = "http://b"
+
+
+class TestLiteral:
+    def test_plain_literal(self):
+        lit = Literal("hello")
+        assert lit.n3() == '"hello"'
+        assert str(lit) == "hello"
+
+    def test_language_tagged(self):
+        assert Literal("bonjour", language="fr").n3() == '"bonjour"@fr'
+
+    def test_datatyped(self):
+        lit = Literal("42", datatype=URI("http://int"))
+        assert lit.n3() == '"42"^^<http://int>'
+
+    def test_datatype_and_language_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=URI("http://int"), language="en")
+
+    def test_escaping_in_n3(self):
+        lit = Literal('say "hi"\nplease\t\\ok')
+        rendered = lit.n3()
+        assert rendered == '"say \\"hi\\"\\nplease\\t\\\\ok"'
+
+    def test_equality_distinguishes_language(self):
+        assert Literal("x", language="en") != Literal("x", language="fr")
+        assert Literal("x") != Literal("x", language="fr")
+
+
+class TestBlankNode:
+    def test_n3(self):
+        assert BlankNode("b1").n3() == "_:b1"
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            BlankNode("")
+
+    def test_distinct_labels_differ(self):
+        assert BlankNode("a") != BlankNode("b")
+
+
+def test_is_term():
+    assert is_term(URI("http://a"))
+    assert is_term(Literal("x"))
+    assert is_term(BlankNode("b"))
+    assert not is_term("http://a")
+    assert not is_term(42)
+    assert not is_term(None)

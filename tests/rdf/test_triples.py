@@ -1,0 +1,52 @@
+"""Unit tests for triple construction and RDF well-formedness."""
+
+import pytest
+
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.triples import Triple, WellFormednessError
+
+A = URI("http://a")
+P = URI("http://p")
+B = BlankNode("b")
+L = Literal("x")
+
+
+class TestWellFormedness:
+    def test_uri_everywhere_is_fine(self):
+        Triple(A, P, A)
+
+    def test_blank_subject_allowed(self):
+        Triple(B, P, A)
+
+    def test_literal_object_allowed(self):
+        Triple(A, P, L)
+
+    def test_blank_object_allowed(self):
+        Triple(A, P, B)
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(WellFormednessError):
+            Triple(L, P, A)
+
+    def test_blank_property_rejected(self):
+        with pytest.raises(WellFormednessError):
+            Triple(A, B, A)
+
+    def test_literal_property_rejected(self):
+        with pytest.raises(WellFormednessError):
+            Triple(A, L, A)
+
+
+class TestTripleBehaviour:
+    def test_iteration_order(self):
+        assert list(Triple(A, P, L)) == [A, P, L]
+
+    def test_as_tuple(self):
+        assert Triple(A, P, B).as_tuple() == (A, P, B)
+
+    def test_equality_and_hash(self):
+        assert Triple(A, P, L) == Triple(A, P, L)
+        assert len({Triple(A, P, L), Triple(A, P, L)}) == 1
+
+    def test_n3(self):
+        assert Triple(A, P, L).n3() == '<http://a> <http://p> "x"'

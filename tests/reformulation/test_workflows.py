@@ -1,0 +1,70 @@
+"""Unit tests for the pre-/post-reformulation workflows (Section 4.3)."""
+
+from repro.query.evaluation import evaluate, evaluate_union
+from repro.query.parser import parse_query
+from repro.rdf.entailment import saturate
+from repro.reformulation.workflows import (
+    post_reformulation_views,
+    pre_reformulation_initial_state,
+    reformulate_workload,
+)
+from repro.selection.state import initial_state
+
+
+def entailed_queries():
+    return [
+        parse_query("q1(X, Y) :- t(X, rdf:type, picture), t(X, isLocatedIn, Y)"),
+        parse_query("q2(X) :- t(X, rdf:type, work)"),
+    ]
+
+
+class TestReformulateWorkload:
+    def test_one_union_per_query(self, museum_schema):
+        unions = reformulate_workload(entailed_queries(), museum_schema)
+        assert [u.name for u in unions] == ["q1", "q2"]
+        assert all(len(u) >= 1 for u in unions)
+
+    def test_workload_grows_with_schema(self, museum_schema):
+        unions = reformulate_workload(entailed_queries(), museum_schema)
+        # q2 over `work` expands through the subclass chain.
+        assert len(unions[1]) > 1
+
+
+class TestPreReformulationState:
+    def test_views_count_matches_disjuncts(self, museum_schema):
+        queries = entailed_queries()
+        unions = reformulate_workload(queries, museum_schema)
+        state = pre_reformulation_initial_state(queries, museum_schema)
+        assert len(state.views) == sum(len(u) for u in unions)
+
+    def test_union_rewritings_answer_with_implicit_triples(
+        self, museum_store, museum_schema
+    ):
+        from repro.selection.materialize import answer_query, materialize_views
+
+        queries = entailed_queries()
+        state = pre_reformulation_initial_state(queries, museum_schema)
+        extents = materialize_views(state, museum_store)
+        saturated = saturate(museum_store, museum_schema)
+        for query in queries:
+            assert answer_query(state, query.name, extents) == evaluate(
+                query, saturated
+            )
+
+
+class TestPostReformulationViews:
+    def test_each_view_reformulated(self, museum_schema):
+        state = initial_state(entailed_queries())
+        views = post_reformulation_views(state, museum_schema)
+        assert set(views) == {v.name for v in state.views}
+
+    def test_materializing_unions_equals_saturated_views(
+        self, museum_store, museum_schema
+    ):
+        state = initial_state(entailed_queries())
+        unions = post_reformulation_views(state, museum_schema)
+        saturated = saturate(museum_store, museum_schema)
+        for view in state.views:
+            on_plain = evaluate_union(unions[view.name], museum_store)
+            on_saturated = evaluate(view, saturated)
+            assert on_plain == on_saturated

@@ -1,0 +1,83 @@
+"""Unit tests for the relational competitor strategies (Section 6.1)."""
+
+import pytest
+
+from repro.query.evaluation import evaluate
+from repro.query.parser import parse_query
+from repro.selection.competitors import (
+    MemoryBudgetExceeded,
+    greedy_relational_search,
+    heuristic_relational_search,
+    pruning_relational_search,
+)
+from repro.selection.costs import CostModel
+from repro.selection.materialize import answer_query, materialize_views
+from repro.selection.search import SearchBudget
+from repro.selection.statistics import StoreStatistics
+
+ALL_COMPETITORS = [
+    pruning_relational_search,
+    greedy_relational_search,
+    heuristic_relational_search,
+]
+
+
+@pytest.fixture()
+def small_workload():
+    return [
+        parse_query("q1(X) :- t(X, hasPainted, starryNight)"),
+        parse_query("q2(X, Y) :- t(X, hasPainted, Y), t(X, rdf:type, painter)"),
+    ]
+
+
+@pytest.mark.parametrize("search", ALL_COMPETITORS)
+class TestOnSmallWorkloads:
+    def test_produces_full_candidate_view_set(self, search, small_workload, museum_store):
+        model = CostModel(StoreStatistics(museum_store))
+        result = search(
+            small_workload, model, budget=SearchBudget(time_limit=10.0, max_states=50_000)
+        )
+        assert set(result.best_state.rewritings) == {"q1", "q2"}
+        assert result.best_cost <= result.initial_cost
+
+    def test_rewritings_are_sound(self, search, small_workload, museum_store):
+        model = CostModel(StoreStatistics(museum_store))
+        result = search(
+            small_workload, model, budget=SearchBudget(time_limit=10.0, max_states=50_000)
+        )
+        extents = materialize_views(result.best_state, museum_store)
+        for query in small_workload:
+            assert answer_query(result.best_state, query.name, extents) == evaluate(
+                query, museum_store
+            )
+
+
+@pytest.mark.parametrize("search", ALL_COMPETITORS)
+def test_memory_budget_failure_mode(search, museum_store):
+    """The paper's headline result for [21]: larger queries exhaust memory
+    before any full candidate view set is produced."""
+    model = CostModel(StoreStatistics(museum_store))
+    big = [
+        parse_query(
+            "q1(X0) :- t(X0, p0, c0), t(X0, p1, c1), t(X0, p2, c2), "
+            "t(X0, p3, c3), t(X0, p4, c4), t(X0, p5, c5), t(X0, p6, c6)"
+        ),
+        parse_query(
+            "q2(Y0) :- t(Y0, p0, d0), t(Y0, p1, d1), t(Y0, p2, d2), "
+            "t(Y0, p3, d3), t(Y0, p4, d4), t(Y0, p5, d5), t(Y0, p6, d6)"
+        ),
+    ]
+    with pytest.raises(MemoryBudgetExceeded):
+        search(big, model, budget=SearchBudget(max_states=2_000))
+
+
+def test_greedy_keeps_single_combination(small_workload, museum_store):
+    model = CostModel(StoreStatistics(museum_store))
+    greedy = greedy_relational_search(
+        small_workload, model, budget=SearchBudget(time_limit=10.0, max_states=50_000)
+    )
+    pruning = pruning_relational_search(
+        small_workload, model, budget=SearchBudget(time_limit=10.0, max_states=50_000)
+    )
+    # Greedy creates no more states than Pruning on the same input.
+    assert greedy.stats.created <= pruning.stats.created

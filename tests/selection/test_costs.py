@@ -1,0 +1,123 @@
+"""Unit tests for the cost model (Section 3.3), including the paper's
+claims about how each transition moves the cost."""
+
+import pytest
+
+from repro.query.parser import parse_query
+from repro.selection.costs import CostModel, CostWeights
+from repro.selection.state import ViewNamer, initial_state
+from repro.selection.statistics import FixedStatistics, StoreStatistics
+from repro.selection.transitions import TransitionEnumerator
+
+
+@pytest.fixture()
+def model(museum_store):
+    return CostModel(StoreStatistics(museum_store))
+
+
+@pytest.fixture()
+def enum():
+    return TransitionEnumerator(ViewNamer(), vb_mode="overlapping")
+
+
+class TestCardinality:
+    def test_single_atom_is_exact(self, model):
+        query = parse_query("v(X, Y) :- t(X, hasPainted, Y)")
+        assert model.view_cardinality(query) == pytest.approx(6.0)
+
+    def test_join_reduces_product(self, model):
+        join = parse_query("v(X, Z) :- t(X, hasPainted, Y), t(Y, rdf:type, Z)")
+        left = parse_query("v1(X, Y) :- t(X, hasPainted, Y)")
+        right = parse_query("v2(Y, Z) :- t(Y, rdf:type, Z)")
+        product = model.view_cardinality(left) * model.view_cardinality(right)
+        assert model.view_cardinality(join) < product
+
+    def test_selection_shrinks_estimate(self, model):
+        general = parse_query("v(X, Y) :- t(X, hasPainted, Y)")
+        specific = parse_query("v(X) :- t(X, hasPainted, starryNight)")
+        assert model.view_cardinality(specific) <= model.view_cardinality(general)
+
+    def test_cache_consistency(self, model):
+        query = parse_query("v(X, Y) :- t(X, hasPainted, Y)")
+        assert model.view_cardinality(query) == model.view_cardinality(query)
+
+
+class TestComponents:
+    def test_initial_state_breakdown(self, model, q_painters):
+        state = initial_state([q_painters])
+        breakdown = model.cost(state)
+        assert breakdown.vso > 0
+        assert breakdown.rec > 0
+        assert breakdown.vmc == pytest.approx(2.0 ** 3)
+        assert breakdown.total == pytest.approx(
+            breakdown.vso + breakdown.rec + 0.5 * breakdown.vmc
+        )
+
+    def test_weights_scale_components(self, museum_store, q_painters):
+        state = initial_state([q_painters])
+        light = CostModel(StoreStatistics(museum_store), CostWeights(cs=0.0, cm=0.0))
+        heavy = CostModel(StoreStatistics(museum_store), CostWeights(cs=10.0, cm=10.0))
+        assert light.total_cost(state) < heavy.total_cost(state)
+
+    def test_vmc_counts_f_to_len(self, model):
+        q1 = parse_query("q1(X) :- t(X, p, c)")
+        q2 = parse_query("q2(X, Z) :- t(X, p, Y), t(Y, q, Z)")
+        state = initial_state([q1, q2])
+        assert model.vmc(state) == pytest.approx(2.0 + 4.0)
+
+    def test_io_counts_each_scan(self, model, q_painters):
+        state = initial_state([q_painters])
+        assert model.rewriting_io(state) == pytest.approx(
+            model.view_cardinality(state.views[0])
+        )
+
+
+class TestTransitionImpact:
+    """'Impact of transitions on the cost' (end of Section 3.3)."""
+
+    def test_sc_always_increases_cost(self, model, enum, q_painters):
+        state = initial_state([q_painters], enum.namer)
+        base = model.total_cost(state)
+        view = state.views[0]
+        for atom_index, attribute, _ in enum.sc_candidates(view):
+            successor = enum.apply_sc(state, view.name, atom_index, attribute).result
+            assert model.total_cost(successor) >= base
+
+    def test_vf_never_increases_cost(self, model, enum):
+        q1 = parse_query("q1(X) :- t(X, hasPainted, Y)")
+        q2 = parse_query("q2(Z) :- t(Z, hasPainted, W)")
+        state = initial_state([q1, q2], enum.namer)
+        base = model.total_cost(state)
+        fused = enum.apply_vf(state, *enum.vf_candidates(state)[0]).result
+        assert model.total_cost(fused) <= base
+
+    def test_jc_decreases_maintenance(self, model, enum, q_painters):
+        state = initial_state([q_painters], enum.namer)
+        base_vmc = model.vmc(state)
+        successor = enum.apply_jc(state, state.views[0].name, 1, "o").result
+        assert model.vmc(successor) < base_vmc
+
+
+class TestPlanCardinality:
+    def test_annotated_nodes_priced_via_views(self, model, enum, q_painters):
+        state = initial_state([q_painters], enum.namer)
+        view = state.views[0]
+        successor = enum.apply_sc(state, view.name, 0, "o").result
+        plan = successor.rewritings["q1"][0].plan
+        # The outer projection computes the original view.
+        assert model.plan_cardinality(plan) == pytest.approx(
+            model.view_cardinality(view)
+        )
+
+    def test_unannotated_scan_raises(self, model):
+        from repro.query.algebra import Scan
+
+        with pytest.raises(ValueError):
+            model.plan_cardinality(Scan("v", ("x",)))
+
+
+def test_deterministic_with_fixed_statistics(q_painters):
+    model1 = CostModel(FixedStatistics())
+    model2 = CostModel(FixedStatistics())
+    state = initial_state([q_painters])
+    assert model1.total_cost(state) == model2.total_cost(state)

@@ -1,0 +1,155 @@
+"""Unit tests for incremental view maintenance."""
+
+import pytest
+
+from repro.query.evaluation import evaluate
+from repro.query.parser import parse_query
+from repro.rdf.entailment import saturate
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import URI
+from repro.rdf.triples import Triple
+from repro.selection.maintenance import MaterializedViewSet
+from repro.selection.state import initial_state
+
+from tests.conftest import ex
+
+
+@pytest.fixture()
+def fresh_store(museum_store):
+    return museum_store.copy()
+
+
+@pytest.fixture()
+def workload():
+    return [
+        parse_query("q1(X, Y) :- t(X, hasPainted, Y)"),
+        parse_query(
+            "q2(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), "
+            "t(Y, hasPainted, Z)"
+        ),
+    ]
+
+
+def check_consistency(maintained, state, store, workload):
+    """Maintained extents and answers must equal full re-materialization."""
+    for view in state.views:
+        assert maintained.extent(view.name) == evaluate(view, store), view.name
+    for query in workload:
+        assert maintained.answer(query.name) == evaluate(query, store)
+
+
+class TestInsertion:
+    def test_insert_extends_single_atom_view(self, fresh_store, workload):
+        state = initial_state(workload)
+        maintained = MaterializedViewSet(state, fresh_store)
+        added = maintained.insert(
+            Triple(ex("monet"), ex("hasPainted"), ex("waterLilies"))
+        )
+        assert sum(added.values()) >= 1
+        check_consistency(maintained, state, fresh_store, workload)
+
+    def test_insert_completes_join_view(self, fresh_store, workload):
+        state = initial_state(workload)
+        maintained = MaterializedViewSet(state, fresh_store)
+        before = maintained.answer("q2")
+        # vincentW gains a second painting: a new q2 answer appears.
+        maintained.insert(Triple(ex("vincentW"), ex("hasPainted"), ex("irises")))
+        after = maintained.answer("q2")
+        assert (ex("vanGogh"), ex("irises")) in after - before
+        check_consistency(maintained, state, fresh_store, workload)
+
+    def test_duplicate_insert_is_noop(self, fresh_store, workload):
+        state = initial_state(workload)
+        maintained = MaterializedViewSet(state, fresh_store)
+        existing = Triple(ex("vanGogh"), ex("hasPainted"), ex("starryNight"))
+        assert maintained.insert(existing) == {v.name: 0 for v in state.views}
+
+    def test_irrelevant_insert_changes_nothing(self, fresh_store, workload):
+        state = initial_state(workload)
+        maintained = MaterializedViewSet(state, fresh_store)
+        added = maintained.insert(Triple(ex("a"), ex("unrelated"), ex("b")))
+        assert sum(added.values()) == 0
+        check_consistency(maintained, state, fresh_store, workload)
+
+
+class TestDeletion:
+    def test_remove_drops_rows(self, fresh_store, workload):
+        state = initial_state(workload)
+        maintained = MaterializedViewSet(state, fresh_store)
+        removed = maintained.remove(
+            Triple(ex("vanGogh"), ex("hasPainted"), ex("starryNight"))
+        )
+        assert sum(removed.values()) >= 1
+        check_consistency(maintained, state, fresh_store, workload)
+        assert maintained.answer("q2") == set()
+
+    def test_remove_keeps_alternatively_derived_rows(self):
+        # Two derivations for the same projected row: removing one
+        # derivation must keep the row.
+        store = TripleStore()
+        store.add(Triple(ex("a"), ex("p"), ex("b1")))
+        store.add(Triple(ex("a"), ex("p"), ex("b2")))
+        query = parse_query("q(X) :- t(X, p, Y)")
+        state = initial_state([query])
+        maintained = MaterializedViewSet(state, store)
+        maintained.remove(Triple(ex("a"), ex("p"), ex("b1")))
+        assert maintained.answer("q") == {(ex("a"),)}
+
+    def test_remove_absent_triple_is_noop(self, fresh_store, workload):
+        state = initial_state(workload)
+        maintained = MaterializedViewSet(state, fresh_store)
+        removed = maintained.remove(Triple(ex("ghost"), ex("hasPainted"), ex("x")))
+        assert sum(removed.values()) == 0
+
+
+class TestEntailmentAwareMaintenance:
+    def test_insert_propagates_implicit_rows(self, museum_store, museum_schema):
+        store = museum_store.copy()
+        query = parse_query("q(X) :- t(X, rdf:type, picture)")
+        state = initial_state([query])
+        maintained = MaterializedViewSet(state, store, schema=museum_schema)
+        before = maintained.answer("q")
+        # A new hasPainted assertion entails its object is a picture
+        # (range typing + subclassing), with no explicit type triple.
+        maintained.insert(Triple(ex("monet"), ex("hasPainted"), ex("waterLilies")))
+        after = maintained.answer("q")
+        assert (ex("waterLilies"),) in after - before
+        # Cross-check against saturation of the updated store.
+        saturated = saturate(store, museum_schema)
+        assert after == evaluate(query, saturated)
+
+    def test_remove_retracts_implicit_rows(self, museum_store, museum_schema):
+        store = museum_store.copy()
+        query = parse_query("q(X) :- t(X, rdf:type, picture)")
+        state = initial_state([query])
+        maintained = MaterializedViewSet(state, store, schema=museum_schema)
+        maintained.insert(Triple(ex("monet"), ex("hasPainted"), ex("waterLilies")))
+        maintained.remove(Triple(ex("monet"), ex("hasPainted"), ex("waterLilies")))
+        saturated = saturate(store, museum_schema)
+        assert maintained.answer("q") == evaluate(query, saturated)
+
+
+class TestAgainstRematerialization:
+    def test_random_update_sequence(self, barton_store, workload):
+        import random
+
+        store = TripleStore()
+        # A slice of the museum domain plus noise.
+        rng = random.Random(5)
+        triples = sorted(barton_store, key=lambda t: t.n3())[:300]
+        store.add_all(triples)
+        query = parse_query("q(X, P, Y) :- t(X, P, Y)")
+        state = initial_state([query])
+        maintained = MaterializedViewSet(state, store)
+        pool = triples + [
+            Triple(ex(f"s{i}"), ex(f"p{i % 3}"), ex(f"o{i}")) for i in range(20)
+        ]
+        for _ in range(60):
+            victim = pool[rng.randrange(len(pool))]
+            if rng.random() < 0.5:
+                maintained.insert(victim)
+            else:
+                maintained.remove(victim)
+        assert maintained.extent(state.views[0].name) == evaluate(
+            state.views[0], store
+        )

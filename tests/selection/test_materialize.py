@@ -1,0 +1,90 @@
+"""Unit tests for view materialization and view-based query answering."""
+
+import pytest
+
+from repro.query.evaluation import evaluate
+from repro.query.parser import parse_query
+from repro.rdf.entailment import saturate
+from repro.selection.materialize import (
+    answer_all,
+    answer_query,
+    extent_size,
+    materialize_views,
+)
+from repro.selection.state import ViewNamer, initial_state
+from repro.selection.transitions import TransitionEnumerator
+
+
+def test_initial_state_extents_are_query_answers(museum_store, q_painters):
+    state = initial_state([q_painters])
+    extents = materialize_views(state, museum_store)
+    rows = extents[state.views[0].name]
+    assert set(rows) == evaluate(q_painters, museum_store)
+
+
+def test_extents_are_deterministically_ordered(museum_store):
+    query = parse_query("q(X, Y) :- t(X, hasPainted, Y)")
+    state = initial_state([query])
+    first = materialize_views(state, museum_store)
+    second = materialize_views(state, museum_store)
+    assert first == second
+
+
+def test_answer_unknown_query_raises(museum_store, q_painters):
+    state = initial_state([q_painters])
+    extents = materialize_views(state, museum_store)
+    with pytest.raises(KeyError):
+        answer_query(state, "nope", extents)
+
+
+def test_answer_all(museum_store):
+    queries = [
+        parse_query("q1(X) :- t(X, hasPainted, starryNight)"),
+        parse_query("q2(X) :- t(X, rdf:type, painter)"),
+    ]
+    state = initial_state(queries)
+    extents = materialize_views(state, museum_store)
+    answers = answer_all(state, extents)
+    assert set(answers) == {"q1", "q2"}
+    for query in queries:
+        assert answers[query.name] == evaluate(query, museum_store)
+
+
+def test_extent_size(museum_store, q_painters):
+    state = initial_state([q_painters])
+    extents = materialize_views(state, museum_store)
+    assert extent_size(extents) == len(extents[state.views[0].name])
+
+
+class TestPostReformulationMaterialization:
+    def test_reformulated_views_equal_saturated_views(
+        self, museum_store, museum_schema
+    ):
+        """Theorem 4.2 applied to views: materializing reformulated views
+        on the plain store == plain views on the saturated store."""
+        query = parse_query("q(X, Y) :- t(X, rdf:type, picture), t(X, isLocatedIn, Y)")
+        state = initial_state([query])
+        reformulated = materialize_views(state, museum_store, museum_schema)
+        saturated = materialize_views(state, saturate(museum_store, museum_schema))
+        assert reformulated == saturated
+
+    def test_implicit_answers_are_found(self, museum_store, museum_schema):
+        # No explicit picture instances exist; only entailed ones.
+        query = parse_query("q(X) :- t(X, rdf:type, picture)")
+        state = initial_state([query])
+        plain = materialize_views(state, museum_store)
+        aware = materialize_views(state, museum_store, museum_schema)
+        name = state.views[0].name
+        assert plain[name] == []
+        assert len(aware[name]) > 0
+
+
+def test_rewriting_after_transitions_still_answers(museum_store, q_painters):
+    namer = ViewNamer()
+    enum = TransitionEnumerator(namer, vb_mode="overlapping")
+    state = initial_state([q_painters], namer)
+    # Apply a little pipeline: SC then JC then VB on what remains.
+    state = enum.apply_sc(state, state.views[0].name, 0, "o").result
+    state = enum.apply_jc(state, state.views[0].name, 1, "o").result
+    extents = materialize_views(state, museum_store)
+    assert answer_query(state, "q1", extents) == evaluate(q_painters, museum_store)

@@ -1,0 +1,120 @@
+"""Unit tests for the ViewSelector facade."""
+
+import pytest
+
+from repro.query.evaluation import evaluate
+from repro.query.parser import parse_query
+from repro.rdf.entailment import saturate
+from repro.selection.recommender import ViewSelector
+from repro.selection.search import SearchBudget
+
+
+@pytest.fixture()
+def workload():
+    return [
+        parse_query("q1(X) :- t(X, hasPainted, starryNight)"),
+        parse_query("q2(X, Y) :- t(X, hasPainted, Y), t(X, rdf:type, painter)"),
+    ]
+
+
+class TestConfiguration:
+    def test_unknown_strategy_rejected(self, museum_store):
+        with pytest.raises(ValueError):
+            ViewSelector(museum_store, strategy="magic")
+
+    def test_unknown_entailment_rejected(self, museum_store):
+        with pytest.raises(ValueError):
+            ViewSelector(museum_store, entailment="psychic")
+
+    def test_entailment_requires_schema(self, museum_store):
+        with pytest.raises(ValueError):
+            ViewSelector(museum_store, entailment="saturation")
+
+    def test_empty_workload_rejected(self, museum_store):
+        selector = ViewSelector(museum_store)
+        with pytest.raises(ValueError):
+            selector.recommend([])
+
+
+class TestPlainRecommendation:
+    def test_end_to_end(self, museum_store, workload):
+        selector = ViewSelector(
+            museum_store, budget=SearchBudget(time_limit=3.0), strategy="dfs"
+        )
+        recommendation = selector.recommend(workload)
+        extents = recommendation.materialize()
+        for query in workload:
+            assert recommendation.answer(query.name, extents) == evaluate(
+                query, museum_store
+            )
+
+    def test_gstr_strategy(self, museum_store, workload):
+        selector = ViewSelector(
+            museum_store, budget=SearchBudget(time_limit=3.0), strategy="gstr"
+        )
+        recommendation = selector.recommend(workload)
+        assert recommendation.result.best_cost <= recommendation.result.initial_cost
+
+    def test_views_property(self, museum_store, workload):
+        selector = ViewSelector(museum_store, budget=SearchBudget(time_limit=2.0))
+        recommendation = selector.recommend(workload)
+        assert recommendation.views == recommendation.state.views
+
+
+class TestEntailmentModes:
+    @pytest.fixture()
+    def entailed_workload(self):
+        return [
+            parse_query("q1(X, Y) :- t(X, rdf:type, picture), t(X, isLocatedIn, Y)"),
+        ]
+
+    def test_post_reformulation_answers_include_implicit(
+        self, museum_store, museum_schema, entailed_workload
+    ):
+        selector = ViewSelector(
+            museum_store,
+            schema=museum_schema,
+            entailment="post_reformulation",
+            budget=SearchBudget(time_limit=3.0),
+        )
+        recommendation = selector.recommend(entailed_workload)
+        extents = recommendation.materialize()
+        answers = recommendation.answer("q1", extents)
+        saturated = saturate(museum_store, museum_schema)
+        assert answers == evaluate(entailed_workload[0], saturated)
+        assert answers  # implicit triples make it non-empty
+
+    def test_saturation_mode_matches_post_reformulation(
+        self, museum_store, museum_schema, entailed_workload
+    ):
+        post = ViewSelector(
+            museum_store,
+            schema=museum_schema,
+            entailment="post_reformulation",
+            budget=SearchBudget(time_limit=3.0),
+        ).recommend(entailed_workload)
+        saturation = ViewSelector(
+            museum_store,
+            schema=museum_schema,
+            entailment="saturation",
+            budget=SearchBudget(time_limit=3.0),
+        ).recommend(entailed_workload)
+        # Section 6.5: saturation and post-reformulation coincide — same
+        # statistics, same workload, hence the same best state.
+        assert post.state.key == saturation.state.key
+        post_answers = post.answer("q1", post.materialize())
+        saturation_answers = saturation.answer("q1", saturation.materialize())
+        assert post_answers == saturation_answers
+
+    def test_pre_reformulation_mode(self, museum_store, museum_schema, entailed_workload):
+        selector = ViewSelector(
+            museum_store,
+            schema=museum_schema,
+            entailment="pre_reformulation",
+            budget=SearchBudget(time_limit=3.0),
+        )
+        recommendation = selector.recommend(entailed_workload)
+        extents = recommendation.materialize()
+        answers = recommendation.answer("q1", extents)
+        saturated = saturate(museum_store, museum_schema)
+        assert answers == evaluate(entailed_workload[0], saturated)

@@ -1,0 +1,153 @@
+"""Unit tests for states, rewritings and initial-state construction."""
+
+import pytest
+
+from repro.query.algebra import Scan
+from repro.query.cq import Atom, ConjunctiveQuery, UnionQuery, Variable
+from repro.query.parser import parse_query
+from repro.selection.state import (
+    RewritingDisjunct,
+    State,
+    ViewNamer,
+    initial_state,
+    initial_state_from_unions,
+    normalize_view,
+)
+from repro.rdf.terms import URI
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+P, C = URI("http://p"), URI("http://c")
+
+
+class TestViewNamer:
+    def test_names_are_unique(self):
+        namer = ViewNamer()
+        assert len({namer.fresh() for _ in range(50)}) == 50
+
+    def test_prefix(self):
+        assert ViewNamer("w").fresh().startswith("w")
+
+
+class TestNormalizeView:
+    def test_plain_head_needs_no_template(self):
+        query = parse_query("q(X, Y) :- t(X, p, Y)")
+        view, template = normalize_view(query, "v0")
+        assert view.head == query.head
+        assert template is None
+
+    def test_constant_head_gets_template(self):
+        query = ConjunctiveQuery((X, C), (Atom(X, P, C),), name="q")
+        view, template = normalize_view(query, "v0")
+        assert view.head == (X,)
+        assert template == (X, C)
+
+    def test_duplicate_head_variable_gets_template(self):
+        query = ConjunctiveQuery((X, X), (Atom(X, P, Y),), name="q")
+        view, template = normalize_view(query, "v0")
+        assert view.head == (X,)
+        assert template == (X, X)
+
+
+class TestInitialState:
+    def test_one_view_per_query(self):
+        queries = [
+            parse_query("q1(X) :- t(X, p, c)"),
+            parse_query("q2(X, Y) :- t(X, p, Y), t(Y, q, d)"),
+        ]
+        state = initial_state(queries)
+        assert len(state.views) == 2
+        assert set(state.rewritings) == {"q1", "q2"}
+        for rewriting in state.rewritings.values():
+            assert len(rewriting) == 1
+            assert isinstance(rewriting[0].plan, Scan)
+
+    def test_duplicate_query_names_rejected(self):
+        queries = [parse_query("q(X) :- t(X, p, c)")] * 2
+        with pytest.raises(ValueError):
+            initial_state(queries)
+
+    def test_key_identifies_view_sets_up_to_renaming(self):
+        q1 = parse_query("q1(X) :- t(X, p, c)")
+        q2 = parse_query("q1(W) :- t(W, p, c)")  # renamed variable
+        state1 = initial_state([q1])
+        state2 = initial_state([q2.with_name("q1")])
+        assert state1.key == state2.key
+
+    def test_key_distinguishes_different_views(self):
+        state1 = initial_state([parse_query("q1(X) :- t(X, p, c)")])
+        state2 = initial_state([parse_query("q1(X) :- t(X, p, d)")])
+        assert state1.key != state2.key
+
+
+class TestStateValidation:
+    def test_views_must_be_referenced(self):
+        view = parse_query("q(X) :- t(X, p, c)").with_name("v0")
+        orphan = parse_query("q(X) :- t(X, q, c)").with_name("v1")
+        scan = Scan("v0", ("X",))
+        with pytest.raises(ValueError, match="participate in no rewriting"):
+            State((view, orphan), {"q": (RewritingDisjunct(scan),)})
+
+    def test_rewriting_must_reference_known_views(self):
+        view = parse_query("q(X) :- t(X, p, c)").with_name("v0")
+        scan = Scan("ghost", ("X",))
+        with pytest.raises(ValueError, match="unknown views"):
+            State((view,), {"q": (RewritingDisjunct(scan),)})
+
+    def test_duplicate_view_names_rejected(self):
+        view = parse_query("q(X) :- t(X, p, c)").with_name("v0")
+        scan = Scan("v0", ("X",))
+        with pytest.raises(ValueError, match="duplicate view names"):
+            State((view, view), {"q": (RewritingDisjunct(scan),)})
+
+    def test_constant_head_views_rejected(self):
+        bad = ConjunctiveQuery((X, C), (Atom(X, P, C),), name="v0")
+        scan = Scan("v0", ("X",))
+        with pytest.raises(ValueError, match="variable-only"):
+            State((bad,), {"q": (RewritingDisjunct(scan),)})
+
+    def test_view_lookup(self):
+        state = initial_state([parse_query("q(X) :- t(X, p, c)")])
+        name = state.views[0].name
+        assert state.view(name) is state.views[0]
+        with pytest.raises(KeyError):
+            state.view("nope")
+
+
+class TestUnionInitialState:
+    def test_one_view_per_disjunct(self):
+        d1 = parse_query("q1(X) :- t(X, rdf:type, picture)")
+        d2 = parse_query("q1(X) :- t(X, rdf:type, painting)")
+        union = UnionQuery((d1, d2), name="q1")
+        state = initial_state_from_unions([union])
+        assert len(state.views) == 2
+        assert len(state.rewritings["q1"]) == 2
+
+    def test_constant_bound_disjunct_head(self):
+        d1 = parse_query("q1(X, Y) :- t(X, Y, c)")
+        d2 = ConjunctiveQuery((X, P), (Atom(X, P, C),), name="q1")
+        union = UnionQuery((d1, d2), name="q1")
+        state = initial_state_from_unions([union])
+        # The second disjunct's view has a variable-only head + template.
+        disjunct = state.rewritings["q1"][1]
+        assert disjunct.head_template == (X, P)
+
+
+class TestRewritingDisjunct:
+    def test_answer_rows_without_template(self):
+        disjunct = RewritingDisjunct(Scan("v", ("X", "Y")))
+        assert disjunct.answer_rows([(1, 2)]) == [(1, 2)]
+
+    def test_answer_rows_with_template(self):
+        disjunct = RewritingDisjunct(Scan("v", ("X",)), head_template=(X, C, X))
+        assert disjunct.answer_rows([(P,)]) == [(P, C, P)]
+
+
+def test_total_atoms(q_painters):
+    state = initial_state([q_painters])
+    assert state.total_atoms() == 3
+
+
+def test_describe_contains_views_and_rewritings(q_painters):
+    state = initial_state([q_painters])
+    text = state.describe()
+    assert "views:" in text and "rewritings:" in text and "q1" in text

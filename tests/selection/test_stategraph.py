@@ -1,0 +1,56 @@
+"""Unit tests for the state graph of Definition 3.1."""
+
+from repro.query.parser import parse_query
+from repro.selection.state import initial_state
+from repro.selection.stategraph import StateGraph
+
+
+def test_nodes_one_per_atom(q_painters):
+    graph = StateGraph(initial_state([q_painters]))
+    assert len(graph.nodes) == 3
+
+
+def test_join_edges_of_running_example(q_painters):
+    graph = StateGraph(initial_state([q_painters]))
+    # q1 joins: X between atoms 0-1 (s=s), Y between atoms 1-2 (o=s).
+    labels = {str(edge) for edge in graph.join_edges}
+    view = graph.nodes[0].view
+    assert f"{view}:{view}.n0.s={view}.n1.s" in labels
+    assert f"{view}:{view}.n1.o={view}.n2.s" in labels
+    assert len(graph.join_edges) == 2
+
+
+def test_selection_edges_one_per_constant(q_painters):
+    graph = StateGraph(initial_state([q_painters]))
+    # 3 property constants + starryNight.
+    assert len(graph.selection_edges) == 4
+
+
+def test_components_match_views():
+    queries = [
+        parse_query("q1(X) :- t(X, p, c)"),
+        parse_query("q2(X, Z) :- t(X, p, Y), t(Y, q, Z)"),
+    ]
+    graph = StateGraph(initial_state(queries))
+    components = graph.connected_components()
+    assert sorted(len(c) for c in components) == [1, 2]
+
+
+def test_view_component_lookup(q_painters):
+    state = initial_state([q_painters])
+    graph = StateGraph(state)
+    assert len(graph.view_component(state.views[0].name)) == 3
+
+
+def test_describe_mentions_edges(q_painters):
+    graph = StateGraph(initial_state([q_painters]))
+    text = graph.describe()
+    assert "join edge" in text and "selection edge" in text
+
+
+def test_clique_star_query():
+    # Star queries produce clique graphs (Section 6.2).
+    query = parse_query("q(X) :- t(X, p, c), t(X, q, d), t(X, r, e), t(X, s, f)")
+    graph = StateGraph(initial_state([query]))
+    # 4 atoms pairwise joined on X: C(4,2) = 6 join edges.
+    assert len(graph.join_edges) == 6

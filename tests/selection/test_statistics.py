@@ -1,0 +1,89 @@
+"""Unit tests for statistics providers (Sections 3.3 and 4.3)."""
+
+from repro.query.cq import Atom, Variable
+from repro.rdf.entailment import saturate
+from repro.selection.statistics import (
+    FixedStatistics,
+    ReformulationAwareStatistics,
+    StoreStatistics,
+)
+
+from tests.conftest import ex
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestStoreStatistics:
+    def test_atom_count_is_exact(self, museum_store):
+        stats = StoreStatistics(museum_store)
+        assert stats.atom_count(Atom(X, ex("hasPainted"), Y)) == 6
+        assert stats.atom_count(Atom(X, ex("hasPainted"), ex("starryNight"))) == 1
+        assert stats.atom_count(Atom(X, Y, Z)) == len(museum_store)
+
+    def test_unknown_constant_counts_zero(self, museum_store):
+        stats = StoreStatistics(museum_store)
+        assert stats.atom_count(Atom(X, ex("neverSeen"), Y)) == 0
+
+    def test_caching_returns_same_values(self, museum_store):
+        stats = StoreStatistics(museum_store)
+        atom = Atom(X, ex("hasPainted"), Y)
+        assert stats.atom_count(atom) == stats.atom_count(atom)
+
+    def test_column_distincts_delegate_to_store(self, museum_store):
+        stats = StoreStatistics(museum_store)
+        for column in ("s", "p", "o"):
+            assert stats.distinct_values(column) == museum_store.distinct_values(column)
+
+    def test_totals(self, museum_store):
+        stats = StoreStatistics(museum_store)
+        assert stats.total_triples() == len(museum_store)
+        assert stats.average_term_size() > 0
+
+
+class TestReformulationAwareStatistics:
+    def test_counts_match_saturated_store(self, museum_store, museum_schema):
+        """The Section 4.3 claim: post-reformulation statistics equal the
+        statistics of the saturated database."""
+        saturated = StoreStatistics(saturate(museum_store, museum_schema))
+        aware = ReformulationAwareStatistics(museum_store, museum_schema)
+        atoms = [
+            Atom(X, vocab_type(), ex("picture")),
+            Atom(X, vocab_type(), ex("painting")),
+            Atom(X, ex("isLocatedIn"), Y),
+            Atom(X, ex("hasPainted"), Y),
+            Atom(X, vocab_type(), Y),
+            Atom(X, Y, Z),
+        ]
+        for atom in atoms:
+            assert aware.atom_count(atom) == saturated.atom_count(atom), atom
+
+    def test_implicit_triples_increase_counts(self, museum_store, museum_schema):
+        plain = StoreStatistics(museum_store)
+        aware = ReformulationAwareStatistics(museum_store, museum_schema)
+        picture_atom = Atom(X, vocab_type(), ex("picture"))
+        assert plain.atom_count(picture_atom) == 0  # only implicit
+        assert aware.atom_count(picture_atom) > 0
+
+    def test_cache_hit_path(self, museum_store, museum_schema):
+        aware = ReformulationAwareStatistics(museum_store, museum_schema)
+        atom = Atom(X, ex("isLocatedIn"), Y)
+        assert aware.atom_count(atom) == aware.atom_count(atom)
+
+
+class TestFixedStatistics:
+    def test_more_constants_means_fewer_matches(self):
+        stats = FixedStatistics(total=1000, selectivity=0.1)
+        unconstrained = stats.atom_count(Atom(X, Y, Z))
+        one = stats.atom_count(Atom(X, ex("p"), Z))
+        two = stats.atom_count(Atom(X, ex("p"), ex("c")))
+        assert unconstrained > one > two >= 1
+
+    def test_configurable_distincts(self):
+        stats = FixedStatistics(distinct={"s": 5, "p": 7, "o": 9})
+        assert stats.distinct_values("p") == 7
+
+
+def vocab_type():
+    from repro.rdf.vocabulary import RDF_TYPE
+
+    return RDF_TYPE

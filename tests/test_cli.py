@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.rdf.ntriples import serialize_ntriples
+
+
+@pytest.fixture()
+def data_file(tmp_path, museum_store):
+    path = tmp_path / "data.nt"
+    path.write_text(serialize_ntriples(iter(museum_store)))
+    return path
+
+
+@pytest.fixture()
+def schema_file(tmp_path, museum_schema):
+    path = tmp_path / "schema.nt"
+    path.write_text(serialize_ntriples(museum_schema.triples()))
+    return path
+
+
+@pytest.fixture()
+def workload_file(tmp_path):
+    path = tmp_path / "workload.dq"
+    path.write_text(
+        "q1(X) :- t(X, hasPainted, starryNight)\n"
+        "q2(X, Y) :- t(X, hasPainted, Y), t(X, rdf:type, painter)\n"
+    )
+    return path
+
+
+def run_cli(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_basic_run(capsys, data_file, workload_file):
+    out = run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--time-limit", "2",
+    )
+    assert "recommended views:" in out
+    assert "rewritings:" in out
+    assert "q1 =" in out and "q2 =" in out
+    assert "cost reduction" in out
+
+
+def test_show_answers(capsys, data_file, workload_file):
+    out = run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--time-limit", "2",
+        "--show-answers",
+    )
+    assert "q1: 1 answers" in out
+
+
+def test_entailment_with_schema_file(capsys, data_file, schema_file, tmp_path):
+    workload = tmp_path / "w.dq"
+    workload.write_text("q1(X) :- t(X, rdf:type, picture)\n")
+    out = run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload),
+        "--schema", str(schema_file),
+        "--entailment", "post_reformulation",
+        "--time-limit", "2",
+        "--show-answers",
+    )
+    assert "schema: 6 RDFS statements" in out
+    # No explicit picture instances exist: every answer is implicit,
+    # through the subclass rule and the range typing of hasPainted.
+    assert "q1: 6 answers" in out
+
+
+def test_empty_workload_errors(capsys, data_file, tmp_path):
+    workload = tmp_path / "empty.dq"
+    workload.write_text("# nothing here\n")
+    assert main(["--data", str(data_file), "--queries", str(workload)]) == 2
+
+
+def test_strategy_choices(capsys, data_file, workload_file):
+    out = run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--strategy", "descent",
+        "--time-limit", "2",
+    )
+    assert "recommended views:" in out

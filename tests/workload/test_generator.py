@@ -1,0 +1,132 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.query.cq import Variable
+from repro.query.evaluation import evaluate
+from repro.workload import (
+    QueryShape,
+    SatisfiableWorkloadGenerator,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(0, 5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(5, 0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(5, 5, commonality="medium")
+
+
+class TestSyntheticGenerator:
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            QueryShape.STAR,
+            QueryShape.CHAIN,
+            QueryShape.CYCLE,
+            QueryShape.RANDOM_SPARSE,
+            QueryShape.RANDOM_DENSE,
+            QueryShape.MIXED,
+        ],
+    )
+    def test_every_shape_is_wellformed(self, shape):
+        generator = WorkloadGenerator(seed=1)
+        queries = generator.generate(WorkloadSpec(6, 6, shape, "high"))
+        assert len(queries) == 6
+        for query in queries:
+            assert query.is_connected(), f"{shape}: {query}"
+            assert 1 <= len(query) <= 6
+            assert query.head  # non-empty head
+            assert query.constants()  # never all-variable (stopvar-safe)
+
+    def test_deterministic_for_seed(self):
+        spec = WorkloadSpec(4, 5, QueryShape.CHAIN, "low")
+        first = WorkloadGenerator(seed=9).generate(spec)
+        second = WorkloadGenerator(seed=9).generate(spec)
+        assert first == second
+
+    def test_seed_changes_output(self):
+        spec = WorkloadSpec(4, 5, QueryShape.CHAIN, "low")
+        first = WorkloadGenerator(seed=1).generate(spec)
+        second = WorkloadGenerator(seed=2).generate(spec)
+        assert first != second
+
+    def test_high_commonality_shares_vocabulary(self):
+        spec = WorkloadSpec(6, 6, QueryShape.STAR, "high")
+        queries = WorkloadGenerator(seed=3).generate(spec)
+        vocabularies = [set(q.constants()) for q in queries]
+        # Every pair of queries shares vocabulary, and the global
+        # vocabulary stays small (one shared pool).
+        for i in range(len(vocabularies)):
+            for j in range(i + 1, len(vocabularies)):
+                assert vocabularies[i] & vocabularies[j]
+        union = set.union(*vocabularies)
+        low = WorkloadGenerator(seed=3).generate(
+            WorkloadSpec(6, 6, QueryShape.STAR, "low")
+        )
+        low_union = set.union(*(set(q.constants()) for q in low))
+        assert len(union) < len(low_union)
+
+    def test_low_commonality_disjoint_vocabulary(self):
+        spec = WorkloadSpec(6, 6, QueryShape.STAR, "low")
+        queries = WorkloadGenerator(seed=3).generate(spec)
+        for i in range(len(queries)):
+            for j in range(i + 1, len(queries)):
+                assert queries[i].constants().isdisjoint(queries[j].constants())
+
+    def test_star_atoms_share_center(self):
+        queries = WorkloadGenerator(seed=5).generate(
+            WorkloadSpec(3, 5, QueryShape.STAR, "low")
+        )
+        for query in queries:
+            centers = {atom.s for atom in query.atoms}
+            assert len(centers) == 1
+
+    def test_chain_shape(self):
+        queries = WorkloadGenerator(seed=5).generate(
+            WorkloadSpec(3, 5, QueryShape.CHAIN, "low", constant_probability=0.0)
+        )
+        for query in queries:
+            for first, second in zip(query.atoms, query.atoms[1:]):
+                assert first.o == second.s
+
+    def test_cycle_closes(self):
+        queries = WorkloadGenerator(seed=5).generate(
+            WorkloadSpec(3, 4, QueryShape.CYCLE, "low")
+        )
+        for query in queries:
+            assert query.atoms[-1].o == query.atoms[0].s
+
+
+class TestSatisfiableGenerator:
+    @pytest.mark.parametrize("shape", [QueryShape.STAR, QueryShape.CHAIN])
+    @pytest.mark.parametrize("commonality", ["high", "low"])
+    def test_queries_have_answers(self, barton_store, shape, commonality):
+        generator = SatisfiableWorkloadGenerator(barton_store, seed=2)
+        queries = generator.generate(WorkloadSpec(4, 4, shape, commonality))
+        for query in queries:
+            assert evaluate(query, barton_store), f"unsatisfiable: {query}"
+
+    def test_deterministic(self, barton_store):
+        spec = WorkloadSpec(3, 4, QueryShape.CHAIN, "low")
+        first = SatisfiableWorkloadGenerator(barton_store, seed=4).generate(spec)
+        second = SatisfiableWorkloadGenerator(barton_store, seed=4).generate(spec)
+        assert first == second
+
+    def test_empty_store_rejected(self):
+        from repro.rdf.store import TripleStore
+
+        with pytest.raises(ValueError):
+            SatisfiableWorkloadGenerator(TripleStore())
+
+    def test_queries_are_connected_and_named(self, barton_store):
+        generator = SatisfiableWorkloadGenerator(barton_store, seed=6)
+        queries = generator.generate(WorkloadSpec(5, 4, QueryShape.CHAIN, "high"))
+        assert [q.name for q in queries] == [f"q{i}" for i in range(1, 6)]
+        for query in queries:
+            assert query.is_connected()
