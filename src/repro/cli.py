@@ -26,6 +26,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.engine import ENGINES
 from repro.query.parser import parse_queries
 from repro.rdf.ntriples import parse_ntriples
 from repro.rdf.schema import RDFSchema
@@ -56,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--show-answers", action="store_true",
                         help="materialize the views and print each query's "
                         "answer count")
+    parser.add_argument("--engine", choices=ENGINES, default="auto",
+                        help="join strategy of the execution engine used to "
+                        "materialize views and answer queries "
+                        "(default: auto)")
     return parser
 
 
@@ -104,10 +109,10 @@ def main(argv: list[str] | None = None) -> int:
           f"({result.stats.created} states in {result.runtime:.1f}s)")
 
     if args.show_answers:
-        extents = recommendation.materialize()
-        print("\nanswers from the materialized views:")
+        extents = recommendation.materialize(engine=args.engine)
+        print(f"\nanswers from the materialized views ({args.engine} engine):")
         for query in queries:
-            answers = recommendation.answer(query.name, extents)
+            answers = recommendation.answer(query.name, extents, engine=args.engine)
             print(f"  {query.name}: {len(answers)} answers")
     return 0
 

@@ -1,0 +1,59 @@
+"""The unified physical query-execution engine.
+
+One operator algebra executes both halves of the paper's Figure 8
+comparison: conjunctive queries evaluated directly on the dictionary-
+encoded triple store, and rewriting plans evaluated over materialized
+view extents. See :mod:`repro.engine.operators` for the physical
+operators, :mod:`repro.engine.planner` for plan compilation and join
+ordering, and :mod:`repro.engine.extents` for hash-indexed view
+extents.
+
+Public surface::
+
+    run_query(query, store, engine="auto")      # CQ -> set of answers
+    run_plan(plan, extents, engine="auto")      # algebra Plan -> rows
+    plan_query / plan_rewriting                 # operator trees (explain)
+    ENGINES                                     # selectable strategies
+"""
+
+from repro.engine.extents import ViewExtent
+from repro.engine.operators import (
+    Distinct,
+    Empty,
+    ExtentScan,
+    HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
+    MergeJoin,
+    Operator,
+    Projection,
+    Relabel,
+    Selection,
+)
+from repro.engine.planner import (
+    ENGINES,
+    plan_query,
+    plan_rewriting,
+    run_plan,
+    run_query,
+)
+
+__all__ = [
+    "ENGINES",
+    "Distinct",
+    "Empty",
+    "ExtentScan",
+    "HashJoin",
+    "IndexNestedLoopJoin",
+    "IndexScan",
+    "MergeJoin",
+    "Operator",
+    "Projection",
+    "Relabel",
+    "Selection",
+    "ViewExtent",
+    "plan_query",
+    "plan_rewriting",
+    "run_plan",
+    "run_query",
+]

@@ -1,0 +1,46 @@
+"""Hash-indexed materialized view extents.
+
+A :class:`ViewExtent` is a ``list`` of rows (tuples of decoded RDF
+terms) that lazily builds and caches hash indexes keyed on column
+positions. Rewriting plans probe view extents on their join attributes
+over and over — once per join execution in the seed, once per *workload
+lifetime* here: the first hash join keyed on a position tuple builds the
+index, every later execution reuses it.
+
+Extents subclass ``list`` so every existing consumer (``len``,
+iteration, ``sorted``, equality against plain lists) keeps working.
+Extents are write-once: mutating the row list after an index was built
+is unsupported and would desynchronize the cached indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: One materialized row: a tuple of decoded RDF terms.
+Row = tuple
+
+
+class ViewExtent(list):
+    """A materialized view extent with cached hash indexes."""
+
+    def __init__(self, rows: Iterable[Row] = ()) -> None:
+        super().__init__(rows)
+        self._indexes: dict[tuple[int, ...], dict[tuple, list[Row]]] = {}
+
+    def index_on(self, positions: Sequence[int]) -> dict[tuple, list[Row]]:
+        """Rows grouped by their values at ``positions`` (dict-of-lists).
+
+        Built on first request and cached; the empty position tuple maps
+        every row under ``()``, which makes keyless (cross) joins fall
+        out of the same code path.
+        """
+        key_positions = tuple(positions)
+        index = self._indexes.get(key_positions)
+        if index is None:
+            index = {}
+            for row in self:
+                key = tuple(row[p] for p in key_positions)
+                index.setdefault(key, []).append(row)
+            self._indexes[key_positions] = index
+        return index

@@ -1,0 +1,490 @@
+"""Physical operators of the unified execution engine.
+
+Every operator exposes a ``schema`` (a tuple of column names) and yields
+rows — plain tuples — when iterated. Operators compose into left-deep
+trees; iteration is pull-based (generators), so upstream operators only
+produce what downstream consumers demand.
+
+Two value domains flow through the same operator classes:
+
+* **dictionary codes** (ints) for plans over a :class:`TripleStore` —
+  leaves are :class:`IndexScan`, joins may probe store indexes through
+  :class:`IndexNestedLoopJoin` or use :class:`MergeJoin` over the
+  store's sorted-permutation iterators;
+* **decoded RDF terms** for plans over materialized view extents —
+  leaves are :class:`ExtentScan`, joins are hash joins that reuse the
+  extent's cached hash indexes (see :mod:`repro.engine.extents`).
+
+The planner (:mod:`repro.engine.planner`) decides which operators to
+instantiate; nothing here chooses join orders or algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.query.cq import Atom, Variable
+from repro.rdf.store import TripleStore
+
+#: A physical row: a tuple of dictionary codes or of decoded RDF terms.
+PhysicalRow = tuple
+
+#: Permutation name whose *leading* attribute is the given triple position.
+_SORT_ORDERS = ("spo", "pso", "osp")
+
+
+class Operator:
+    """Base class: a schema plus an iterable of rows."""
+
+    schema: tuple[str, ...] = ()
+    #: Columns the output is known to be sorted by (a prefix order), or None.
+    sorted_on: tuple[str, ...] | None = None
+
+    def __iter__(self) -> Iterator[PhysicalRow]:
+        raise NotImplementedError
+
+    def rows(self) -> list[PhysicalRow]:
+        """Materialize the full output."""
+        return list(self)
+
+    def hash_index(self, positions: tuple[int, ...]):
+        """A prebuilt hash index keyed on ``positions``, or None.
+
+        Overridden by :class:`ExtentScan` over indexed extents so hash
+        joins can skip the build phase entirely.
+        """
+        return None
+
+    def explain(self, depth: int = 0) -> str:
+        """An indented one-line-per-operator rendering of the subtree."""
+        lines = [("  " * depth) + self._describe()]
+        for child in self._children():
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+    def _describe(self) -> str:
+        return f"{type(self).__name__}{list(self.schema)}"
+
+    def _children(self) -> tuple["Operator", ...]:
+        return ()
+
+
+class Empty(Operator):
+    """A leaf producing no rows (a constant absent from the dictionary)."""
+
+    def __init__(self, schema: tuple[str, ...] = ()) -> None:
+        self.schema = schema
+
+    def __iter__(self) -> Iterator[PhysicalRow]:
+        return iter(())
+
+
+class ExtentScan(Operator):
+    """Scan a materialized view extent (rows of decoded terms)."""
+
+    def __init__(self, name: str, rows: Sequence[PhysicalRow], schema: tuple[str, ...]) -> None:
+        self.name = name
+        self._rows = rows
+        self.schema = schema
+
+    def __iter__(self) -> Iterator[PhysicalRow]:
+        return iter(self._rows)
+
+    def rows(self) -> list[PhysicalRow]:
+        return list(self._rows)
+
+    def hash_index(self, positions: tuple[int, ...]):
+        index_on = getattr(self._rows, "index_on", None)
+        if index_on is None:
+            return None
+        return index_on(positions)
+
+    def _describe(self) -> str:
+        return f"ExtentScan({self.name}){list(self.schema)}"
+
+
+def _compile_atom(
+    atom: Atom,
+    store: TripleStore,
+    non_literal: frozenset[Variable],
+    bound: dict[str, int] | None = None,
+):
+    """Shared atom compilation for scans and index-nested-loop probes.
+
+    Returns ``(template, fills, out, eqs, nl, impossible)``:
+
+    * ``template`` — the encoded pattern with constants filled in;
+    * ``fills`` — ``(position, input column)`` pairs for variables bound
+      by the left input (empty when compiling a leaf scan);
+    * ``out`` — ``(position, name)`` for newly bound variables;
+    * ``eqs`` — intra-atom equality checks for repeated new variables;
+    * ``nl`` — positions whose new variable must not bind a literal;
+    * ``impossible`` — True when a constant is absent from the data.
+    """
+    template: list[int | None] = []
+    fills: list[tuple[int, int]] = []
+    out: list[tuple[int, str]] = []
+    eqs: list[tuple[int, int]] = []
+    nl: list[int] = []
+    first_seen: dict[Variable, int] = {}
+    filled: set[Variable] = set()
+    impossible = False
+    for position, term in enumerate(atom):
+        if isinstance(term, Variable):
+            template.append(None)
+            if term in filled:
+                # Bound by the input at an earlier position too: fill
+                # both pattern slots, the probe stays consistent.
+                fills.append((position, (bound or {})[term.name]))
+            elif term in first_seen:
+                eqs.append((first_seen[term], position))
+            elif bound is not None and term.name in bound:
+                fills.append((position, bound[term.name]))
+                filled.add(term)
+            else:
+                first_seen[term] = position
+                out.append((position, term.name))
+                if term in non_literal:
+                    nl.append(position)
+        else:
+            code = store.encode_term(term)
+            if code is None:
+                impossible = True
+            template.append(code)
+    return template, tuple(fills), tuple(out), tuple(eqs), tuple(nl), impossible
+
+
+class IndexScan(Operator):
+    """Match one triple atom through the store's pattern indexes.
+
+    Output columns are the atom's distinct variables in ``(s, p, o)``
+    order; repeated variables become intra-atom equality filters, and
+    ``non_literal`` variables reject literal codes at binding time (the
+    reformulation rule-4 semantics). With ``sort_by`` set to one of the
+    output columns, rows come back ordered by that column's code via the
+    store's sorted-permutation iterators — the input contract of
+    :class:`MergeJoin`.
+    """
+
+    def __init__(
+        self,
+        store: TripleStore,
+        atom: Atom,
+        non_literal: frozenset[Variable] = frozenset(),
+        sort_by: str | None = None,
+    ) -> None:
+        self.store = store
+        self.atom = atom
+        self.non_literal = non_literal
+        template, _, out, eqs, nl, impossible = _compile_atom(atom, store, non_literal)
+        self.pattern = (template[0], template[1], template[2])
+        self._out = out
+        self._eqs = eqs
+        self._nl = nl
+        self.impossible = impossible
+        self.schema = tuple(name for _, name in out)
+        self.sort_by = sort_by
+        if sort_by is not None:
+            if sort_by not in self.schema:
+                raise ValueError(f"sort column {sort_by!r} not produced by {self.schema}")
+            self.sorted_on = (sort_by,)
+
+    def __iter__(self) -> Iterator[PhysicalRow]:
+        if self.impossible:
+            return
+        if self.sort_by is None:
+            matches: Iterable = self.store.match_encoded(self.pattern)
+        else:
+            position = next(pos for pos, name in self._out if name == self.sort_by)
+            matches = self.store.match_sorted(self.pattern, _SORT_ORDERS[position])
+        out, eqs, nl = self._out, self._eqs, self._nl
+        if not eqs and not nl:
+            for triple in matches:
+                yield tuple(triple[position] for position, _ in out)
+            return
+        is_literal = self.store.dictionary.is_literal_code
+        for triple in matches:
+            if any(triple[i] != triple[j] for i, j in eqs):
+                continue
+            if any(is_literal(triple[position]) for position in nl):
+                continue
+            yield tuple(triple[position] for position, _ in out)
+
+    def _describe(self) -> str:
+        return f"IndexScan({self.atom}){list(self.schema)}"
+
+
+class IndexNestedLoopJoin(Operator):
+    """Join the input with one atom by probing the store's indexes.
+
+    For every input row the atom's variables already present in the
+    input schema are substituted into the encoded pattern and the store
+    answers the probe through its tightest index — the engine version of
+    the seed's greedy index-nested-loop step, with the join order frozen
+    at plan time instead of re-counted per recursion.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        store: TripleStore,
+        atom: Atom,
+        non_literal: frozenset[Variable] = frozenset(),
+    ) -> None:
+        self.child = child
+        self.store = store
+        self.atom = atom
+        bound = {name: position for position, name in enumerate(child.schema)}
+        template, fills, out, eqs, nl, impossible = _compile_atom(
+            atom, store, non_literal, bound
+        )
+        self._template = template
+        self._fills = fills
+        self._out = out
+        self._eqs = eqs
+        self._nl = nl
+        self.impossible = impossible
+        self.schema = child.schema + tuple(name for _, name in out)
+
+    def __iter__(self) -> Iterator[PhysicalRow]:
+        if self.impossible:
+            return
+        template, fills, out = self._template, self._fills, self._out
+        eqs, nl = self._eqs, self._nl
+        match = self.store.match_encoded
+        is_literal = self.store.dictionary.is_literal_code
+        for row in self.child:
+            pattern = list(template)
+            for position, column in fills:
+                pattern[position] = row[column]
+            for triple in match((pattern[0], pattern[1], pattern[2])):
+                if any(triple[i] != triple[j] for i, j in eqs):
+                    continue
+                if any(is_literal(triple[position]) for position in nl):
+                    continue
+                yield row + tuple(triple[position] for position, _ in out)
+
+    def _describe(self) -> str:
+        return f"IndexNestedLoopJoin({self.atom}){list(self.schema)}"
+
+    def _children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+
+class HashJoin(Operator):
+    """Equi-join: build a hash table on the right input, stream the left.
+
+    ``pairs`` are ``(left position, right position)`` key pairs;
+    ``keep_right`` lists the right positions appended to each output row
+    (natural-join semantics drop the right copy of shared columns).
+    When the right input exposes a prebuilt hash index (a scan over an
+    indexed view extent), the build phase is skipped entirely.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        pairs: Sequence[tuple[int, int]],
+        keep_right: Sequence[int],
+    ) -> None:
+        self.left = left
+        self.right = right
+        self._left_keys = tuple(lp for lp, _ in pairs)
+        self._right_keys = tuple(rp for _, rp in pairs)
+        self._keep_right = tuple(keep_right)
+        self.schema = left.schema + tuple(right.schema[p] for p in self._keep_right)
+
+    def __iter__(self) -> Iterator[PhysicalRow]:
+        right_keys, keep = self._right_keys, self._keep_right
+        table = self.right.hash_index(right_keys)
+        if table is None:
+            table = {}
+            for row in self.right:
+                key = tuple(row[p] for p in right_keys)
+                table.setdefault(key, []).append(row)
+        left_keys = self._left_keys
+        for row in self.left:
+            matches = table.get(tuple(row[p] for p in left_keys))
+            if matches:
+                for other in matches:
+                    yield row + tuple(other[p] for p in keep)
+
+    def _describe(self) -> str:
+        condition = ",".join(
+            f"{self.left.schema[l]}={self.right.schema[r]}"
+            for l, r in zip(self._left_keys, self._right_keys)
+        )
+        return f"HashJoin[{condition}]{list(self.schema)}"
+
+    def _children(self) -> tuple[Operator, ...]:
+        return (self.left, self.right)
+
+
+class MergeJoin(Operator):
+    """Sort-merge equi-join.
+
+    Inputs are materialized and sorted on their key columns unless their
+    ``sorted_on`` already matches (leaf scans over the store's sorted
+    permutations arrive presorted). ``value_key`` maps a single value to
+    a sortable key — dictionary codes are naturally ordered, decoded RDF
+    terms sort by their N-Triples rendering.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        pairs: Sequence[tuple[int, int]],
+        keep_right: Sequence[int],
+        value_key: Callable | None = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self._left_keys = tuple(lp for lp, _ in pairs)
+        self._right_keys = tuple(rp for _, rp in pairs)
+        self._keep_right = tuple(keep_right)
+        self._value_key = value_key
+        self.schema = left.schema + tuple(right.schema[p] for p in self._keep_right)
+
+    def _key_function(self, positions: tuple[int, ...]) -> Callable[[PhysicalRow], tuple]:
+        value_key = self._value_key
+        if value_key is None:
+            return lambda row: tuple(row[p] for p in positions)
+        return lambda row: tuple(value_key(row[p]) for p in positions)
+
+    def _sorted_input(self, child: Operator, positions: tuple[int, ...], key) -> list:
+        rows = child.rows()
+        columns = tuple(child.schema[p] for p in positions)
+        if child.sorted_on is not None and child.sorted_on[: len(columns)] == columns:
+            return rows
+        rows.sort(key=key)
+        return rows
+
+    def __iter__(self) -> Iterator[PhysicalRow]:
+        left_key = self._key_function(self._left_keys)
+        right_key = self._key_function(self._right_keys)
+        left_rows = self._sorted_input(self.left, self._left_keys, left_key)
+        right_rows = self._sorted_input(self.right, self._right_keys, right_key)
+        keep = self._keep_right
+        i = j = 0
+        n_left, n_right = len(left_rows), len(right_rows)
+        while i < n_left and j < n_right:
+            lk, rk = left_key(left_rows[i]), right_key(right_rows[j])
+            if lk < rk:
+                i += 1
+            elif rk < lk:
+                j += 1
+            else:
+                i_end = i + 1
+                while i_end < n_left and left_key(left_rows[i_end]) == lk:
+                    i_end += 1
+                j_end = j + 1
+                while j_end < n_right and right_key(right_rows[j_end]) == rk:
+                    j_end += 1
+                for row in left_rows[i:i_end]:
+                    for other in right_rows[j:j_end]:
+                        yield row + tuple(other[p] for p in keep)
+                i, j = i_end, j_end
+
+    def _describe(self) -> str:
+        condition = ",".join(
+            f"{self.left.schema[l]}={self.right.schema[r]}"
+            for l, r in zip(self._left_keys, self._right_keys)
+        )
+        return f"MergeJoin[{condition}]{list(self.schema)}"
+
+    def _children(self) -> tuple[Operator, ...]:
+        return (self.left, self.right)
+
+
+class Selection(Operator):
+    """Filter rows by an arbitrary predicate; preserves order and schema."""
+
+    def __init__(self, child: Operator, predicate: Callable[[PhysicalRow], bool]) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+        self.sorted_on = child.sorted_on
+
+    def __iter__(self) -> Iterator[PhysicalRow]:
+        predicate = self.predicate
+        return (row for row in self.child if predicate(row))
+
+    def _children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+
+class Projection(Operator):
+    """Keep the given column positions; optionally deduplicate.
+
+    Deduplication preserves first-occurrence order, matching the set
+    semantics of conjunctive rewritings (the algebra ``Project``).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        positions: Sequence[int],
+        schema: tuple[str, ...],
+        distinct: bool = True,
+    ) -> None:
+        self.child = child
+        self._positions = tuple(positions)
+        self.schema = schema
+        self.distinct = distinct
+
+    def __iter__(self) -> Iterator[PhysicalRow]:
+        positions = self._positions
+        if not self.distinct:
+            for row in self.child:
+                yield tuple(row[p] for p in positions)
+            return
+        seen: set = set()
+        for row in self.child:
+            image = tuple(row[p] for p in positions)
+            if image not in seen:
+                seen.add(image)
+                yield image
+
+    def _describe(self) -> str:
+        return f"Projection[{','.join(self.schema)}]"
+
+    def _children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+
+class Distinct(Operator):
+    """Drop duplicate rows, preserving first-occurrence order."""
+
+    def __init__(self, child: Operator) -> None:
+        self.child = child
+        self.schema = child.schema
+
+    def __iter__(self) -> Iterator[PhysicalRow]:
+        seen: set = set()
+        for row in self.child:
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def _children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+
+class Relabel(Operator):
+    """Rename the columns of the input positionally (zero-cost)."""
+
+    def __init__(self, child: Operator, schema: tuple[str, ...]) -> None:
+        if len(schema) != len(child.schema):
+            raise ValueError(
+                f"relabel arity {len(schema)} differs from child schema {child.schema}"
+            )
+        self.child = child
+        self.schema = schema
+
+    def __iter__(self) -> Iterator[PhysicalRow]:
+        return iter(self.child)
+
+    def _children(self) -> tuple[Operator, ...]:
+        return (self.child,)

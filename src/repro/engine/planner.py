@@ -1,0 +1,346 @@
+"""Plan compilation: one engine for queries-on-stores and plans-on-views.
+
+Two entry families compile into the *same* physical operator algebra
+(:mod:`repro.engine.operators`):
+
+* :func:`plan_query` / :func:`run_query` — a
+  :class:`~repro.query.cq.ConjunctiveQuery` against a
+  :class:`~repro.rdf.store.TripleStore`. Atoms are ordered **once** by
+  their exact pattern cardinalities (the Section 3.3 statistics, via any
+  :class:`~repro.selection.statistics.Statistics` provider or the
+  store's own counts), then compiled into a left-deep join tree.
+* :func:`plan_rewriting` / :func:`run_plan` — a rewriting
+  :class:`~repro.query.algebra.Plan` against materialized view extents,
+  with hash joins that reuse the extents' cached hash indexes.
+
+The ``engine`` knob selects the join algorithm:
+
+* ``index-nested-loop`` — probe the store's pattern indexes per row
+  (the seed evaluator's strategy, with the join order frozen at plan
+  time instead of re-counted at every recursion step);
+* ``hash`` — materialize each atom match and hash-join pairwise;
+* ``merge`` — sort-merge joins over dictionary codes, feeding from the
+  store's sorted-permutation iterators where the order matches;
+* ``auto`` — index-nested-loop for connected join steps, hash joins for
+  Cartesian steps (where per-row probing would rescan the store).
+
+Over extents the store-specific strategies degrade gracefully: ``auto``
+and ``index-nested-loop`` resolve to hash joins (there is no triple
+index to probe), ``merge`` sorts decoded terms by their N-Triples
+rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.engine.operators import (
+    Empty,
+    ExtentScan,
+    HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
+    MergeJoin,
+    Operator,
+    Projection,
+    Relabel,
+    Selection,
+)
+from repro.query import algebra
+from repro.query.cq import Atom, ConjunctiveQuery, Variable
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Term
+
+#: The selectable join strategies.
+ENGINES = ("auto", "index-nested-loop", "hash", "merge")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; pick from {ENGINES}")
+
+
+# ----------------------------------------------------------------------
+# Conjunctive queries against a triple store
+# ----------------------------------------------------------------------
+
+
+def _atom_count(atom: Atom, store: TripleStore, statistics) -> int:
+    """The atom's cardinality estimate used for join ordering.
+
+    With a statistics provider this is one cached lookup per atom (the
+    cost-model cardinalities of Section 3.3); without one the store's
+    exact pattern count is read directly. Either way the count is taken
+    once at plan time, never during execution.
+    """
+    if statistics is not None:
+        return statistics.atom_count(atom)
+    encoded: list[int | None] = []
+    for term in atom:
+        if isinstance(term, Variable):
+            encoded.append(None)
+        else:
+            code = store.encode_term(term)
+            if code is None:
+                return 0
+            encoded.append(code)
+    return store.count_encoded((encoded[0], encoded[1], encoded[2]))
+
+
+def _join_order(query: ConjunctiveQuery, store: TripleStore, statistics) -> list[int]:
+    """Greedy selectivity order: start from the rarest atom, then always
+    expand with the rarest atom connected to the variables bound so far
+    (falling back to a Cartesian step only when nothing is connected)."""
+    atoms = query.atoms
+    counts = [_atom_count(atom, store, statistics) for atom in atoms]
+    remaining = set(range(len(atoms)))
+    order: list[int] = []
+    bound: set[Variable] = set()
+    while remaining:
+        if bound:
+            connected = [i for i in remaining if atoms[i].variables() & bound]
+            pool = connected or sorted(remaining)
+        else:
+            pool = sorted(remaining)
+        best = min(pool, key=lambda i: (counts[i], i))
+        order.append(best)
+        remaining.discard(best)
+        bound |= atoms[best].variables()
+    return order
+
+
+def _natural_pairs(
+    left_schema: tuple[str, ...], right_schema: tuple[str, ...]
+) -> tuple[list[tuple[int, int]], list[int]]:
+    """Natural-join position pairs plus the right positions to keep."""
+    pairs = [
+        (left_schema.index(column), position)
+        for position, column in enumerate(right_schema)
+        if column in left_schema
+    ]
+    keep_right = [
+        position
+        for position, column in enumerate(right_schema)
+        if column not in left_schema
+    ]
+    return pairs, keep_right
+
+
+#: Flush threshold for a single store's prepared plans (a workload far
+#: larger than anything the selection search produces).
+_PLAN_CACHE_LIMIT = 4096
+
+
+def plan_query(
+    query: ConjunctiveQuery,
+    store: TripleStore,
+    engine: str = "auto",
+    statistics=None,
+) -> Operator:
+    """Compile a conjunctive query into a physical operator tree.
+
+    The resulting operator yields rows of dictionary codes whose schema
+    covers every body variable (by name); :func:`run_query` adds head
+    assembly and decoding.
+
+    Plans compiled without an explicit ``statistics`` provider are
+    cached per store (prepared-statement style) and reused until the
+    store mutates — repeated workload evaluation pays join ordering and
+    operator construction once.
+    """
+    _check_engine(engine)
+    if statistics is None:
+        # Prepared plans live *on the store instance* (operator trees
+        # reference the store, so an external registry keyed by store
+        # could never be collected; the instance attribute only forms a
+        # reference cycle, which the garbage collector handles). A
+        # version mismatch flushes the whole dictionary.
+        entry = getattr(store, "_engine_plan_cache", None)
+        version = store.version
+        if entry is None or entry["version"] != version:
+            entry = {"version": version, "plans": {}}
+            store._engine_plan_cache = entry
+        plans = entry["plans"]
+        key = (query, engine)
+        cached = plans.get(key)
+        if cached is not None:
+            return cached
+        root = _compile_query(query, store, engine, None)
+        if len(plans) >= _PLAN_CACHE_LIMIT:
+            plans.clear()
+        plans[key] = root
+        return root
+    return _compile_query(query, store, engine, statistics)
+
+
+def _compile_query(
+    query: ConjunctiveQuery,
+    store: TripleStore,
+    engine: str,
+    statistics,
+) -> Operator:
+    non_literal = query.non_literal
+    variable_schema = tuple(
+        sorted({v.name for v in query.variables()})
+    )
+    for atom in query.atoms:
+        for term in atom:
+            if not isinstance(term, Variable) and store.encode_term(term) is None:
+                # A constant the data never mentions: the whole query is
+                # unsatisfiable, no operator needs to run.
+                return Empty(variable_schema)
+    order = _join_order(query, store, statistics)
+    atoms = query.atoms
+    root: Operator = IndexScan(store, atoms[order[0]], non_literal)
+    for index in order[1:]:
+        atom = atoms[index]
+        if engine == "index-nested-loop":
+            root = IndexNestedLoopJoin(root, store, atom, non_literal)
+            continue
+        if engine == "auto":
+            connected = any(
+                isinstance(term, Variable) and term.name in root.schema for term in atom
+            )
+            if connected:
+                root = IndexNestedLoopJoin(root, store, atom, non_literal)
+                continue
+        right: Operator = IndexScan(store, atom, non_literal)
+        pairs, keep_right = _natural_pairs(root.schema, right.schema)
+        if engine == "merge":
+            if len(pairs) == 1:
+                column = right.schema[pairs[0][1]]
+                # Feed the merge from the store's sorted permutations
+                # when a leaf can produce the order natively.
+                if isinstance(root, IndexScan) and root.sort_by != column:
+                    root = IndexScan(store, root.atom, non_literal, sort_by=column)
+                right = IndexScan(store, atom, non_literal, sort_by=column)
+                pairs, keep_right = _natural_pairs(root.schema, right.schema)
+            root = MergeJoin(root, right, pairs, keep_right)
+        else:
+            root = HashJoin(root, right, pairs, keep_right)
+    return root
+
+
+def run_query(
+    query: ConjunctiveQuery,
+    store: TripleStore,
+    engine: str = "auto",
+    statistics=None,
+) -> set[tuple[Term, ...]]:
+    """All answers of the query on the store (set semantics, decoded)."""
+    root = plan_query(query, store, engine=engine, statistics=statistics)
+    schema = root.schema
+    slots: list[int | None] = []
+    constants: list[Term | None] = []
+    for term in query.head:
+        if isinstance(term, Variable):
+            slots.append(schema.index(term.name))
+            constants.append(None)
+        else:
+            slots.append(None)
+            constants.append(term)
+    decode = store.dictionary.decode
+    answers: set[tuple[Term, ...]] = set()
+    decoded_cache: dict[int, Term] = {}
+    for row in root:
+        answer = []
+        for slot, constant in zip(slots, constants):
+            if slot is None:
+                answer.append(constant)
+            else:
+                code = row[slot]
+                term = decoded_cache.get(code)
+                if term is None:
+                    term = decode(code)
+                    decoded_cache[code] = term
+                answer.append(term)
+        answers.add(tuple(answer))
+    return answers
+
+
+# ----------------------------------------------------------------------
+# Rewriting plans against materialized view extents
+# ----------------------------------------------------------------------
+
+
+def _compile_conditions(
+    conditions: Sequence[algebra.Condition], schema: tuple[str, ...]
+):
+    index = {column: position for position, column in enumerate(schema)}
+    checks: list[tuple[int, object, int | None]] = []
+    for condition in conditions:
+        if isinstance(condition, algebra.EqualsConstant):
+            checks.append((index[condition.column], condition.value, None))
+        else:
+            checks.append((index[condition.left], None, index[condition.right]))
+
+    def predicate(row) -> bool:
+        for position, value, other in checks:
+            if other is None:
+                if row[position] != value:
+                    return False
+            elif row[position] != row[other]:
+                return False
+        return True
+
+    return predicate
+
+
+def _term_sort_key(term: Term) -> str:
+    return term.n3()
+
+
+def plan_rewriting(
+    plan: algebra.Plan,
+    extents: Mapping[str, Sequence[tuple]],
+    engine: str = "auto",
+) -> Operator:
+    """Compile a rewriting plan into a physical operator tree over extents."""
+    _check_engine(engine)
+    if isinstance(plan, algebra.Scan):
+        try:
+            rows = extents[plan.view]
+        except KeyError as exc:
+            raise KeyError(f"no extent provided for view {plan.view!r}") from exc
+        return ExtentScan(plan.view, rows, plan.schema)
+    if isinstance(plan, algebra.Select):
+        child = plan_rewriting(plan.child, extents, engine)
+        return Selection(child, _compile_conditions(plan.conditions, child.schema))
+    if isinstance(plan, algebra.Project):
+        child = plan_rewriting(plan.child, extents, engine)
+        positions = [child.schema.index(column) for column in plan.columns]
+        return Projection(child, positions, tuple(plan.columns), distinct=True)
+    if isinstance(plan, algebra.Rename):
+        child = plan_rewriting(plan.child, extents, engine)
+        return Relabel(child, tuple(plan.columns))
+    left = plan_rewriting(plan.left, extents, engine)
+    right = plan_rewriting(plan.right, extents, engine)
+    left_schema, right_schema = plan.left.schema, plan.right.schema
+    pairs = [
+        (left_schema.index(l), right_schema.index(r)) for l, r in plan.all_pairs
+    ]
+    keep_right = [
+        position
+        for position, column in enumerate(right_schema)
+        if column not in left_schema
+    ]
+    if engine == "merge":
+        return MergeJoin(left, right, pairs, keep_right, value_key=_term_sort_key)
+    # auto / index-nested-loop / hash: extents carry no triple indexes to
+    # probe, so everything funnels into the (extent-indexed) hash join.
+    return HashJoin(left, right, pairs, keep_right)
+
+
+def run_plan(
+    plan: algebra.Plan,
+    extents: Mapping[str, Sequence[tuple]],
+    engine: str = "auto",
+) -> list[tuple]:
+    """Execute a rewriting plan over view extents.
+
+    Matches the historical ``algebra.execute`` contract: duplicates are
+    preserved except through ``Project``, and with the default engine
+    the row order is exactly the seed's (scan order, hash joins
+    streaming the left input).
+    """
+    return list(plan_rewriting(plan, extents, engine))

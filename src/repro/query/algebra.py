@@ -19,7 +19,7 @@ queries from the recommended views.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence, Union
+from typing import Iterator, Mapping, Sequence, Union
 
 from repro.query.cq import ConjunctiveQuery
 from repro.rdf.terms import Term
@@ -263,71 +263,23 @@ def rename_scan(plan: Plan, old: str, new: str) -> Plan:
 # ----------------------------------------------------------------------
 
 
-def execute(plan: Plan, extents: Mapping[str, Sequence[Row]]) -> list[Row]:
+def execute(
+    plan: Plan, extents: Mapping[str, Sequence[Row]], engine: str = "auto"
+) -> list[Row]:
     """Run the plan over view extents; returns rows (duplicates preserved
     except through Project, which deduplicates, matching set semantics of
-    the conjunctive rewritings)."""
-    if isinstance(plan, Scan):
-        try:
-            return list(extents[plan.view])
-        except KeyError as exc:
-            raise KeyError(f"no extent provided for view {plan.view!r}") from exc
-    if isinstance(plan, Select):
-        rows = execute(plan.child, extents)
-        schema = plan.child.schema
-        index = {column: position for position, column in enumerate(schema)}
-        kept = []
-        for row in rows:
-            if _satisfies(row, plan.conditions, index):
-                kept.append(row)
-        return kept
-    if isinstance(plan, Project):
-        rows = execute(plan.child, extents)
-        schema = plan.child.schema
-        positions = [schema.index(column) for column in plan.columns]
-        seen: set[Row] = set()
-        projected: list[Row] = []
-        for row in rows:
-            image = tuple(row[position] for position in positions)
-            if image not in seen:
-                seen.add(image)
-                projected.append(image)
-        return projected
-    if isinstance(plan, Rename):
-        return execute(plan.child, extents)
-    return _execute_join(plan, extents)
+    the conjunctive rewritings).
 
+    Delegates to the physical-operator engine (:mod:`repro.engine`).
+    Joins probe the extents' cached hash indexes when the extents are
+    :class:`~repro.engine.extents.ViewExtent` instances (as produced by
+    :func:`repro.selection.materialize.materialize_views`); plain
+    ``list`` extents still work, building a transient hash table per
+    join. With the default engine the row order matches the historical
+    tuple-at-a-time interpreter exactly.
+    """
+    # Imported lazily: the engine compiles this module's plan nodes, so
+    # a top-level import would be circular.
+    from repro.engine.planner import run_plan
 
-def _satisfies(row: Row, conditions: Iterable[Condition], index: Mapping[str, int]) -> bool:
-    for condition in conditions:
-        if isinstance(condition, EqualsConstant):
-            if row[index[condition.column]] != condition.value:
-                return False
-        else:
-            if row[index[condition.left]] != row[index[condition.right]]:
-                return False
-    return True
-
-
-def _execute_join(plan: Join, extents: Mapping[str, Sequence[Row]]) -> list[Row]:
-    left_rows = execute(plan.left, extents)
-    right_rows = execute(plan.right, extents)
-    pairs = plan.all_pairs
-    left_schema, right_schema = plan.left.schema, plan.right.schema
-    left_positions = [left_schema.index(l) for l, _ in pairs]
-    right_positions = [right_schema.index(r) for _, r in pairs]
-    keep_right = [
-        position
-        for position, column in enumerate(right_schema)
-        if column not in left_schema
-    ]
-    table: dict[tuple, list[Row]] = {}
-    for row in right_rows:
-        key = tuple(row[position] for position in right_positions)
-        table.setdefault(key, []).append(row)
-    joined: list[Row] = []
-    for row in left_rows:
-        key = tuple(row[position] for position in left_positions)
-        for other in table.get(key, ()):
-            joined.append(row + tuple(other[position] for position in keep_right))
-    return joined
+    return run_plan(plan, extents, engine=engine)

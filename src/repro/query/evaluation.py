@@ -1,16 +1,29 @@
 """Evaluation of conjunctive queries and unions over a triple store.
 
 The evaluator is the "standard query evaluation for plain RDF" the paper
-relies on (its ``evaluate`` function in Theorem 4.2). Atoms are matched
-through the store's pattern indexes; the join order is chosen greedily by
-current exact pattern cardinality, a simple but effective index-nested-
-loop strategy reminiscent of RDF-3X's selectivity ordering.
+relies on (its ``evaluate`` function in Theorem 4.2). Since the engine
+refactor, :func:`evaluate` delegates to the physical-operator engine
+(:mod:`repro.engine`): atoms are ordered once by exact pattern
+cardinality (RDF-3X-style selectivity ordering) and executed through
+index-nested-loop, hash or merge joins selectable via ``engine=``.
+
+Two reference implementations are kept alongside:
+
+* :func:`evaluate_greedy` — the original recursive evaluator that
+  re-counts every remaining atom at each recursion step (the pre-engine
+  behaviour, now a correctness/performance baseline);
+* :func:`evaluate_nested_loop` — the unindexed full-scan baseline
+  playing the paper's "plain triple table" role in Figure 8.
+
+All evaluators enforce the ``non_literal`` rule-4 semantics and agree on
+answer sets (property-tested in ``tests/property/test_property_engine.py``).
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
+from repro.engine import run_query
 from repro.query.cq import Atom, ConjunctiveQuery, UnionQuery, Variable
 from repro.rdf.store import EncodedPattern, TripleStore
 from repro.rdf.terms import Term
@@ -113,19 +126,45 @@ def _evaluate_rec(
             _evaluate_rec(rest, extended, store, query, results)
 
 
-def evaluate(query: ConjunctiveQuery, store: TripleStore) -> set[Answer]:
-    """All answers of a conjunctive query on the store (set semantics)."""
+def evaluate(
+    query: ConjunctiveQuery,
+    store: TripleStore,
+    engine: str = "auto",
+    statistics=None,
+) -> set[Answer]:
+    """All answers of a conjunctive query on the store (set semantics).
+
+    Delegates to the physical-operator engine; ``engine`` picks the join
+    strategy (see :data:`repro.engine.ENGINES`) and ``statistics`` may
+    supply precomputed atom cardinalities for join ordering.
+    """
+    return run_query(query, store, engine=engine, statistics=statistics)
+
+
+def evaluate_greedy(query: ConjunctiveQuery, store: TripleStore) -> set[Answer]:
+    """The seed evaluator: greedy index-nested-loop with per-recursion
+    re-counting of every remaining atom.
+
+    Kept as the reference baseline the engine is benchmarked against
+    (``benchmarks/bench_fig8_query_evaluation.py``) and as an
+    independent oracle for the parity property tests; production callers
+    should use :func:`evaluate`.
+    """
     results: set[Answer] = set()
     _evaluate_rec(list(query.atoms), {}, store, query, results)
     return results
 
 
-def evaluate_union(union: UnionQuery | Iterable[ConjunctiveQuery], store: TripleStore) -> set[Answer]:
+def evaluate_union(
+    union: UnionQuery | Iterable[ConjunctiveQuery],
+    store: TripleStore,
+    engine: str = "auto",
+) -> set[Answer]:
     """All answers of a union of conjunctive queries (duplicates removed)."""
     disjuncts = union.disjuncts if isinstance(union, UnionQuery) else tuple(union)
     results: set[Answer] = set()
     for disjunct in disjuncts:
-        results |= evaluate(disjunct, store)
+        results |= evaluate(disjunct, store, engine=engine)
     return results
 
 

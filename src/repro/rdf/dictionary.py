@@ -60,6 +60,19 @@ class Dictionary:
             return self._code_to_term[code]
         raise KeyError(f"unknown dictionary code {code}")
 
+    def copy(self) -> "Dictionary":
+        """An independent clone preserving every code assignment.
+
+        Used by :meth:`repro.rdf.store.TripleStore.copy` so cloned stores
+        keep identical encodings without re-encoding any term.
+        """
+        clone = Dictionary()
+        clone._term_to_code = dict(self._term_to_code)
+        clone._code_to_term = list(self._code_to_term)
+        clone._literal_codes = set(self._literal_codes)
+        clone._total_size = self._total_size
+        return clone
+
     def average_term_size(self) -> float:
         """Average rendered (N-Triples) byte size over all encoded terms.
 

@@ -25,6 +25,16 @@ EncodedPattern = tuple[int | None, int | None, int | None]
 
 _COLUMNS = ("s", "p", "o")
 
+#: The six column permutations a sorted iterator can follow.
+_PERMUTATIONS: dict[str, tuple[int, int, int]] = {
+    "spo": (0, 1, 2),
+    "sop": (0, 2, 1),
+    "pso": (1, 0, 2),
+    "pos": (1, 2, 0),
+    "osp": (2, 0, 1),
+    "ops": (2, 1, 0),
+}
+
 
 class TripleStore:
     """A set of well-formed RDF triples with hexastore-style indexing.
@@ -51,6 +61,12 @@ class TripleStore:
             Counter(),
             Counter(),
         )
+        # Lazily sorted permutations of the triple table (for merge
+        # joins); invalidated wholesale on any mutation.
+        self._sorted_cache: dict[str, list[EncodedTriple]] = {}
+        # Monotonic mutation counter: lets the engine detect staleness
+        # of anything derived from the store (e.g. cached query plans).
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -79,16 +95,27 @@ class TripleStore:
             return False
         self._triples.discard(encoded)
         s, p, o = encoded
-        self._idx_s[s].discard(encoded)
-        self._idx_p[p].discard(encoded)
-        self._idx_o[o].discard(encoded)
-        self._idx_sp[(s, p)].discard(encoded)
-        self._idx_so[(s, o)].discard(encoded)
-        self._idx_po[(p, o)].discard(encoded)
+        # Drop buckets that empty out: under churn, keeping them alive
+        # would grow all six indexes without bound.
+        for index, key in (
+            (self._idx_s, s),
+            (self._idx_p, p),
+            (self._idx_o, o),
+            (self._idx_sp, (s, p)),
+            (self._idx_so, (s, o)),
+            (self._idx_po, (p, o)),
+        ):
+            bucket = index[key]
+            bucket.discard(encoded)
+            if not bucket:
+                del index[key]
         for counter, value in zip(self._col_values, encoded):
             counter[value] -= 1
             if counter[value] <= 0:
                 del counter[value]
+        if self._sorted_cache:
+            self._sorted_cache.clear()
+        self.version += 1
         return True
 
     def _add_encoded(self, encoded: EncodedTriple) -> bool:
@@ -104,6 +131,9 @@ class TripleStore:
         self._idx_po.setdefault((p, o), set()).add(encoded)
         for counter, value in zip(self._col_values, encoded):
             counter[value] += 1
+        if self._sorted_cache:
+            self._sorted_cache.clear()
+        self.version += 1
         return True
 
     # ------------------------------------------------------------------
@@ -191,6 +221,49 @@ class TripleStore:
             return self._idx_o.get(o, ())
         return self._triples
 
+    @staticmethod
+    def _permutation_key(order: str):
+        """Sort-key function for one of the six column permutations."""
+        permutation = _PERMUTATIONS.get(order)
+        if permutation is None:
+            raise ValueError(
+                f"unknown sort order {order!r}; pick from {sorted(_PERMUTATIONS)}"
+            )
+        a, b, c = permutation
+        return lambda t: (t[a], t[b], t[c])
+
+    def _sorted_triples(self, order: str) -> list[EncodedTriple]:
+        key = self._permutation_key(order)
+        cached = self._sorted_cache.get(order)
+        if cached is None:
+            cached = sorted(self._triples, key=key)
+            self._sorted_cache[order] = cached
+        return cached
+
+    def iter_sorted(self, order: str = "spo") -> Iterator[EncodedTriple]:
+        """All triples in the code order of a column permutation.
+
+        ``order`` is one of the six permutations of ``"spo"``. The sorted
+        list is computed lazily and cached until the next mutation, so
+        repeated merge-join plans over a stable store pay the sort once —
+        the in-memory analogue of RDF-3X's clustered permutation indexes.
+        """
+        return iter(self._sorted_triples(order))
+
+    def match_sorted(
+        self, pattern: EncodedPattern, order: str = "spo"
+    ) -> Iterator[EncodedTriple]:
+        """Matches of an encoded pattern, sorted by the given permutation.
+
+        Full scans reuse the cached sorted permutation; restricted
+        patterns sort their (already index-narrowed) match set on the
+        fly. This is what makes merge joins possible over any atom.
+        """
+        if pattern == (None, None, None):
+            return iter(self._sorted_triples(order))
+        key = self._permutation_key(order)
+        return iter(sorted(self.match_encoded(pattern), key=key))
+
     def count_encoded(self, pattern: EncodedPattern) -> int:
         """Exact count of triples matching an encoded pattern."""
         matches = self.match_encoded(pattern)
@@ -215,7 +288,21 @@ class TripleStore:
         return self.dictionary.average_term_size()
 
     def copy(self) -> "TripleStore":
-        """An independent deep copy (shares no index structures)."""
+        """An independent deep copy (shares no index structures).
+
+        Encoded triples, indexes and the dictionary are cloned directly;
+        no triple is decoded or re-encoded, so copying costs one set/dict
+        copy per structure instead of a full render→parse round trip per
+        triple (and codes stay identical between original and clone).
+        """
         clone = TripleStore()
-        clone.add_all(iter(self))
+        clone.dictionary = self.dictionary.copy()
+        clone._triples = set(self._triples)
+        clone._idx_s = {key: set(bucket) for key, bucket in self._idx_s.items()}
+        clone._idx_p = {key: set(bucket) for key, bucket in self._idx_p.items()}
+        clone._idx_o = {key: set(bucket) for key, bucket in self._idx_o.items()}
+        clone._idx_sp = {key: set(bucket) for key, bucket in self._idx_sp.items()}
+        clone._idx_so = {key: set(bucket) for key, bucket in self._idx_so.items()}
+        clone._idx_po = {key: set(bucket) for key, bucket in self._idx_po.items()}
+        clone._col_values = tuple(Counter(counter) for counter in self._col_values)
         return clone

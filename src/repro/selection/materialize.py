@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro.engine.extents import ViewExtent
 from repro.query.algebra import Row, execute
 from repro.query.cq import Variable
 from repro.query.evaluation import Answer, evaluate, evaluate_union
@@ -23,24 +24,34 @@ def materialize_views(
     state: State,
     store: TripleStore,
     schema: RDFSchema | None = None,
-) -> dict[str, list[Row]]:
+    engine: str = "auto",
+) -> dict[str, ViewExtent]:
     """Compute the extent of every view of ``state`` on ``store``.
 
     With ``schema`` given, each view is reformulated first and the union
     is evaluated on the (non-saturated) store — the post-reformulation
     materialization of Section 4.3. Without a schema, views are
     evaluated directly (appropriate for a plain or saturated store).
+
+    Extents come back as :class:`~repro.engine.extents.ViewExtent`
+    (plain ``list`` subclasses): rewriting plans executed over them
+    build each view's hash index on its join attributes once and reuse
+    it across queries and repeated executions.
     """
-    extents: dict[str, list[Row]] = {}
+    extents: dict[str, ViewExtent] = {}
     if schema is None:
         for view in state.views:
-            extents[view.name] = _sorted_rows(evaluate(view, store))
+            extents[view.name] = ViewExtent(
+                _sorted_rows(evaluate(view, store, engine=engine))
+            )
         return extents
     from repro.reformulation.reformulate import reformulate
 
     for view in state.views:
         union = reformulate(view, schema)
-        extents[view.name] = _sorted_rows(evaluate_union(union, store))
+        extents[view.name] = ViewExtent(
+            _sorted_rows(evaluate_union(union, store, engine=engine))
+        )
     return extents
 
 
@@ -53,6 +64,7 @@ def answer_query(
     state: State,
     query_name: str,
     extents: Mapping[str, Sequence[Row]],
+    engine: str = "auto",
 ) -> set[Answer]:
     """Answer one workload query purely from materialized view extents."""
     rewriting = state.rewritings.get(query_name)
@@ -60,16 +72,21 @@ def answer_query(
         raise KeyError(f"state has no rewriting for query {query_name!r}")
     answers: set[Answer] = set()
     for disjunct in rewriting:
-        rows = execute(disjunct.plan, extents)
+        rows = execute(disjunct.plan, extents, engine=engine)
         answers.update(disjunct.answer_rows(rows))
     return answers
 
 
 def answer_all(
-    state: State, extents: Mapping[str, Sequence[Row]]
+    state: State,
+    extents: Mapping[str, Sequence[Row]],
+    engine: str = "auto",
 ) -> dict[str, set[Answer]]:
     """Answer every workload query of the state from the extents."""
-    return {name: answer_query(state, name, extents) for name in state.rewritings}
+    return {
+        name: answer_query(state, name, extents, engine=engine)
+        for name in state.rewritings
+    }
 
 
 def extent_size(extents: Mapping[str, Sequence[Row]]) -> int:

@@ -65,23 +65,33 @@ class Recommendation:
         """The recommended views."""
         return self.state.views
 
-    def materialize(self) -> dict[str, list]:
+    def materialize(self, engine: str = "auto") -> dict[str, list]:
         """Extents for all recommended views, honoring the entailment mode.
 
         * ``post_reformulation`` — reformulated views on the plain store;
         * ``saturation`` — plain views on the saturated store;
         * otherwise — plain views on the plain store.
+
+        ``engine`` selects the join strategy used to evaluate the views
+        (see :data:`repro.engine.ENGINES`).
         """
         if self.entailment == "post_reformulation":
-            return materialize_views(self.state, self.store, self.schema)
+            return materialize_views(self.state, self.store, self.schema, engine=engine)
         if self.entailment == "saturation":
             assert self.schema is not None
-            return materialize_views(self.state, saturate(self.store, self.schema))
-        return materialize_views(self.state, self.store)
+            return materialize_views(
+                self.state, saturate(self.store, self.schema), engine=engine
+            )
+        return materialize_views(self.state, self.store, engine=engine)
 
-    def answer(self, query_name: str, extents: Mapping[str, Sequence]) -> set[Answer]:
+    def answer(
+        self,
+        query_name: str,
+        extents: Mapping[str, Sequence],
+        engine: str = "auto",
+    ) -> set[Answer]:
         """Answer one workload query from materialized extents."""
-        return answer_query(self.state, query_name, extents)
+        return answer_query(self.state, query_name, extents, engine=engine)
 
 
 class ViewSelector:

@@ -1,0 +1,244 @@
+"""Unit tests for the physical-operator engine (repro.engine)."""
+
+import pytest
+
+from repro.engine import (
+    ENGINES,
+    Distinct,
+    ExtentScan,
+    HashJoin,
+    IndexScan,
+    MergeJoin,
+    ViewExtent,
+    plan_query,
+    plan_rewriting,
+    run_plan,
+    run_query,
+)
+from repro.query.algebra import (
+    EqualsConstant,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    execute,
+)
+from repro.query.cq import Atom, ConjunctiveQuery, Variable
+from repro.query.evaluation import evaluate, evaluate_greedy
+from repro.query.parser import parse_query
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+from repro.selection.statistics import FixedStatistics
+
+from tests.conftest import ex
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+A, B, C, D = URI("http://a"), URI("http://b"), URI("http://c"), URI("http://d")
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request):
+    return request.param
+
+
+class TestRunQuery:
+    def test_single_atom(self, museum_store, engine):
+        query = parse_query("q(X, Y) :- t(X, hasPainted, Y)")
+        answers = run_query(query, museum_store, engine=engine)
+        assert (ex("vanGogh"), ex("starryNight")) in answers
+        assert len(answers) == 6
+
+    def test_join_matches_seed_evaluator(self, museum_store, q_painters, engine):
+        assert run_query(q_painters, museum_store, engine=engine) == evaluate_greedy(
+            q_painters, museum_store
+        )
+
+    def test_chain_join(self, museum_store, engine):
+        query = parse_query(
+            "q(X, W) :- t(X, isParentOf, Y), t(Y, hasPainted, Z), "
+            "t(Z, rdf:type, W)"
+        )
+        assert run_query(query, museum_store, engine=engine) == evaluate_greedy(
+            query, museum_store
+        )
+
+    def test_self_join_atom(self, engine):
+        store = TripleStore()
+        store.add(Triple(ex("a"), ex("p"), ex("a")))
+        store.add(Triple(ex("a"), ex("p"), ex("b")))
+        query = ConjunctiveQuery((X,), (Atom(X, ex("p"), X),))
+        assert run_query(query, store, engine=engine) == {(ex("a"),)}
+
+    def test_cartesian_product(self, museum_store, engine):
+        query = parse_query(
+            "q(X, Z) :- t(X, hasPainted, starryNight), t(Z, rdf:type, sketch)"
+        )
+        assert run_query(query, museum_store, engine=engine) == {
+            (ex("vanGogh"), ex("sketch1"))
+        }
+
+    def test_unknown_constant_yields_empty(self, museum_store, engine):
+        query = parse_query("q(X) :- t(X, neverSeenProperty, Y)")
+        assert run_query(query, museum_store, engine=engine) == set()
+
+    def test_constant_and_duplicate_head(self, museum_store, engine):
+        query = ConjunctiveQuery(
+            (X, ex("marker"), X), (Atom(X, ex("hasPainted"), ex("starryNight")),)
+        )
+        assert run_query(query, museum_store, engine=engine) == {
+            (ex("vanGogh"), ex("marker"), ex("vanGogh"))
+        }
+
+    def test_boolean_head(self, museum_store, engine):
+        query = ConjunctiveQuery((), (Atom(X, ex("hasPainted"), ex("starryNight")),))
+        assert run_query(query, museum_store, engine=engine) == {()}
+
+    def test_non_literal_restriction(self, museum_store, engine):
+        # starryNight has both a URI-valued and a literal-valued property;
+        # restricting Y must drop the literal binding.
+        unrestricted = ConjunctiveQuery((Y,), (Atom(ex("starryNight"), X, Y),))
+        restricted = unrestricted.with_non_literal([Y])
+        all_values = run_query(unrestricted, museum_store, engine=engine)
+        non_literal = run_query(restricted, museum_store, engine=engine)
+        assert (Literal("The Starry Night"),) in all_values
+        assert (Literal("The Starry Night"),) not in non_literal
+        assert non_literal == {v for v in all_values if not isinstance(v[0], Literal)}
+
+    def test_statistics_provider_is_honored(self, museum_store):
+        query = parse_query("q(X, Y) :- t(X, hasPainted, Y), t(X, rdf:type, painter)")
+        answers = run_query(
+            query, museum_store, engine="auto", statistics=FixedStatistics()
+        )
+        assert answers == evaluate_greedy(query, museum_store)
+
+    def test_unknown_engine_rejected(self, museum_store):
+        query = parse_query("q(X) :- t(X, hasPainted, Y)")
+        with pytest.raises(ValueError):
+            run_query(query, museum_store, engine="quantum")
+
+
+class TestPlanQuery:
+    def test_schema_covers_all_variables(self, museum_store, q_painters, engine):
+        root = plan_query(q_painters, museum_store, engine=engine)
+        assert set(root.schema) == {v.name for v in q_painters.variables()}
+
+    def test_explain_renders_tree(self, museum_store, q_painters):
+        rendered = plan_query(q_painters, museum_store).explain()
+        assert "IndexScan" in rendered
+
+    def test_merge_plan_uses_sorted_leaves(self, museum_store):
+        query = parse_query("q(X, Z) :- t(X, isParentOf, Y), t(Y, hasPainted, Z)")
+        root = plan_query(query, museum_store, engine="merge")
+        assert isinstance(root, MergeJoin)
+        leaves = [root.left, root.right]
+        assert all(isinstance(leaf, IndexScan) for leaf in leaves)
+        assert all(leaf.sorted_on == ("Y",) for leaf in leaves)
+
+
+class TestOperators:
+    def test_index_scan_columns_in_spo_order(self, museum_store):
+        scan = IndexScan(museum_store, Atom(X, ex("hasPainted"), Y))
+        assert scan.schema == ("X", "Y")
+        assert len(scan.rows()) == 6
+
+    def test_hash_join_uses_prebuilt_extent_index(self):
+        extent = ViewExtent([(A, B), (A, C), (B, C)])
+        left = ExtentScan("l", extent, ("x", "y"))
+        right = ExtentScan("r", extent, ("y", "z"))
+        join = HashJoin(left, right, pairs=[(1, 0)], keep_right=[1])
+        assert set(join) == {(A, B, C)}
+        # The extent cached the index the join asked for.
+        assert (0,) in extent._indexes
+
+    def test_merge_join_on_terms(self):
+        left = ExtentScan("l", [(A, B), (B, C)], ("x", "y"))
+        right = ExtentScan("r", [(B, D), (C, A)], ("y", "z"))
+        join = MergeJoin(left, right, pairs=[(1, 0)], keep_right=[1],
+                         value_key=lambda term: term.n3())
+        assert set(join) == {(A, B, D), (B, C, A)}
+
+    def test_distinct_preserves_first_occurrence_order(self):
+        child = ExtentScan("v", [(A,), (B,), (A,), (B,)], ("x",))
+        assert Distinct(child).rows() == [(A,), (B,)]
+
+
+class TestPlanRewriting:
+    EXTENTS = {"v1": [(A, B), (A, C), (B, C)], "v2": [(B, D), (C, A)]}
+
+    def test_execute_matches_engine_default(self):
+        plan = Project(
+            Select(
+                Join(Scan("v1", ("x", "y")), Scan("v2", ("y", "z"))),
+                (EqualsConstant("x", A),),
+            ),
+            ("z",),
+        )
+        assert execute(plan, self.EXTENTS) == run_plan(plan, self.EXTENTS)
+
+    def test_all_engines_agree_on_row_sets(self, engine):
+        plan = Join(Scan("v1", ("x", "y")), Scan("v2", ("y", "z")))
+        rows = run_plan(plan, self.EXTENTS, engine=engine)
+        assert set(rows) == {(A, B, D), (A, C, A), (B, C, A)}
+
+    def test_rename_relabels_schema(self):
+        plan = Rename(Scan("v1", ("x", "y")), ("a", "b"))
+        root = plan_rewriting(plan, self.EXTENTS)
+        assert root.schema == ("a", "b")
+        assert root.rows() == self.EXTENTS["v1"]
+
+    def test_missing_extent_raises_keyerror(self):
+        with pytest.raises(KeyError, match="no extent provided"):
+            run_plan(Scan("zzz", ("x",)), self.EXTENTS)
+
+
+class TestViewExtent:
+    def test_behaves_like_a_list(self):
+        extent = ViewExtent([(A,), (B,)])
+        assert extent == [(A,), (B,)]
+        assert len(extent) == 2
+
+    def test_index_is_cached(self):
+        extent = ViewExtent([(A, B), (A, C)])
+        first = extent.index_on((0,))
+        second = extent.index_on((0,))
+        assert first is second
+        assert first[(A,)] == [(A, B), (A, C)]
+
+    def test_empty_key_groups_all_rows(self):
+        extent = ViewExtent([(A,), (B,)])
+        assert extent.index_on(())[()] == [(A,), (B,)]
+
+
+class TestPlanCache:
+    def test_plans_are_reused_until_mutation(self):
+        store = TripleStore()
+        store.add(Triple(ex("a"), ex("p"), ex("b")))
+        query = parse_query("q(X, Y) :- t(X, p, Y)")
+        first = plan_query(query, store)
+        assert plan_query(query, store) is first
+        store.add(Triple(ex("b"), ex("p"), ex("c")))
+        assert plan_query(query, store) is not first
+
+    def test_cache_does_not_miss_new_constants(self):
+        # A constant absent at first compile must be seen after insertion.
+        store = TripleStore()
+        store.add(Triple(ex("a"), ex("p"), ex("b")))
+        query = parse_query("q(X) :- t(X, later, Y)")
+        assert run_query(query, store) == set()
+        store.add(Triple(ex("a"), ex("later"), ex("b")))
+        assert run_query(query, store) == {(ex("a"),)}
+
+    def test_statistics_bypass_the_cache(self, museum_store):
+        query = parse_query("q(X) :- t(X, hasPainted, Y)")
+        baseline = plan_query(query, museum_store)
+        with_stats = plan_query(query, museum_store, statistics=FixedStatistics())
+        assert with_stats is not baseline
+
+
+def test_evaluate_delegates_to_engine(museum_store, q_painters):
+    for engine_name in ENGINES:
+        assert evaluate(q_painters, museum_store, engine=engine_name) == {
+            (ex("vanGogh"), ex("sketch1"))
+        }

@@ -128,3 +128,87 @@ def test_iteration_yields_decoded_triples(store):
     triples = set(store)
     assert Triple(u("a"), u("p"), u("b")) in triples
     assert len(triples) == 5
+
+
+class TestIndexBucketCleanup:
+    def test_remove_deletes_empty_buckets(self, store):
+        # u("d") subject bucket holds two triples; removing both must
+        # delete the bucket itself, not leave an empty set behind.
+        store.remove(Triple(u("d"), u("p"), u("b")))
+        store.remove(Triple(u("d"), u("q"), Literal("v")))
+        d_code = store.dictionary.lookup(u("d"))
+        assert d_code not in store._idx_s
+        v_code = store.dictionary.lookup(Literal("v"))
+        assert v_code not in store._idx_o
+
+    def test_churn_does_not_grow_indexes(self):
+        s = TripleStore()
+        for round_ in range(50):
+            triple = Triple(u(f"subject{round_}"), u("p"), u(f"object{round_}"))
+            s.add(triple)
+            s.remove(triple)
+        assert len(s) == 0
+        assert s._idx_s == {}
+        assert s._idx_o == {}
+        assert s._idx_sp == {}
+        assert s._idx_so == {}
+        assert s._idx_po == {}
+        # The predicate bucket for u("p") emptied out too.
+        assert s._idx_p == {}
+
+    def test_partial_bucket_survives(self, store):
+        store.remove(Triple(u("a"), u("p"), u("b")))
+        a_code = store.dictionary.lookup(u("a"))
+        assert a_code in store._idx_s  # still holds two triples
+        assert store.count(s=u("a")) == 2
+
+
+class TestCopy:
+    def test_copy_preserves_encodings(self, store):
+        clone = store.copy()
+        for term in (u("a"), u("p"), Literal("v")):
+            assert clone.dictionary.lookup(term) == store.dictionary.lookup(term)
+        assert set(clone) == set(store)
+
+    def test_copy_shares_no_structures(self, store):
+        clone = store.copy()
+        clone.remove(Triple(u("a"), u("p"), u("b")))
+        assert Triple(u("a"), u("p"), u("b")) in store
+        assert clone.count(s=u("a")) == store.count(s=u("a")) - 1
+        store.add(Triple(u("fresh"), u("p"), u("b")))
+        assert Triple(u("fresh"), u("p"), u("b")) not in clone
+
+    def test_copy_preserves_statistics(self, store):
+        clone = store.copy()
+        for column in ("s", "p", "o"):
+            assert clone.distinct_values(column) == store.distinct_values(column)
+        assert clone.average_term_size() == store.average_term_size()
+
+
+class TestSortedIterators:
+    def test_iter_sorted_spo(self, store):
+        triples = list(store.iter_sorted("spo"))
+        assert len(triples) == len(store)
+        assert triples == sorted(triples)
+
+    def test_iter_sorted_ops_orders_by_object_first(self, store):
+        triples = list(store.iter_sorted("ops"))
+        keys = [(o, p, s) for s, p, o in triples]
+        assert keys == sorted(keys)
+
+    def test_match_sorted_restricted_pattern(self, store):
+        p_code = store.dictionary.lookup(u("p"))
+        matches = list(store.match_sorted((None, p_code, None), "osp"))
+        assert len(matches) == 3
+        keys = [(o, s) for s, _, o in matches]
+        assert keys == sorted(keys)
+
+    def test_sorted_cache_invalidated_on_mutation(self, store):
+        before = list(store.iter_sorted("spo"))
+        store.add(Triple(u("zz"), u("p"), u("zz")))
+        after = list(store.iter_sorted("spo"))
+        assert len(after) == len(before) + 1
+
+    def test_unknown_order_rejected(self, store):
+        with pytest.raises(ValueError):
+            list(store.iter_sorted("xyz"))
