@@ -41,7 +41,8 @@ except ImportError:  # pragma: no cover - smoke mode without pytest
     pytest = None
 
 from benchmarks.bench_table3_reformulation_workloads import reformulation_workloads
-from benchmarks.support import barton, budget, report
+from benchmarks.support import barton, budget, full_scale, report
+from repro.engine import choose_engine
 from repro.query.evaluation import evaluate, evaluate_greedy, evaluate_nested_loop
 from repro.rdf.entailment import saturate
 from repro.rdf.store import TripleStore
@@ -201,6 +202,36 @@ def test_fig8_execution_times(benchmark, setup):
     _report_rows(setup, rows)
 
 
+def _json_payload(setup, rows):
+    """Machine-readable Figure 8 results (written to ``BENCH_fig8.json``).
+
+    Per query: every measured series in milliseconds plus the engine the
+    cost-based ``auto`` selection picked on the saturated store. Per
+    series: the workload total. Consumed across PRs to track the
+    evaluation-performance trajectory.
+    """
+    saturated = setup["saturated"]
+    by_name = {query.name: query for query in setup["queries"]}
+    totals: dict[str, float] = {}
+    for _, times in rows:
+        for series, value in times.items():
+            totals[series] = totals.get(series, 0.0) + value
+    return {
+        "experiment": "fig8_query_evaluation",
+        "scale": "full" if full_scale() else "quick",
+        "database_triples": len(saturated),
+        "queries": [
+            {
+                "name": name,
+                "chosen_engine": choose_engine(by_name[name], saturated),
+                "timings_ms": {series: round(value, 4) for series, value in times.items()},
+            }
+            for name, times in rows
+        ],
+        "totals_ms": {series: round(value, 4) for series, value in totals.items()},
+    }
+
+
 def main(argv=None) -> int:
     """Standalone entry point: compare engines without pytest-benchmark.
 
@@ -217,12 +248,22 @@ def main(argv=None) -> int:
                         help="quick parity + regression gate for CI")
     parser.add_argument("--engine", choices=ENGINE_SERIES + ("all",), default="all",
                         help="engine strategy to report (default: all)")
+    parser.add_argument("--json", metavar="PATH", default="BENCH_fig8.json",
+                        help="write machine-readable results (per-engine "
+                        "timings + chosen engine per query) to PATH; pass "
+                        "an empty string to skip (default: BENCH_fig8.json)")
     args = parser.parse_args(argv)
 
     setup = _setup()
     # Smoke mode gates on sub-millisecond timings; best-of-9 keeps one
     # noisy repeat on a shared CI runner from tripping the gate.
     rows = _measure(setup, repeats=9 if args.smoke else 3)
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps(_json_payload(setup, rows), indent=2))
+        print(f"wrote {args.json}")
     engine_key = "engine-auto" if args.engine == "all" else f"engine-{args.engine}"
     if args.engine != "all":
         keep = {"saturated-tt", "restricted-tt", "pre-reform", "post-reform",

@@ -16,7 +16,7 @@ import os
 from functools import lru_cache
 
 from repro.datagen import BartonConfig, generate_barton
-from repro.selection.costs import CostModel, CostWeights, calibrate_maintenance_weight
+from repro.selection.costs import CostModel, calibrate_maintenance_weight
 from repro.selection.search import SearchBudget
 from repro.selection.state import ViewNamer, initial_state
 from repro.selection.statistics import ZipfStatistics

@@ -47,6 +47,11 @@ from repro.query import (
     parse_sparql_bgp,
 )
 from repro.reformulation import reformulate
+from repro.stats import (
+    CardinalityEstimator,
+    CatalogStatistics,
+    StatisticsCatalog,
+)
 from repro.selection import (
     CostModel,
     CostWeights,
@@ -89,6 +94,9 @@ __all__ = [
     "parse_query",
     "parse_sparql_bgp",
     "reformulate",
+    "CardinalityEstimator",
+    "CatalogStatistics",
+    "StatisticsCatalog",
     "CostModel",
     "CostWeights",
     "Recommendation",

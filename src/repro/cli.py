@@ -26,7 +26,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.engine import ENGINES
+from repro.engine import ENGINES, choose_engine, plan_query
 from repro.query.parser import parse_queries
 from repro.rdf.ntriples import parse_ntriples
 from repro.rdf.schema import RDFSchema
@@ -60,7 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--engine", choices=ENGINES, default="auto",
                         help="join strategy of the execution engine used to "
                         "materialize views and answer queries "
-                        "(default: auto)")
+                        "(default: auto = cost-based per query)")
+    parser.add_argument("--explain", action="store_true",
+                        help="print each workload query's physical plan on "
+                        "the store, including the engine the cost-based "
+                        "selection picked for it")
     return parser
 
 
@@ -84,6 +88,20 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     print(f"workload: {len(queries)} queries, "
           f"{sum(len(q) for q in queries)} atoms\n")
+
+    if args.explain:
+        print("physical plans on the store:")
+        for query in queries:
+            chosen = (
+                choose_engine(query, store)
+                if args.engine == "auto"
+                else args.engine
+            )
+            print(f"  {query.name} [engine={chosen}]:")
+            root = plan_query(query, store, engine=args.engine)
+            for line in root.explain().splitlines():
+                print(f"    {line}")
+        print()
 
     selector = ViewSelector(
         store,

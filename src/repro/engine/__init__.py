@@ -13,7 +13,13 @@ Public surface::
     run_query(query, store, engine="auto")      # CQ -> set of answers
     run_plan(plan, extents, engine="auto")      # algebra Plan -> rows
     plan_query / plan_rewriting                 # operator trees (explain)
-    ENGINES                                     # selectable strategies
+    choose_engine(query, store)                 # cost-based auto choice
+    ENGINES / FIXED_ENGINES                     # selectable strategies
+
+``engine="auto"`` is cost-based: the shared cardinality estimator
+(:mod:`repro.stats`) prices every fixed strategy per query and the
+cheapest is compiled, with the choice cached in the prepared-plan
+cache until the store mutates.
 """
 
 from repro.engine.extents import ViewExtent
@@ -32,6 +38,9 @@ from repro.engine.operators import (
 )
 from repro.engine.planner import (
     ENGINES,
+    FIXED_ENGINES,
+    HYBRID,
+    choose_engine,
     plan_query,
     plan_rewriting,
     run_plan,
@@ -40,6 +49,9 @@ from repro.engine.planner import (
 
 __all__ = [
     "ENGINES",
+    "FIXED_ENGINES",
+    "HYBRID",
+    "choose_engine",
     "Distinct",
     "Empty",
     "ExtentScan",

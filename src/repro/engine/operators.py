@@ -312,8 +312,8 @@ class HashJoin(Operator):
 
     def _describe(self) -> str:
         condition = ",".join(
-            f"{self.left.schema[l]}={self.right.schema[r]}"
-            for l, r in zip(self._left_keys, self._right_keys)
+            f"{self.left.schema[lp]}={self.right.schema[rp]}"
+            for lp, rp in zip(self._left_keys, self._right_keys)
         )
         return f"HashJoin[{condition}]{list(self.schema)}"
 
@@ -389,8 +389,8 @@ class MergeJoin(Operator):
 
     def _describe(self) -> str:
         condition = ",".join(
-            f"{self.left.schema[l]}={self.right.schema[r]}"
-            for l, r in zip(self._left_keys, self._right_keys)
+            f"{self.left.schema[lp]}={self.right.schema[rp]}"
+            for lp, rp in zip(self._left_keys, self._right_keys)
         )
         return f"MergeJoin[{condition}]{list(self.schema)}"
 

@@ -6,9 +6,10 @@ Two entry families compile into the *same* physical operator algebra
 * :func:`plan_query` / :func:`run_query` — a
   :class:`~repro.query.cq.ConjunctiveQuery` against a
   :class:`~repro.rdf.store.TripleStore`. Atoms are ordered **once** by
-  their exact pattern cardinalities (the Section 3.3 statistics, via any
-  :class:`~repro.selection.statistics.Statistics` provider or the
-  store's own counts), then compiled into a left-deep join tree.
+  the shared :class:`~repro.stats.estimator.CardinalityEstimator` (over
+  the store's incrementally maintained catalog, or any explicit
+  :class:`~repro.stats.provider.Statistics` provider), then compiled
+  into a left-deep join tree.
 * :func:`plan_rewriting` / :func:`run_plan` — a rewriting
   :class:`~repro.query.algebra.Plan` against materialized view extents,
   with hash joins that reuse the extents' cached hash indexes.
@@ -21,8 +22,13 @@ The ``engine`` knob selects the join algorithm:
 * ``hash`` — materialize each atom match and hash-join pairwise;
 * ``merge`` — sort-merge joins over dictionary codes, feeding from the
   store's sorted-permutation iterators where the order matches;
-* ``auto`` — index-nested-loop for connected join steps, hash joins for
-  Cartesian steps (where per-row probing would rescan the store).
+* ``auto`` — **cost-based selection**: the estimator prices each fixed
+  strategy — plus, on queries mixing connected and Cartesian steps, a
+  hybrid plan (index probes + hash joins) — from the estimated
+  input/output cardinality of every join step (see
+  :func:`choose_engine`) and the cheapest one is compiled. The choice
+  is cached in the prepared-plan cache alongside the plan, so repeated
+  workloads pay the selection once per store version.
 
 Over extents the store-specific strategies degrade gracefully: ``auto``
 and ``index-nested-loop`` resolve to hash joins (there is no triple
@@ -32,6 +38,7 @@ rendering.
 
 from __future__ import annotations
 
+import math
 from typing import Mapping, Sequence
 
 from repro.engine.operators import (
@@ -47,12 +54,23 @@ from repro.engine.operators import (
     Selection,
 )
 from repro.query import algebra
-from repro.query.cq import Atom, ConjunctiveQuery, Variable
+from repro.query.cq import ConjunctiveQuery, Variable
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import Term
+from repro.stats.estimator import CardinalityEstimator
+from repro.stats.provider import CatalogStatistics
 
 #: The selectable join strategies.
 ENGINES = ("auto", "index-nested-loop", "hash", "merge")
+
+#: The fixed (pure) strategies cost-based selection chooses among.
+FIXED_ENGINES = ("index-nested-loop", "hash", "merge")
+
+#: Internal candidate for queries mixing connected and Cartesian steps:
+#: index probes for connected joins, hash joins for Cartesian ones.
+#: Not user-selectable (``engine=`` rejects it); ``choose_engine`` may
+#: return it when it prices below every pure strategy.
+HYBRID = "hybrid"
 
 
 def _check_engine(engine: str) -> None:
@@ -65,48 +83,140 @@ def _check_engine(engine: str) -> None:
 # ----------------------------------------------------------------------
 
 
-def _atom_count(atom: Atom, store: TripleStore, statistics) -> int:
-    """The atom's cardinality estimate used for join ordering.
+def _estimator(store: TripleStore, statistics) -> CardinalityEstimator:
+    """The estimator join ordering and engine selection run on.
 
-    With a statistics provider this is one cached lookup per atom (the
-    cost-model cardinalities of Section 3.3); without one the store's
-    exact pattern count is read directly. Either way the count is taken
-    once at plan time, never during execution.
+    Without an explicit provider, estimates read the store's own
+    incrementally maintained catalog — exact pattern counts, O(1) per
+    lookup, memoized per store version.
     """
-    if statistics is not None:
-        return statistics.atom_count(atom)
-    encoded: list[int | None] = []
-    for term in atom:
-        if isinstance(term, Variable):
-            encoded.append(None)
-        else:
-            code = store.encode_term(term)
-            if code is None:
-                return 0
-            encoded.append(code)
-    return store.count_encoded((encoded[0], encoded[1], encoded[2]))
+    if statistics is None:
+        statistics = CatalogStatistics(store.stats)
+    return CardinalityEstimator(statistics)
 
 
-def _join_order(query: ConjunctiveQuery, store: TripleStore, statistics) -> list[int]:
-    """Greedy selectivity order: start from the rarest atom, then always
-    expand with the rarest atom connected to the variables bound so far
-    (falling back to a Cartesian step only when nothing is connected)."""
+# Per-row work factors of the engine cost model, in "rows touched"
+# units. An index-nested-loop probe fills a fresh pattern per input row
+# before the index lookup, which costs more than streaming a row past a
+# prebuilt hash table; a hash build inserts into a dict. The absolute
+# scale cancels out — only the ratios steer the choice.
+_INL_PROBE_COST = 2.0
+_HASH_BUILD_COST = 1.5
+
+
+def _strategy_costs(
+    query: ConjunctiveQuery, estimator: CardinalityEstimator
+) -> dict[str, float]:
+    """Estimated execution cost of each fixed strategy for one query.
+
+    Walks the greedy join order once; every step is priced from the
+    estimator's input/output cardinalities:
+
+    * index-nested-loop — one index probe per input row plus the output
+      (a Cartesian step degrades to re-scanning the atom's matches per
+      input row, which is what the compiled operator would do);
+    * hash — build the atom's matches, stream the input, emit the
+      output;
+    * merge — materialize and sort both sides (``n log n``) plus one
+      merge pass; the first join over a single shared column feeds
+      presorted from the store's permutation indexes, so its sorts are
+      free;
+    * hybrid (only priced when the order mixes connected and Cartesian
+      steps — it degenerates to a pure strategy otherwise) — index
+      probes for connected steps, hash joins for Cartesian ones.
+    """
     atoms = query.atoms
-    counts = [_atom_count(atom, store, statistics) for atom in atoms]
-    remaining = set(range(len(atoms)))
-    order: list[int] = []
-    bound: set[Variable] = set()
-    while remaining:
-        if bound:
-            connected = [i for i in remaining if atoms[i].variables() & bound]
-            pool = connected or sorted(remaining)
+    order = estimator.join_order(atoms)
+    counts = [float(estimator.atom_cardinality(atoms[i])) for i in order]
+    prefix = estimator.prefix_cardinalities(atoms, order)
+    scan = counts[0]
+    costs = {name: scan for name in FIXED_ENGINES + (HYBRID,)}
+    step_kinds: set[bool] = set()
+    bound = set(atoms[order[0]].variables())
+    for step in range(1, len(order)):
+        atom = atoms[order[step]]
+        matches = counts[step]
+        rows_in = prefix[step - 1]
+        rows_out = prefix[step]
+        shared = atom.variables() & bound
+        step_kinds.add(bool(shared))
+        if shared:
+            inl_step = rows_in * _INL_PROBE_COST + rows_out
         else:
-            pool = sorted(remaining)
-        best = min(pool, key=lambda i: (counts[i], i))
-        order.append(best)
-        remaining.discard(best)
-        bound |= atoms[best].variables()
-    return order
+            inl_step = rows_in * max(matches, 1.0) + rows_out
+        hash_step = matches * _HASH_BUILD_COST + rows_in + rows_out
+        costs["index-nested-loop"] += inl_step
+        costs["hash"] += hash_step
+        costs[HYBRID] += inl_step if shared else hash_step
+        presorted = step == 1 and len(shared) == 1
+        sort_cost = 0.0 if presorted else (
+            rows_in * math.log2(max(rows_in, 2.0))
+            + matches * math.log2(max(matches, 2.0))
+        )
+        costs["merge"] += sort_cost + rows_in + matches + rows_out
+        bound |= atom.variables()
+    if step_kinds != {True, False}:
+        # All steps connected (or all Cartesian): the hybrid plan is
+        # identical to a pure strategy, so don't offer it as a choice.
+        del costs[HYBRID]
+    return costs
+
+
+def _select_engine(query: ConjunctiveQuery, estimator: CardinalityEstimator) -> str:
+    """The cheapest strategy under the estimator's cost model.
+
+    Candidates are the pure strategies plus, for queries mixing
+    connected and Cartesian join steps, the hybrid plan. Ties break in
+    candidate order (``min`` is stable), keeping the choice
+    deterministic; single-atom queries compile to a bare scan under
+    every strategy, so the first fixed engine is returned outright.
+    """
+    if len(query.atoms) <= 1:
+        return FIXED_ENGINES[0]
+    costs = _strategy_costs(query, estimator)
+    return min(costs, key=costs.__getitem__)
+
+
+def choose_engine(
+    query: ConjunctiveQuery,
+    store: TripleStore,
+    statistics=None,
+) -> str:
+    """The strategy ``engine="auto"`` resolves to for this query.
+
+    Cost-based: each candidate — the pure strategies of
+    :data:`FIXED_ENGINES` plus, on queries mixing connected and
+    Cartesian join steps, the :data:`HYBRID` plan — is priced from the
+    estimated input and output cardinality of every join step (see
+    :func:`_strategy_costs`). Without an explicit ``statistics``
+    provider the choice is cached in the store's prepared-plan cache
+    and flushed with it when the store mutates.
+    """
+    if statistics is None:
+        return _cached_choice(
+            _plan_cache_entry(store), query, _estimator(store, None)
+        )
+    return _select_engine(query, _estimator(store, statistics))
+
+
+def _cached_choice(
+    entry: dict, query: ConjunctiveQuery, estimator: CardinalityEstimator
+) -> str:
+    """Look up (or derive and cache) the auto choice in a cache entry.
+
+    Shared by :func:`choose_engine` and :func:`plan_query` so the
+    lookup/populate/cap logic exists once. Capped like the plan dict:
+    a long-lived store serving endless distinct ad-hoc queries must not
+    grow the choices dict without bound.
+    """
+    choices = entry["choices"]
+    choice = choices.get(query)
+    if choice is None:
+        choice = _select_engine(query, estimator)
+        if len(choices) >= _PLAN_CACHE_LIMIT:
+            choices.clear()
+        choices[query] = choice
+    return choice
 
 
 def _natural_pairs(
@@ -131,6 +241,25 @@ def _natural_pairs(
 _PLAN_CACHE_LIMIT = 4096
 
 
+def _plan_cache_entry(store: TripleStore) -> dict:
+    """The store's prepared-plan cache entry for its current version.
+
+    Prepared plans live *on the store instance* (operator trees
+    reference the store, so an external registry keyed by store could
+    never be collected; the instance attribute only forms a reference
+    cycle, which the garbage collector handles). A version mismatch
+    flushes the whole entry — compiled plans and cost-based engine
+    choices alike, since both derive from the statistics of the old
+    contents.
+    """
+    entry = getattr(store, "_engine_plan_cache", None)
+    version = store.version
+    if entry is None or entry["version"] != version:
+        entry = {"version": version, "plans": {}, "choices": {}}
+        store._engine_plan_cache = entry
+    return entry
+
+
 def plan_query(
     query: ConjunctiveQuery,
     store: TripleStore,
@@ -141,44 +270,44 @@ def plan_query(
 
     The resulting operator yields rows of dictionary codes whose schema
     covers every body variable (by name); :func:`run_query` adds head
-    assembly and decoding.
+    assembly and decoding. ``engine="auto"`` resolves to the cheapest
+    fixed strategy under the cost model (:func:`choose_engine`).
 
     Plans compiled without an explicit ``statistics`` provider are
     cached per store (prepared-statement style) and reused until the
-    store mutates — repeated workload evaluation pays join ordering and
-    operator construction once.
+    store mutates — repeated workload evaluation pays join ordering,
+    engine selection and operator construction once.
     """
     _check_engine(engine)
     if statistics is None:
-        # Prepared plans live *on the store instance* (operator trees
-        # reference the store, so an external registry keyed by store
-        # could never be collected; the instance attribute only forms a
-        # reference cycle, which the garbage collector handles). A
-        # version mismatch flushes the whole dictionary.
-        entry = getattr(store, "_engine_plan_cache", None)
-        version = store.version
-        if entry is None or entry["version"] != version:
-            entry = {"version": version, "plans": {}}
-            store._engine_plan_cache = entry
+        entry = _plan_cache_entry(store)
         plans = entry["plans"]
         key = (query, engine)
         cached = plans.get(key)
         if cached is not None:
             return cached
-        root = _compile_query(query, store, engine, None)
+        estimator = _estimator(store, None)
+        resolved = engine
+        if engine == "auto":
+            resolved = _cached_choice(entry, query, estimator)
+        root = _compile_query(query, store, resolved, estimator)
         if len(plans) >= _PLAN_CACHE_LIMIT:
             plans.clear()
         plans[key] = root
         return root
-    return _compile_query(query, store, engine, statistics)
+    estimator = _estimator(store, statistics)
+    resolved = _select_engine(query, estimator) if engine == "auto" else engine
+    return _compile_query(query, store, resolved, estimator)
 
 
 def _compile_query(
     query: ConjunctiveQuery,
     store: TripleStore,
     engine: str,
-    statistics,
+    estimator: CardinalityEstimator,
 ) -> Operator:
+    """Compile under one resolved strategy — a fixed engine or
+    :data:`HYBRID` (``auto`` is resolved upstream)."""
     non_literal = query.non_literal
     variable_schema = tuple(
         sorted({v.name for v in query.variables()})
@@ -189,7 +318,7 @@ def _compile_query(
                 # A constant the data never mentions: the whole query is
                 # unsatisfiable, no operator needs to run.
                 return Empty(variable_schema)
-    order = _join_order(query, store, statistics)
+    order = estimator.join_order(query.atoms)
     atoms = query.atoms
     root: Operator = IndexScan(store, atoms[order[0]], non_literal)
     for index in order[1:]:
@@ -197,13 +326,15 @@ def _compile_query(
         if engine == "index-nested-loop":
             root = IndexNestedLoopJoin(root, store, atom, non_literal)
             continue
-        if engine == "auto":
+        if engine == HYBRID:
             connected = any(
-                isinstance(term, Variable) and term.name in root.schema for term in atom
+                isinstance(term, Variable) and term.name in root.schema
+                for term in atom
             )
             if connected:
                 root = IndexNestedLoopJoin(root, store, atom, non_literal)
                 continue
+            # Cartesian step: fall through to a hash join.
         right: Operator = IndexScan(store, atom, non_literal)
         pairs, keep_right = _natural_pairs(root.schema, right.schema)
         if engine == "merge":
@@ -317,7 +448,8 @@ def plan_rewriting(
     right = plan_rewriting(plan.right, extents, engine)
     left_schema, right_schema = plan.left.schema, plan.right.schema
     pairs = [
-        (left_schema.index(l), right_schema.index(r)) for l, r in plan.all_pairs
+        (left_schema.index(left_col), right_schema.index(right_col))
+        for left_col, right_col in plan.all_pairs
     ]
     keep_right = [
         position

@@ -147,7 +147,7 @@ class Join:
         return self.left.schema + extra
 
     def __str__(self) -> str:
-        condition = ",".join(f"{l}={r}" for l, r in self.all_pairs)
+        condition = ",".join(f"{lc}={rc}" for lc, rc in self.all_pairs)
         return f"({self.left} ⋈[{condition}] {self.right})"
 
 

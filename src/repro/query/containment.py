@@ -14,7 +14,6 @@ key; the search strategies use them to detect duplicate states.
 
 from __future__ import annotations
 
-from typing import Mapping
 
 from repro.query.cq import Atom, ConjunctiveQuery, QueryTerm, Variable
 

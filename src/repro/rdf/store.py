@@ -16,14 +16,13 @@ from typing import Iterable, Iterator
 from repro.rdf.dictionary import Dictionary
 from repro.rdf.terms import Term
 from repro.rdf.triples import Triple
+from repro.stats.catalog import StatisticsCatalog
 
 #: An encoded triple: three dictionary codes.
 EncodedTriple = tuple[int, int, int]
 
 #: An encoded pattern: a code, or None for an unbound position.
 EncodedPattern = tuple[int | None, int | None, int | None]
-
-_COLUMNS = ("s", "p", "o")
 
 #: The six column permutations a sorted iterator can follow.
 _PERMUTATIONS: dict[str, tuple[int, int, int]] = {
@@ -55,18 +54,16 @@ class TripleStore:
         self._idx_sp: dict[tuple[int, int], set[EncodedTriple]] = {}
         self._idx_so: dict[tuple[int, int], set[EncodedTriple]] = {}
         self._idx_po: dict[tuple[int, int], set[EncodedTriple]] = {}
-        # Per-column distinct-value counters (for join selectivities).
-        self._col_values: tuple[Counter, Counter, Counter] = (
-            Counter(),
-            Counter(),
-            Counter(),
-        )
         # Lazily sorted permutations of the triple table (for merge
         # joins); invalidated wholesale on any mutation.
         self._sorted_cache: dict[str, list[EncodedTriple]] = {}
         # Monotonic mutation counter: lets the engine detect staleness
         # of anything derived from the store (e.g. cached query plans).
         self.version = 0
+        # Incrementally maintained statistics (repro.stats): column
+        # value multiplicities, predicate counts, pattern-count memo.
+        # The mutation paths below keep it in sync via O(1) hooks.
+        self.stats = StatisticsCatalog(self)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -109,10 +106,7 @@ class TripleStore:
             bucket.discard(encoded)
             if not bucket:
                 del index[key]
-        for counter, value in zip(self._col_values, encoded):
-            counter[value] -= 1
-            if counter[value] <= 0:
-                del counter[value]
+        self.stats.on_remove(encoded)
         if self._sorted_cache:
             self._sorted_cache.clear()
         self.version += 1
@@ -129,8 +123,7 @@ class TripleStore:
         self._idx_sp.setdefault((s, p), set()).add(encoded)
         self._idx_so.setdefault((s, o), set()).add(encoded)
         self._idx_po.setdefault((p, o), set()).add(encoded)
-        for counter, value in zip(self._col_values, encoded):
-            counter[value] += 1
+        self.stats.on_add(encoded)
         if self._sorted_cache:
             self._sorted_cache.clear()
         self.version += 1
@@ -272,16 +265,16 @@ class TripleStore:
         return len(matches) if isinstance(matches, (set, tuple)) else sum(1 for _ in matches)
 
     # ------------------------------------------------------------------
-    # Statistics (Section 3.3 of the paper)
+    # Statistics (Section 3.3 of the paper; maintained by repro.stats)
     # ------------------------------------------------------------------
 
     def distinct_values(self, column: str) -> int:
         """Number of distinct values appearing in column ``s``/``p``/``o``."""
-        return len(self._col_values[_COLUMNS.index(column)])
+        return self.stats.distinct_values(column)
 
     def column_value_counts(self, column: str) -> Counter:
         """Multiplicity of each value in the given column (a copy)."""
-        return Counter(self._col_values[_COLUMNS.index(column)])
+        return self.stats.column_value_counts(column)
 
     def average_term_size(self) -> float:
         """Average rendered term size; the width unit of the cost model."""
@@ -304,5 +297,5 @@ class TripleStore:
         clone._idx_sp = {key: set(bucket) for key, bucket in self._idx_sp.items()}
         clone._idx_so = {key: set(bucket) for key, bucket in self._idx_so.items()}
         clone._idx_po = {key: set(bucket) for key, bucket in self._idx_po.items()}
-        clone._col_values = tuple(Counter(counter) for counter in self._col_values)
+        clone.stats = self.stats.copy_for(clone)
         return clone

@@ -27,7 +27,6 @@ strategy "fails to produce a solution".
 
 from __future__ import annotations
 
-import time
 
 from repro.query.containment import is_isomorphic
 from repro.selection.costs import CostModel

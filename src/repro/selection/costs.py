@@ -1,10 +1,13 @@
 """The cost model of Section 3.3: cε = cs·VSOε + cr·RECε + cm·VMCε.
 
 * **View cardinality** ``|v|ε`` starts from the exact per-atom counts of
-  the statistics layer and applies textbook System-R formulas under the
-  uniformity and independence assumptions: the product of atom counts
-  times, for each join variable, ``1/max(distinct)`` per extra
-  occurrence.
+  the statistics layer and applies the textbook System-R formulas under
+  the uniformity and independence assumptions — implemented once in the
+  shared :class:`~repro.stats.estimator.CardinalityEstimator` (the same
+  estimator the engine planner orders joins and selects engines with):
+  the product of atom counts times, for each join variable,
+  ``1/max(distinct)`` per extra occurrence, every division guarded so
+  empty and degenerate stores price finitely.
 * **VSOε** is ``|v|ε`` times the head width times the average term size.
 * **RECε** is ``Σ_r c1·io(r) + c2·cpu(r)``: I/O reads every view in the
   rewriting once; CPU charges a pass per selection and a hash join's
@@ -19,9 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.query.algebra import Join, Plan, Project, Rename, Scan, Select, iter_nodes
-from repro.query.cq import ATTRIBUTES, ConjunctiveQuery, Variable
+from repro.query.cq import ConjunctiveQuery
 from repro.selection.state import State
-from repro.selection.statistics import Statistics
+from repro.stats.estimator import CardinalityEstimator
+from repro.stats.provider import Statistics
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,7 +66,9 @@ class CostModel:
     def __init__(self, statistics: Statistics, weights: CostWeights | None = None) -> None:
         self.statistics = statistics
         self.weights = weights or CostWeights()
-        self._cardinality_cache: dict[ConjunctiveQuery, float] = {}
+        # The shared System-R formulas; memoizes per atom tuple, so
+        # views sharing a body (renamings) price once.
+        self.estimator = CardinalityEstimator(statistics)
         # Plans are immutable and shared across states (substitution
         # returns untouched subtrees by identity), so each plan's
         # (io, cpu) is computed once. The plan reference is kept in the
@@ -74,33 +80,13 @@ class CostModel:
     # ------------------------------------------------------------------
 
     def view_cardinality(self, view: ConjunctiveQuery) -> float:
-        """``|v|ε``: estimated number of tuples in the view's body join."""
-        cached = self._cardinality_cache.get(view)
-        if cached is not None:
-            return cached
-        estimate = 1.0
-        for atom in view.atoms:
-            estimate *= float(self.statistics.atom_count(atom))
-        # One selectivity factor per *extra* occurrence of each variable.
-        occurrences: dict[Variable, list[str]] = {}
-        for atom in view.atoms:
-            for attribute, term in zip(ATTRIBUTES, atom):
-                if isinstance(term, Variable):
-                    occurrences.setdefault(term, []).append(attribute)
-        for columns in occurrences.values():
-            if len(columns) <= 1:
-                continue
-            denominator = max(
-                self.statistics.distinct_values(column) for column in columns
-            )
-            denominator = max(denominator, 1)
-            estimate *= (1.0 / denominator) ** (len(columns) - 1)
-        # A view kept by the search always has a witness in satisfiable
-        # workloads; clamping avoids degenerate zero-cost states when
-        # the independence assumption drives the product below one row.
-        estimate = max(estimate, 1.0)
-        self._cardinality_cache[view] = estimate
-        return estimate
+        """``|v|ε``: estimated number of tuples in the view's body join.
+
+        Delegates to the shared estimator: product of exact atom counts
+        times ``1/max(distinct)`` per extra variable occurrence, clamped
+        to at least one row.
+        """
+        return self.estimator.conjunction_cardinality(view.atoms)
 
     def plan_cardinality(self, plan: Plan) -> float:
         """Estimated output cardinality of a rewriting plan node.

@@ -13,7 +13,6 @@ from typing import Mapping, Sequence
 
 from repro.engine.extents import ViewExtent
 from repro.query.algebra import Row, execute
-from repro.query.cq import Variable
 from repro.query.evaluation import Answer, evaluate, evaluate_union
 from repro.rdf.schema import RDFSchema
 from repro.rdf.store import TripleStore

@@ -5,6 +5,14 @@ model, the entailment handling of Section 4.3, and a search strategy;
 :class:`Recommendation` carries the chosen state plus helpers to
 materialize the views and answer queries from them.
 
+Statistics come from the unified ``repro.stats`` subsystem: the chosen
+provider (exact catalog-backed counts, saturated-store counts, or the
+Section 4.3 post-reformulation counts) feeds the same
+:class:`~repro.stats.estimator.CardinalityEstimator` formulas the
+execution engine plans with, so the search and the engine price joins
+identically. The default ``engine="auto"`` used when materializing and
+answering is the engine's cost-based per-query selection.
+
 Typical use::
 
     selector = ViewSelector(store, schema=schema, strategy="dfs",

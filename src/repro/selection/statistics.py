@@ -1,88 +1,63 @@
-"""Statistics collection for the cost model (Sections 3.3 and 4.3).
+"""Statistics for the cost model (Sections 3.3 and 4.3) — thin adapters.
 
-The cost model needs, for every atom a view may ever contain during the
-search (the workload atoms and all their SC relaxations):
+Since the ``repro.stats`` refactor, all base figures live in the store's
+incrementally maintained :class:`~repro.stats.catalog.StatisticsCatalog`
+and the shared providers of :mod:`repro.stats.provider`; this module
+keeps the historical import path plus the one provider that genuinely
+belongs to the selection layer:
 
-* the exact number of triples matching the atom's constant pattern;
-* per-column distinct-value counts (for join selectivities);
-* the average term size (for space estimates).
+* :class:`StoreStatistics` — exact counts from a (possibly saturated)
+  store, now a named alias of
+  :class:`~repro.stats.provider.CatalogStatistics` bound to the store's
+  catalog;
+* :class:`ReformulationAwareStatistics` — the post-reformulation twist
+  of Section 4.3: each atom is reformulated against the RDF Schema and
+  its cardinality is the number of distinct matches of the resulting
+  union on the *non-saturated* store — "the same statistics as if the
+  database was saturated", without saturating it. It lives here (not in
+  ``repro.stats``) because it builds on the reformulation machinery.
 
-:class:`StoreStatistics` reads them from a (possibly saturated) store.
-:class:`ReformulationAwareStatistics` implements the post-reformulation
-twist of Section 4.3: each atom is reformulated against the RDF Schema
-and its cardinality is the number of distinct matches of the resulting
-union on the *non-saturated* store — "the same statistics as if the
-database was saturated", without saturating it.
+``Statistics`` (the protocol), ``FixedStatistics`` and
+``ZipfStatistics`` are re-exported from :mod:`repro.stats` for
+compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
-
-from repro.query.cq import Atom, ConjunctiveQuery, Variable
+from repro.query.cq import ConjunctiveQuery, Variable
 from repro.query.evaluation import evaluate_union
 from repro.rdf.schema import RDFSchema
 from repro.rdf.store import TripleStore
-from repro.rdf.terms import Term
+from repro.stats.provider import (
+    CatalogStatistics,
+    FixedStatistics,
+    Statistics,
+    ZipfStatistics,
+    atom_pattern as _atom_pattern,
+)
+
+__all__ = [
+    "FixedStatistics",
+    "ReformulationAwareStatistics",
+    "Statistics",
+    "StoreStatistics",
+    "ZipfStatistics",
+]
 
 
-class Statistics(Protocol):
-    """What the cost model needs to know about the data."""
-
-    def atom_count(self, atom: Atom) -> int:
-        """Exact number of triples matching the atom's constants."""
-
-    def distinct_values(self, column: str) -> int:
-        """Distinct values in triple-table column ``'s'``/``'p'``/``'o'``."""
-
-    def total_triples(self) -> int:
-        """Size of the data set (the cardinality of an all-variable atom)."""
-
-    def average_term_size(self) -> float:
-        """Average rendered size of one term (the width unit)."""
-
-
-def _atom_pattern(atom: Atom) -> tuple[Term | None, Term | None, Term | None]:
-    """The atom's constants, with None at variable positions.
-
-    A repeated variable inside one atom (e.g. ``t(X, p, X)``) is rare and
-    ignored by the pattern count — an overestimate, which is safe for a
-    cost model.
-    """
-    return tuple(
-        None if isinstance(term, Variable) else term for term in atom
-    )  # type: ignore[return-value]
-
-
-class StoreStatistics:
+class StoreStatistics(CatalogStatistics):
     """Exact pattern counts read straight from a triple store.
 
-    Counts are cached per constant pattern: the search asks for the same
-    atoms over and over (Section 3.3 gathers them once per workload; the
-    cache achieves the same effect lazily).
+    A thin adapter over the store's incrementally maintained catalog
+    (``store.stats``): pattern counts are memoized there per constant
+    pattern and refreshed through the store's ``version`` counter, so
+    the search's repeated lookups stay O(1) without ever recounting
+    from scratch (Section 3.3 gathers them once per workload; the
+    version-aware memo achieves the same effect lazily).
     """
 
     def __init__(self, store: TripleStore) -> None:
-        self._store = store
-        self._cache: dict[tuple, int] = {}
-
-    def atom_count(self, atom: Atom) -> int:
-        pattern = _atom_pattern(atom)
-        cached = self._cache.get(pattern)
-        if cached is None:
-            s, p, o = pattern
-            cached = self._store.count(s, p, o)
-            self._cache[pattern] = cached
-        return cached
-
-    def distinct_values(self, column: str) -> int:
-        return self._store.distinct_values(column)
-
-    def total_triples(self) -> int:
-        return len(self._store)
-
-    def average_term_size(self) -> float:
-        return self._store.average_term_size()
+        super().__init__(store.stats)
 
 
 class ReformulationAwareStatistics:
@@ -93,15 +68,17 @@ class ReformulationAwareStatistics:
     projecting all its terms, reformulated with Algorithm 1, and the
     union is evaluated on the plain (non-saturated) store; the count of
     distinct matches is cached. Theorem 4.2 guarantees this equals the
-    atom's count on the saturated store.
+    atom's count on the saturated store. Column distincts, totals and
+    term sizes come from the store's catalog like everywhere else.
     """
 
     def __init__(self, store: TripleStore, schema: RDFSchema) -> None:
         self._store = store
+        self._catalog = store.stats
         self._schema = schema
         self._cache: dict[tuple, int] = {}
 
-    def atom_count(self, atom: Atom) -> int:
+    def atom_count(self, atom) -> int:
         pattern = _atom_pattern(atom)
         cached = self._cache.get(pattern)
         if cached is not None:
@@ -118,100 +95,10 @@ class ReformulationAwareStatistics:
         return count
 
     def distinct_values(self, column: str) -> int:
-        return self._store.distinct_values(column)
+        return self._catalog.distinct_values(column)
 
     def total_triples(self) -> int:
-        return len(self._store)
+        return self._catalog.total_triples()
 
     def average_term_size(self) -> float:
-        return self._store.average_term_size()
-
-
-class ZipfStatistics:
-    """Deterministic skewed statistics for dataset-free benchmarks.
-
-    Real RDF datasets (Barton included) have heavily skewed property
-    extents: a few record-keeping properties carry most triples, the
-    long tail is rare. This provider assigns each constant a stable
-    pseudo-random selectivity on a log scale, so atoms over different
-    constants differ by orders of magnitude — which is what makes
-    breaking views along rare-property atoms worthwhile.
-    """
-
-    def __init__(
-        self,
-        total: int = 1_000_000,
-        seed: int = 0,
-        min_selectivity: float = 1e-4,
-        max_selectivity: float = 5e-2,
-        distinct: dict[str, int] | None = None,
-        term_size: float = 16.0,
-    ) -> None:
-        self._total = total
-        self._seed = seed
-        self._min = min_selectivity
-        self._max = max_selectivity
-        self._distinct = distinct or {"s": 50_000, "p": 100, "o": 40_000}
-        self._term_size = term_size
-
-    def _selectivity(self, constant, position: int) -> float:
-        import hashlib
-        import math
-
-        digest = hashlib.sha256(
-            f"{self._seed}:{position}:{constant.n3()}".encode()
-        ).digest()
-        unit = int.from_bytes(digest[:8], "big") / 2**64
-        log_min, log_max = math.log(self._min), math.log(self._max)
-        return math.exp(log_min + unit * (log_max - log_min))
-
-    def atom_count(self, atom: Atom) -> int:
-        count = float(self._total)
-        for position, term in enumerate(atom):
-            if not isinstance(term, Variable):
-                count *= self._selectivity(term, position)
-        return max(1, int(count))
-
-    def distinct_values(self, column: str) -> int:
-        return self._distinct[column]
-
-    def total_triples(self) -> int:
-        return self._total
-
-    def average_term_size(self) -> float:
-        return self._term_size
-
-
-class FixedStatistics:
-    """Deterministic synthetic statistics for unit tests and search
-    benchmarks that should not depend on a data set.
-
-    ``atom_count`` scales the data-set size down by a fixed factor per
-    constant in the atom, a crude but monotone stand-in for selectivity.
-    """
-
-    def __init__(
-        self,
-        total: int = 1_000_000,
-        selectivity: float = 0.01,
-        distinct: dict[str, int] | None = None,
-        term_size: float = 16.0,
-    ) -> None:
-        self._total = total
-        self._selectivity = selectivity
-        self._distinct = distinct or {"s": 50_000, "p": 100, "o": 40_000}
-        self._term_size = term_size
-
-    def atom_count(self, atom: Atom) -> int:
-        constants = sum(1 for term in atom if not isinstance(term, Variable))
-        count = self._total * (self._selectivity**constants)
-        return max(1, int(count))
-
-    def distinct_values(self, column: str) -> int:
-        return self._distinct[column]
-
-    def total_triples(self) -> int:
-        return self._total
-
-    def average_term_size(self) -> float:
-        return self._term_size
+        return self._catalog.average_term_size()

@@ -314,7 +314,6 @@ class TransitionEnumerator:
                 variables.update(atom.variables())
             variable_sets.append(variables)
         shared = variable_sets[0] & variable_sets[1]
-        head_vars = set(view.head)
         views = []
         for atoms, variables in zip(bodies, variable_sets):
             ordered_head = [t for t in view.head if t in variables]

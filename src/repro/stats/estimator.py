@@ -1,0 +1,164 @@
+"""The shared System-R cardinality estimator.
+
+One implementation of the textbook formulas under the uniformity and
+independence assumptions (the paper's Section 3.3 model), consumed by
+every optimizer in the system:
+
+* the view-selection cost model prices view extents and rewriting plans
+  with :meth:`CardinalityEstimator.conjunction_cardinality`;
+* the engine planner orders joins with
+  :meth:`CardinalityEstimator.join_order` and feeds
+  :meth:`CardinalityEstimator.prefix_cardinalities` into its cost-based
+  engine selection.
+
+The estimate of a conjunction is the product of the atoms' exact
+pattern counts times, for each join variable, ``1/max(distinct)`` per
+*extra* occurrence. All divisions are guarded (``max(distinct, 1)``),
+so the formulas are well-defined on empty and degenerate stores.
+
+Estimates are memoized per atom tuple; the memo is flushed lazily when
+the underlying statistics provider exposes a moving ``version`` (the
+store mutation counter), so long-lived estimators never serve stale
+numbers yet never recount from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.query.cq import ATTRIBUTES, Atom, Variable
+from repro.stats.provider import Statistics
+
+
+class CardinalityEstimator:
+    """System-R cardinality formulas over any :class:`Statistics` provider."""
+
+    def __init__(self, statistics: Statistics) -> None:
+        self.statistics = statistics
+        self._conjunction_cache: dict[tuple[Atom, ...], float] = {}
+        self._cache_version = getattr(statistics, "version", None)
+
+    def _fresh_cache(self) -> dict[tuple[Atom, ...], float]:
+        """The memo, flushed if the provider's version has moved."""
+        version = getattr(self.statistics, "version", None)
+        if version != self._cache_version:
+            self._conjunction_cache.clear()
+            self._cache_version = version
+        return self._conjunction_cache
+
+    # ------------------------------------------------------------------
+    # Estimates
+    # ------------------------------------------------------------------
+
+    def atom_cardinality(self, atom: Atom) -> int:
+        """Exact (or modeled) match count of one atom's constant pattern."""
+        return self.statistics.atom_count(atom)
+
+    def join_selectivity(self, columns: Sequence[str]) -> float:
+        """``1/max(distinct)`` for one join variable's column set.
+
+        The denominator is clamped to 1 so empty stores (all distinct
+        counts zero) never divide by zero — the selectivity degenerates
+        to 1, which only overestimates.
+        """
+        denominator = max(
+            (self.statistics.distinct_values(column) for column in columns),
+            default=0,
+        )
+        return 1.0 / max(denominator, 1)
+
+    def conjunction_cardinality(self, atoms: Sequence[Atom]) -> float:
+        """Estimated join cardinality of a conjunction of atoms.
+
+        Product of atom counts times one selectivity factor per extra
+        occurrence of each variable, clamped to at least one row: a view
+        kept by the search always has a witness in satisfiable
+        workloads, and the clamp avoids degenerate zero-cost states when
+        the independence assumption drives the product below one row.
+        """
+        key = tuple(atoms)
+        cache = self._fresh_cache()
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        estimate = 1.0
+        for atom in key:
+            estimate *= float(self.statistics.atom_count(atom))
+        occurrences: dict[Variable, list[str]] = {}
+        for atom in key:
+            for attribute, term in zip(ATTRIBUTES, atom):
+                if isinstance(term, Variable):
+                    occurrences.setdefault(term, []).append(attribute)
+        for columns in occurrences.values():
+            if len(columns) <= 1:
+                continue
+            estimate *= self.join_selectivity(columns) ** (len(columns) - 1)
+        estimate = max(estimate, 1.0)
+        cache[key] = estimate
+        return estimate
+
+    # ------------------------------------------------------------------
+    # Join ordering
+    # ------------------------------------------------------------------
+
+    def join_order(self, atoms: Sequence[Atom]) -> list[int]:
+        """Greedy selectivity order over a conjunction's atoms.
+
+        Start from the rarest atom, then always expand with the rarest
+        atom connected to the variables bound so far, falling back to a
+        Cartesian step only when nothing is connected. Ties break on
+        atom index, keeping plans deterministic.
+        """
+        counts = [self.atom_cardinality(atom) for atom in atoms]
+        remaining = set(range(len(atoms)))
+        order: list[int] = []
+        bound: set[Variable] = set()
+        while remaining:
+            if bound:
+                connected = [i for i in remaining if atoms[i].variables() & bound]
+                pool = connected or sorted(remaining)
+            else:
+                pool = sorted(remaining)
+            best = min(pool, key=lambda i: (counts[i], i))
+            order.append(best)
+            remaining.discard(best)
+            bound |= atoms[best].variables()
+        return order
+
+    def prefix_cardinalities(
+        self, atoms: Sequence[Atom], order: Sequence[int]
+    ) -> list[float]:
+        """Estimated row count after each step of a join order.
+
+        ``result[k]`` is the System-R estimate for the conjunction of
+        the first ``k + 1`` atoms of ``order`` — the input/output sizes
+        the cost-based engine selection prices each join step with.
+        Built incrementally in one pass: each step multiplies in the
+        next atom's count and replaces the affected join variables'
+        selectivity factors (dividing out the old power, multiplying
+        the new), which telescopes to exactly the
+        :meth:`conjunction_cardinality` formula per prefix without
+        re-deriving any prefix product from scratch.
+        """
+        estimate = 1.0
+        occurrences: dict[Variable, list[str]] = {}
+        prefixes: list[float] = []
+        for index in order:
+            atom = atoms[index]
+            estimate *= float(self.statistics.atom_count(atom))
+            for attribute, term in zip(ATTRIBUTES, atom):
+                if not isinstance(term, Variable):
+                    continue
+                columns = occurrences.setdefault(term, [])
+                if columns:
+                    old = self.join_selectivity(columns) ** (len(columns) - 1)
+                    columns.append(attribute)
+                    estimate *= (
+                        self.join_selectivity(columns) ** (len(columns) - 1) / old
+                    )
+                else:
+                    columns.append(attribute)
+            # Clamp the *reported* prefix only; the running product keeps
+            # full precision so later prefixes match the direct formula.
+            prefixes.append(max(estimate, 1.0))
+        return prefixes

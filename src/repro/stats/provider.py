@@ -1,0 +1,175 @@
+"""Statistics providers: the protocol every cardinality source satisfies.
+
+The :class:`Statistics` protocol is what the shared cardinality
+estimator (:mod:`repro.stats.estimator`), the view-selection cost model
+(:mod:`repro.selection.costs`) and the engine planner
+(:mod:`repro.engine.planner`) consume. Implementations:
+
+* :class:`CatalogStatistics` — exact figures read from a store's
+  incrementally maintained :class:`~repro.stats.catalog.StatisticsCatalog`
+  (the canonical provider; ``repro.selection.statistics.StoreStatistics``
+  is a thin alias kept for the historical import path);
+* :class:`FixedStatistics` / :class:`ZipfStatistics` — deterministic
+  synthetic figures for dataset-free tests and benchmarks;
+* ``repro.selection.statistics.ReformulationAwareStatistics`` — the
+  Section 4.3 post-reformulation counts (lives in the selection layer
+  because it needs the reformulation machinery).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.query.cq import Atom, Variable
+from repro.rdf.terms import Term
+from repro.stats.catalog import StatisticsCatalog
+
+
+@runtime_checkable
+class Statistics(Protocol):
+    """What a cardinality estimator needs to know about the data."""
+
+    def atom_count(self, atom: Atom) -> int:
+        """Exact (or modeled) number of triples matching the atom's constants."""
+
+    def distinct_values(self, column: str) -> int:
+        """Distinct values in triple-table column ``'s'``/``'p'``/``'o'``."""
+
+    def total_triples(self) -> int:
+        """Size of the data set (the cardinality of an all-variable atom)."""
+
+    def average_term_size(self) -> float:
+        """Average rendered size of one term (the width unit)."""
+
+
+def atom_pattern(atom: Atom) -> tuple[Term | None, Term | None, Term | None]:
+    """The atom's constants, with None at variable positions.
+
+    A repeated variable inside one atom (e.g. ``t(X, p, X)``) is rare and
+    ignored by the pattern count — an overestimate, which is safe for a
+    cost model.
+    """
+    return tuple(
+        None if isinstance(term, Variable) else term for term in atom
+    )  # type: ignore[return-value]
+
+
+class CatalogStatistics:
+    """Exact statistics read from an incrementally maintained catalog.
+
+    Every figure is an O(1) read: pattern counts come from the store's
+    hexastore indexes through the catalog's version-aware memo, column
+    distincts and the average term size from the catalog's live
+    counters. The provider itself holds no state to refresh, so it can
+    be constructed per use site for free.
+    """
+
+    def __init__(self, catalog: StatisticsCatalog) -> None:
+        self._catalog = catalog
+
+    @property
+    def version(self) -> int:
+        """The underlying store's mutation counter (staleness token)."""
+        return self._catalog.version
+
+    def atom_count(self, atom: Atom) -> int:
+        return self._catalog.pattern_count(*atom_pattern(atom))
+
+    def distinct_values(self, column: str) -> int:
+        return self._catalog.distinct_values(column)
+
+    def total_triples(self) -> int:
+        return self._catalog.total_triples()
+
+    def average_term_size(self) -> float:
+        return self._catalog.average_term_size()
+
+
+class ZipfStatistics:
+    """Deterministic skewed statistics for dataset-free benchmarks.
+
+    Real RDF datasets (Barton included) have heavily skewed property
+    extents: a few record-keeping properties carry most triples, the
+    long tail is rare. This provider assigns each constant a stable
+    pseudo-random selectivity on a log scale, so atoms over different
+    constants differ by orders of magnitude — which is what makes
+    breaking views along rare-property atoms worthwhile.
+    """
+
+    def __init__(
+        self,
+        total: int = 1_000_000,
+        seed: int = 0,
+        min_selectivity: float = 1e-4,
+        max_selectivity: float = 5e-2,
+        distinct: dict[str, int] | None = None,
+        term_size: float = 16.0,
+    ) -> None:
+        self._total = total
+        self._seed = seed
+        self._min = min_selectivity
+        self._max = max_selectivity
+        self._distinct = distinct or {"s": 50_000, "p": 100, "o": 40_000}
+        self._term_size = term_size
+
+    def _selectivity(self, constant, position: int) -> float:
+        import hashlib
+        import math
+
+        digest = hashlib.sha256(
+            f"{self._seed}:{position}:{constant.n3()}".encode()
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64
+        log_min, log_max = math.log(self._min), math.log(self._max)
+        return math.exp(log_min + unit * (log_max - log_min))
+
+    def atom_count(self, atom: Atom) -> int:
+        count = float(self._total)
+        for position, term in enumerate(atom):
+            if not isinstance(term, Variable):
+                count *= self._selectivity(term, position)
+        return max(1, int(count))
+
+    def distinct_values(self, column: str) -> int:
+        return self._distinct[column]
+
+    def total_triples(self) -> int:
+        return self._total
+
+    def average_term_size(self) -> float:
+        return self._term_size
+
+
+class FixedStatistics:
+    """Deterministic synthetic statistics for unit tests and search
+    benchmarks that should not depend on a data set.
+
+    ``atom_count`` scales the data-set size down by a fixed factor per
+    constant in the atom, a crude but monotone stand-in for selectivity.
+    """
+
+    def __init__(
+        self,
+        total: int = 1_000_000,
+        selectivity: float = 0.01,
+        distinct: dict[str, int] | None = None,
+        term_size: float = 16.0,
+    ) -> None:
+        self._total = total
+        self._selectivity = selectivity
+        self._distinct = distinct or {"s": 50_000, "p": 100, "o": 40_000}
+        self._term_size = term_size
+
+    def atom_count(self, atom: Atom) -> int:
+        constants = sum(1 for term in atom if not isinstance(term, Variable))
+        count = self._total * (self._selectivity**constants)
+        return max(1, int(count))
+
+    def distinct_values(self, column: str) -> int:
+        return self._distinct[column]
+
+    def total_triples(self) -> int:
+        return self._total
+
+    def average_term_size(self) -> float:
+        return self._term_size

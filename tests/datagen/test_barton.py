@@ -1,6 +1,5 @@
 """Unit tests for the synthetic Barton-like catalog generator."""
 
-import pytest
 
 from repro.datagen.barton import (
     BartonConfig,

@@ -10,7 +10,7 @@ self-join atoms like ``t(X, p, X)``, Cartesian products, and the rule-4
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import ENGINES
+from repro.engine import ENGINES, FIXED_ENGINES, HYBRID, choose_engine
 from repro.query.cq import Atom, ConjunctiveQuery, Variable
 from repro.query.evaluation import (
     evaluate,
@@ -33,6 +33,17 @@ def test_all_engines_match_reference_evaluators(store, query):
     assert evaluate_nested_loop(query, store) == expected
     for engine in ENGINES:
         assert evaluate(query, store, engine=engine) == expected, engine
+
+
+@settings(max_examples=60, deadline=None)
+@given(store=stores(), query=queries())
+def test_cost_based_auto_matches_every_fixed_engine(store, query):
+    """The cost-based choice only moves speed, never the answer set."""
+    chosen = choose_engine(query, store)
+    assert chosen in FIXED_ENGINES + (HYBRID,)
+    auto_answers = evaluate(query, store, engine="auto")
+    for engine in FIXED_ENGINES:
+        assert evaluate(query, store, engine=engine) == auto_answers, engine
 
 
 @settings(max_examples=40, deadline=None)

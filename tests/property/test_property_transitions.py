@@ -9,7 +9,6 @@ from repro.query.evaluation import evaluate
 from repro.selection.costs import CostModel
 from repro.selection.materialize import answer_query, materialize_views
 from repro.selection.state import ViewNamer, initial_state
-from repro.selection.statistics import StoreStatistics
 from repro.selection.transitions import TransitionEnumerator, TransitionKind
 
 from tests.property import strategies as us

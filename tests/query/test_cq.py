@@ -9,7 +9,7 @@ from repro.query.cq import (
     Variable,
     fresh_variable,
 )
-from repro.rdf.terms import Literal, URI
+from repro.rdf.terms import URI
 
 X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
 P = URI("http://p")

@@ -4,12 +4,15 @@ import pytest
 
 from repro.engine import (
     ENGINES,
+    FIXED_ENGINES,
+    HYBRID,
     Distinct,
     ExtentScan,
     HashJoin,
     IndexScan,
     MergeJoin,
     ViewExtent,
+    choose_engine,
     plan_query,
     plan_rewriting,
     run_plan,
@@ -235,6 +238,91 @@ class TestPlanCache:
         baseline = plan_query(query, museum_store)
         with_stats = plan_query(query, museum_store, statistics=FixedStatistics())
         assert with_stats is not baseline
+
+
+class TestCostBasedSelection:
+    """engine="auto" resolves to the cheapest fixed strategy per query."""
+
+    def test_choice_is_a_fixed_engine(self, museum_store, q_painters):
+        assert choose_engine(q_painters, museum_store) in FIXED_ENGINES
+
+    def test_connected_join_prefers_index_probes(self, museum_store):
+        query = parse_query(
+            "q(X, W) :- t(X, isParentOf, Y), t(Y, hasPainted, Z), "
+            "t(Z, rdf:type, W)"
+        )
+        assert choose_engine(query, museum_store) == "index-nested-loop"
+
+    def test_cartesian_product_avoids_per_row_rescans(self, museum_store):
+        query = parse_query("q(X, Z) :- t(X, hasPainted, Y), t(Z, rdf:type, W)")
+        assert choose_engine(query, museum_store) != "index-nested-loop"
+
+    def test_mixed_query_selects_hybrid(self):
+        # A selective connected prefix (where index probes win) feeding a
+        # Cartesian step over enough rows that per-row rescans lose to one
+        # hash build: the hybrid plan prices below every pure strategy.
+        store = TripleStore()
+        store.add(Triple(ex("s0"), ex("p"), ex("c")))
+        for i in range(10):
+            for j in range(10):
+                store.add(Triple(ex(f"s{i}"), ex("q"), ex(f"o{j}")))
+        for k in range(20):
+            store.add(Triple(ex(f"u{k}"), ex("r"), ex(f"w{k}")))
+        query = parse_query(
+            "q(X, Y, Z) :- t(X, p, c), t(X, q, Y), t(Z, r, W)"
+        )
+        assert choose_engine(query, store) == HYBRID
+        auto_answers = run_query(query, store, engine="auto")
+        assert len(auto_answers) == 200  # 10 paintings x 20 Cartesian rows
+        for fixed in FIXED_ENGINES:
+            assert run_query(query, store, engine=fixed) == auto_answers
+
+    def test_choice_cached_until_mutation(self, museum_store):
+        query = parse_query("q(X, Z) :- t(X, hasPainted, Y), t(Y, rdf:type, Z)")
+        choice = choose_engine(query, museum_store)
+        entry = museum_store._engine_plan_cache
+        assert entry["choices"][query] == choice
+        # The auto plan itself lands in the prepared-plan cache too.
+        root = plan_query(query, museum_store, engine="auto")
+        assert plan_query(query, museum_store, engine="auto") is root
+
+    def test_mutation_flushes_choice(self):
+        store = TripleStore()
+        store.add(Triple(ex("a"), ex("p"), ex("b")))
+        query = parse_query("q(X, Z) :- t(X, p, Y), t(Y, p, Z)")
+        choose_engine(query, store)
+        stale_entry = store._engine_plan_cache
+        store.add(Triple(ex("b"), ex("p"), ex("c")))
+        # The next lookup re-derives the choice from fresh statistics
+        # in a fresh cache entry (the stale one is discarded wholesale).
+        assert choose_engine(query, store) in FIXED_ENGINES
+        assert store._engine_plan_cache is not stale_entry
+        assert store._engine_plan_cache["version"] == store.version
+
+    def test_explicit_statistics_drive_the_choice(self, museum_store, q_painters):
+        choice = choose_engine(q_painters, museum_store, statistics=FixedStatistics())
+        assert choice in FIXED_ENGINES
+
+    def test_auto_matches_every_fixed_engine_answer(self, museum_store):
+        queries = [
+            parse_query("q(X, Z) :- t(X, hasPainted, Y), t(Y, rdf:type, Z)"),
+            parse_query("q(X, Z) :- t(X, hasPainted, Y), t(Z, rdf:type, sketch)"),
+            parse_query("q(X) :- t(X, hasPainted, starryNight)"),
+        ]
+        for query in queries:
+            expected = run_query(query, museum_store, engine="auto")
+            for fixed in FIXED_ENGINES:
+                assert run_query(query, museum_store, engine=fixed) == expected
+
+    def test_single_atom_query_selects_deterministically(self, museum_store):
+        query = parse_query("q(X) :- t(X, hasPainted, Y)")
+        assert choose_engine(query, museum_store) == FIXED_ENGINES[0]
+
+    def test_empty_store_selection_is_safe(self):
+        query = parse_query("q(X, Z) :- t(X, p, Y), t(Y, q, Z)")
+        store = TripleStore()
+        assert choose_engine(query, store) in FIXED_ENGINES
+        assert run_query(query, store, engine="auto") == set()
 
 
 def test_evaluate_delegates_to_engine(museum_store, q_painters):

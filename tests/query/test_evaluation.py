@@ -4,7 +4,6 @@ from repro.query.cq import Atom, ConjunctiveQuery, UnionQuery, Variable
 from repro.query.evaluation import count_answers, evaluate, evaluate_union
 from repro.query.parser import parse_query
 from repro.rdf.store import TripleStore
-from repro.rdf.terms import URI
 from repro.rdf.triples import Triple
 
 from tests.conftest import ex

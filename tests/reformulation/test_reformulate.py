@@ -3,7 +3,7 @@ paper's Table 2 example and the Theorem 4.1 bound."""
 
 import pytest
 
-from repro.query.cq import Atom, ConjunctiveQuery, Variable
+from repro.query.cq import Variable
 from repro.query.containment import is_isomorphic
 from repro.query.evaluation import evaluate, evaluate_union
 from repro.query.parser import parse_query

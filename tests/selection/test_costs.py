@@ -121,3 +121,36 @@ def test_deterministic_with_fixed_statistics(q_painters):
     model2 = CostModel(FixedStatistics())
     state = initial_state([q_painters])
     assert model1.total_cost(state) == model2.total_cost(state)
+
+
+class TestEmptyStore:
+    """Satellite regression: the cost model must price an empty or
+    degenerate store finitely — ``1/max(distinct)`` and the average-term-
+    size width must never divide by zero."""
+
+    def test_empty_store_costs_are_finite(self, q_painters):
+        import math
+
+        from repro.rdf.store import TripleStore
+
+        model = CostModel(StoreStatistics(TripleStore()))
+        state = initial_state([q_painters])
+        breakdown = model.cost(state)
+        assert math.isfinite(breakdown.total)
+        assert breakdown.vso > 0  # clamped cardinality times nominal width
+
+    def test_empty_store_view_cardinality_clamped(self):
+        from repro.rdf.store import TripleStore
+
+        model = CostModel(StoreStatistics(TripleStore()))
+        join = parse_query("v(X, Z) :- t(X, p, Y), t(Y, q, Z)")
+        assert model.view_cardinality(join) == pytest.approx(1.0)
+
+    def test_empty_store_calibration_keeps_defaults(self, q_painters):
+        from repro.rdf.store import TripleStore
+        from repro.selection.costs import calibrate_maintenance_weight
+
+        statistics = StoreStatistics(TripleStore())
+        state = initial_state([q_painters])
+        weights = calibrate_maintenance_weight(state, statistics)
+        assert weights.cm > 0

@@ -6,7 +6,6 @@ from repro.query.evaluation import evaluate
 from repro.query.parser import parse_query
 from repro.rdf.entailment import saturate
 from repro.rdf.store import TripleStore
-from repro.rdf.terms import URI
 from repro.rdf.triples import Triple
 from repro.selection.maintenance import MaterializedViewSet
 from repro.selection.state import initial_state

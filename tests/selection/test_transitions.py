@@ -7,7 +7,6 @@ exactly the same answers as the original query on the test store.
 
 import pytest
 
-from repro.query.cq import Variable
 from repro.query.evaluation import evaluate
 from repro.query.parser import parse_query
 from repro.selection.materialize import answer_query, materialize_views

@@ -1,0 +1,168 @@
+"""Incrementality tests for the statistics catalog (repro.stats).
+
+The catalog attached to every store must stay exactly in sync with the
+store's contents through arbitrary add/remove churn and through
+``store.copy()`` — verified here against a from-scratch recount.
+"""
+
+import random
+from collections import Counter
+
+from repro.query.cq import Atom, Variable
+from repro.rdf.store import TripleStore
+from repro.rdf.triples import Triple
+from repro.stats import CatalogStatistics, StatisticsCatalog
+
+from tests.conftest import ex
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def recounted(store: TripleStore) -> dict:
+    """Ground-truth statistics recomputed from a full scan of the store."""
+    columns = {"s": Counter(), "p": Counter(), "o": Counter()}
+    for triple in store:
+        columns["s"][triple.s] += 1
+        columns["p"][triple.p] += 1
+        columns["o"][triple.o] += 1
+    return {
+        "total": sum(columns["s"].values()),
+        "distinct": {name: len(counter) for name, counter in columns.items()},
+        "predicates": columns["p"],
+    }
+
+
+def assert_catalog_matches(store: TripleStore) -> None:
+    truth = recounted(store)
+    catalog = store.stats
+    assert catalog.total_triples() == truth["total"]
+    for column in ("s", "p", "o"):
+        assert catalog.distinct_values(column) == truth["distinct"][column]
+    for predicate, count in truth["predicates"].items():
+        assert catalog.predicate_count(predicate) == count
+    # No phantom predicates survive removal churn.
+    live = {
+        store.dictionary.decode(code)
+        for code in catalog.column_value_counts("p")
+    }
+    assert live == set(truth["predicates"])
+
+
+def triple(i: int, p: int, o: int) -> Triple:
+    return Triple(ex(f"s{i}"), ex(f"p{p}"), ex(f"o{o}"))
+
+
+class TestIncrementalMaintenance:
+    def test_empty_store(self):
+        store = TripleStore()
+        assert_catalog_matches(store)
+        assert store.stats.predicate_count(ex("nowhere")) == 0
+
+    def test_adds_then_removes_match_recount(self):
+        store = TripleStore()
+        triples = [triple(i % 7, i % 3, i % 5) for i in range(40)]
+        for t in triples:
+            store.add(t)
+        assert_catalog_matches(store)
+        for t in triples[::2]:
+            store.remove(t)
+        assert_catalog_matches(store)
+        # Duplicate adds and missing removes must not skew counters.
+        store.add(triples[1])
+        store.remove(triple(99, 99, 99))
+        assert_catalog_matches(store)
+
+    def test_randomized_churn_matches_recount(self):
+        rng = random.Random(1234)
+        store = TripleStore()
+        universe = [triple(rng.randrange(10), rng.randrange(4), rng.randrange(8))
+                    for _ in range(60)]
+        for step in range(300):
+            t = rng.choice(universe)
+            if rng.random() < 0.6:
+                store.add(t)
+            else:
+                store.remove(t)
+            if step % 50 == 49:
+                assert_catalog_matches(store)
+        assert_catalog_matches(store)
+
+    def test_remove_to_empty_resets_everything(self):
+        store = TripleStore()
+        t = triple(1, 1, 1)
+        store.add(t)
+        store.remove(t)
+        assert store.stats.total_triples() == 0
+        for column in ("s", "p", "o"):
+            assert store.stats.distinct_values(column) == 0
+        assert store.stats.predicate_count(ex("p1")) == 0
+
+
+class TestCopy:
+    def test_copy_carries_statistics(self):
+        store = TripleStore()
+        for i in range(20):
+            store.add(triple(i % 4, i % 2, i % 6))
+        clone = store.copy()
+        assert clone.stats is not store.stats
+        assert_catalog_matches(clone)
+
+    def test_copies_diverge_independently(self):
+        store = TripleStore()
+        for i in range(10):
+            store.add(triple(i, i % 2, i % 3))
+        clone = store.copy()
+        store.remove(triple(0, 0, 0))
+        clone.add(triple(50, 7, 9))
+        assert_catalog_matches(store)
+        assert_catalog_matches(clone)
+        assert clone.stats.predicate_count(ex("p7")) == 1
+        assert store.stats.predicate_count(ex("p7")) == 0
+
+
+class TestPatternCounts:
+    def test_pattern_count_is_exact_and_version_refreshed(self):
+        store = TripleStore()
+        store.add(triple(1, 1, 1))
+        store.add(triple(2, 1, 1))
+        assert store.stats.pattern_count(None, ex("p1"), None) == 2
+        # The memo must refresh once the store version moves.
+        store.add(triple(3, 1, 2))
+        assert store.stats.pattern_count(None, ex("p1"), None) == 3
+        store.remove(triple(1, 1, 1))
+        assert store.stats.pattern_count(None, ex("p1"), None) == 2
+
+    def test_pattern_count_of_unknown_constant_is_zero(self):
+        store = TripleStore()
+        store.add(triple(1, 1, 1))
+        assert store.stats.pattern_count(None, ex("neverSeen"), None) == 0
+
+    def test_catalog_statistics_provider(self, museum_store):
+        provider = CatalogStatistics(museum_store.stats)
+        assert provider.atom_count(Atom(X, ex("hasPainted"), Y)) == 6
+        assert provider.atom_count(Atom(X, Y, Z)) == len(museum_store)
+        assert provider.total_triples() == len(museum_store)
+        assert provider.average_term_size() > 0
+        for column in ("s", "p", "o"):
+            assert provider.distinct_values(column) == museum_store.distinct_values(column)
+
+
+class TestBulkLoadComplexity:
+    def test_catalog_updates_are_constant_per_triple(self):
+        """Counter sizes track contents, not mutation history: O(1) upkeep."""
+        store = TripleStore()
+        for i in range(200):
+            store.add(triple(i, i % 3, i % 10))
+        catalog = store.stats
+        assert len(catalog.column_value_counts("p")) == 3
+        assert len(catalog.column_value_counts("s")) == 200
+        # Pattern memo is lazy: untouched by pure mutation.
+        assert catalog._pattern_counts == {}
+
+
+def test_version_tracks_store(museum_store):
+    assert museum_store.stats.version == museum_store.version
+
+
+def test_attach_is_automatic():
+    assert isinstance(TripleStore().stats, StatisticsCatalog)

@@ -77,6 +77,31 @@ def test_entailment_with_schema_file(capsys, data_file, schema_file, tmp_path):
     assert "q1: 6 answers" in out
 
 
+def test_explain_prints_plans_and_chosen_engine(capsys, data_file, workload_file):
+    out = run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--time-limit", "2",
+        "--explain",
+    )
+    assert "physical plans on the store:" in out
+    assert "q2 [engine=" in out
+    assert "IndexScan" in out
+
+
+def test_explain_honors_fixed_engine(capsys, data_file, workload_file):
+    out = run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--time-limit", "2",
+        "--explain",
+        "--engine", "hash",
+    )
+    assert "q2 [engine=hash]" in out
+
+
 def test_empty_workload_errors(capsys, data_file, tmp_path):
     workload = tmp_path / "empty.dq"
     workload.write_text("# nothing here\n")

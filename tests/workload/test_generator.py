@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.query.cq import Variable
 from repro.query.evaluation import evaluate
 from repro.workload import (
     QueryShape,
