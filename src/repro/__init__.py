@@ -20,6 +20,12 @@ Quick start::
     print(recommendation.answer("q", extents))
 """
 
+from repro.storage import (
+    BACKENDS,
+    MemoryBackend,
+    SqliteBackend,
+    StorageBackend,
+)
 from repro.rdf import (
     BlankNode,
     Dictionary,
@@ -71,6 +77,10 @@ from repro.selection import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BACKENDS",
+    "MemoryBackend",
+    "SqliteBackend",
+    "StorageBackend",
     "BlankNode",
     "Dictionary",
     "Literal",

@@ -23,16 +23,18 @@ entailment modes of Section 4.3 become available.
 from __future__ import annotations
 
 import argparse
+import sqlite3
 import sys
 from pathlib import Path
 
 from repro.engine import ENGINES, choose_engine, plan_query
 from repro.query.parser import parse_queries
-from repro.rdf.ntriples import parse_ntriples
+from repro.rdf.ntriples import NTriplesParseError, parse_ntriples
 from repro.rdf.schema import RDFSchema
 from repro.rdf.store import TripleStore
 from repro.selection.recommender import ENTAILMENT_MODES, STRATEGIES, ViewSelector
 from repro.selection.search import SearchBudget
+from repro.storage import BACKENDS, SnapshotError, SqliteBackend
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,8 +43,17 @@ def build_parser() -> argparse.ArgumentParser:
         description="Recommend materialized views for an RDF query workload "
         "(View Selection in Semantic Web Databases, VLDB 2011).",
     )
-    parser.add_argument("--data", required=True, type=Path,
-                        help="N-Triples file with the RDF data")
+    parser.add_argument("--data", type=Path, default=None,
+                        help="N-Triples file with the RDF data (optional when "
+                        "--db points at a saved store snapshot)")
+    parser.add_argument("--backend", choices=BACKENDS, default="memory",
+                        help="storage backend holding the triple table "
+                        "(default: memory; sqlite keeps it on disk)")
+    parser.add_argument("--db", type=Path, default=None,
+                        help="store snapshot file: with --data the loaded "
+                        "store is saved here; without --data the snapshot is "
+                        "opened instead of parsing N-Triples (with --backend "
+                        "sqlite the file is served in place, no load)")
     parser.add_argument("--queries", required=True, type=Path,
                         help="workload file, one datalog-style query per line")
     parser.add_argument("--schema", type=Path, default=None,
@@ -68,11 +79,67 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_store(args) -> TripleStore | None:
+    """Build the store from --data / --db; None (and a message) on misuse."""
+    if args.data is None:
+        if args.db is None or not args.db.is_file():
+            print(
+                "either --data or --db pointing at an existing snapshot "
+                "is required",
+                file=sys.stderr,
+            )
+            return None
+        try:
+            store = TripleStore.open(args.db, backend=args.backend)
+        except SnapshotError as exc:
+            print(f"cannot open {args.db}: {exc}", file=sys.stderr)
+            return None
+        print(
+            f"opened {len(store)} triples from {args.db} "
+            f"[{store.backend_name} backend]"
+        )
+        return store
+    if args.db is not None and args.db.exists():
+        print(
+            f"refusing to overwrite existing {args.db}; "
+            "drop --data to open it, or pick a fresh --db path",
+            file=sys.stderr,
+        )
+        return None
+    if args.backend == "sqlite":
+        try:
+            store = TripleStore(
+                backend=SqliteBackend(args.db) if args.db is not None else "sqlite"
+            )
+        except sqlite3.Error as exc:
+            print(f"cannot create database {args.db}: {exc}", file=sys.stderr)
+            return None
+    else:
+        store = TripleStore()
+    try:
+        store.add_all(parse_ntriples(args.data.read_text()))
+    except (OSError, NTriplesParseError) as exc:
+        print(f"cannot load {args.data}: {exc}", file=sys.stderr)
+        store.backend.close()
+        if args.db is not None:
+            # Don't leave a half-loaded stub blocking the next attempt.
+            args.db.unlink(missing_ok=True)
+        return None
+    print(
+        f"loaded {len(store)} triples from {args.data} "
+        f"[{store.backend_name} backend]"
+    )
+    if args.db is not None:
+        store.save(args.db)
+        print(f"saved store snapshot to {args.db}")
+    return store
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    store = TripleStore()
-    store.add_all(parse_ntriples(args.data.read_text()))
-    print(f"loaded {len(store)} triples from {args.data}")
+    store = _load_store(args)
+    if store is None:
+        return 2
 
     schema = None
     if args.schema is not None:

@@ -60,6 +60,17 @@ class Dictionary:
             return self._code_to_term[code]
         raise KeyError(f"unknown dictionary code {code}")
 
+    def items(self, start: int = 0):
+        """``(code, term)`` pairs in code order, from code ``start`` on.
+
+        The snapshot writer serializes the dictionary through this;
+        codes are dense, so re-encoding the terms in this order on an
+        empty dictionary reproduces every assignment exactly — and
+        because codes are append-only, ``start`` lets an incremental
+        sync serialize just the terms added since the last save.
+        """
+        return enumerate(self._code_to_term[start:], start)
+
     def copy(self) -> "Dictionary":
         """An independent clone preserving every code assignment.
 

@@ -71,14 +71,20 @@ def saturation_triples(
     return saturated
 
 
-def saturate(store: TripleStore, schema: RDFSchema) -> TripleStore:
+def saturate(
+    store: TripleStore, schema: RDFSchema, backend: str | None = None
+) -> TripleStore:
     """Return a *new* store containing the saturation of ``store``.
 
     The input store is left untouched, mirroring the paper's observation
     that saturation may be impossible without write access (Section 4.2);
-    callers choosing the saturation route build the saturated copy.
+    callers choosing the saturation route build the saturated copy. The
+    copy lives on the same kind of storage backend as the source — for
+    a SQLite-backed store that is an anonymous SQLite temporary
+    database (disk-spilled beyond the page cache, not Python object
+    memory) — unless ``backend`` overrides it.
     """
-    saturated_store = TripleStore()
+    saturated_store = TripleStore(backend=backend or store.backend_name)
     for triple in saturation_triples(iter(store), schema):
         saturated_store.add(triple)
     return saturated_store

@@ -1,4 +1,4 @@
-"""In-memory dictionary-encoded triple table with exhaustive indexing.
+"""Dictionary-encoded triple store over a pluggable storage backend.
 
 This is the storage substrate replacing the paper's PostgreSQL back-end.
 Following Section 6 ("we indexed the encoded triple table on s, p, o, and
@@ -6,64 +6,118 @@ all two- and three-column combinations"), the store answers any triple
 pattern — any subset of the three attributes bound to constants — through
 an index, and provides *exact* counts for such patterns. Those counts are
 precisely the statistics gathered by the cost model (Section 3.3).
+
+The physical triple table lives behind a
+:class:`~repro.storage.base.StorageBackend` (``repro.storage``):
+
+* ``backend="memory"`` (default) — the hexastore-style dict-of-sets
+  structures this store always had, byte-for-byte;
+* ``backend="sqlite"`` — a disk-backed SQLite table with SPO/POS/OSP
+  B-tree indexes, for datasets beyond Python object memory.
+
+The store itself keeps what is backend-independent: the term
+dictionary, the monotonic ``version`` counter, and the incrementally
+maintained statistics catalog (``store.stats``). ``save(path)`` writes
+a single-file snapshot (triples + dictionary + statistics);
+``TripleStore.open(path)`` brings it back on either backend.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.rdf.dictionary import Dictionary
-from repro.rdf.terms import Term
+from repro.rdf.terms import Term, term_from_parts, term_to_parts
 from repro.rdf.triples import Triple
 from repro.stats.catalog import StatisticsCatalog
+from repro.storage.base import (
+    EncodedPattern,
+    EncodedTriple,
+    StorageBackend,
+    create_backend,
+)
+from repro.storage.memory import MemoryBackend
+from repro.storage.snapshot import (
+    SnapshotError,
+    read_snapshot,
+    synced_term_count,
+    write_aux_tables,
+    write_snapshot,
+)
+from repro.storage.sqlite import SqliteBackend
 
-#: An encoded triple: three dictionary codes.
-EncodedTriple = tuple[int, int, int]
+__all__ = [
+    "EncodedPattern",
+    "EncodedTriple",
+    "TripleStore",
+]
 
-#: An encoded pattern: a code, or None for an unbound position.
-EncodedPattern = tuple[int | None, int | None, int | None]
 
-#: The six column permutations a sorted iterator can follow.
-_PERMUTATIONS: dict[str, tuple[int, int, int]] = {
-    "spo": (0, 1, 2),
-    "sop": (0, 2, 1),
-    "pso": (1, 0, 2),
-    "pos": (1, 2, 0),
-    "osp": (2, 0, 1),
-    "ops": (2, 1, 0),
-}
+def _term_row(code: int, term: Term) -> tuple:
+    """Serialize one dictionary entry to a structured snapshot row."""
+    return (code, *term_to_parts(term))
 
 
 class TripleStore:
-    """A set of well-formed RDF triples with hexastore-style indexing.
+    """A set of well-formed RDF triples with exhaustive pattern indexing.
 
     Triples are dictionary-encoded on insertion. The public API accepts
     and returns :class:`~repro.rdf.triples.Triple` objects; the encoded
-    layer (``*_encoded`` methods) is used by the evaluation engine.
+    layer (``*_encoded`` methods, ``iter_sorted``/``match_sorted``) is
+    used by the evaluation engine and served by the storage backend.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backend: str | StorageBackend = "memory") -> None:
         self.dictionary = Dictionary()
-        self._triples: set[EncodedTriple] = set()
-        # One-column indexes: value -> set of triples.
-        self._idx_s: dict[int, set[EncodedTriple]] = {}
-        self._idx_p: dict[int, set[EncodedTriple]] = {}
-        self._idx_o: dict[int, set[EncodedTriple]] = {}
-        # Two-column indexes: (value, value) -> set of triples.
-        self._idx_sp: dict[tuple[int, int], set[EncodedTriple]] = {}
-        self._idx_so: dict[tuple[int, int], set[EncodedTriple]] = {}
-        self._idx_po: dict[tuple[int, int], set[EncodedTriple]] = {}
-        # Lazily sorted permutations of the triple table (for merge
-        # joins); invalidated wholesale on any mutation.
-        self._sorted_cache: dict[str, list[EncodedTriple]] = {}
+        if isinstance(backend, str):
+            backend = create_backend(backend)
+        if len(backend):
+            backend.close()
+            raise ValueError(
+                "cannot attach a fresh TripleStore to a non-empty backend "
+                "(its dictionary and statistics would be out of sync); "
+                "use TripleStore.open(path) for saved stores"
+            )
+        self._attach_backend(backend)
         # Monotonic mutation counter: lets the engine detect staleness
         # of anything derived from the store (e.g. cached query plans).
         self.version = 0
+        # Version at the last in-place snapshot sync (None = never):
+        # lets flush()/close() skip rewriting an up-to-date sidecar.
+        self._saved_version: int | None = None
         # Incrementally maintained statistics (repro.stats): column
         # value multiplicities, predicate counts, pattern-count memo.
         # The mutation paths below keep it in sync via O(1) hooks.
         self.stats = StatisticsCatalog(self)
+
+    def _attach_backend(self, backend: StorageBackend) -> None:
+        self._backend = backend
+        # The read paths below are the engine's innermost loops (one
+        # probe per joined row): binding the backend methods onto the
+        # instance removes a forwarding frame per call, keeping the
+        # memory backend at seed speed. A method a subclass overrides
+        # is left alone — the override keeps winning through the MRO.
+        cls = type(self)
+        for name, fast in (
+            ("match_encoded", backend.match),
+            ("count_encoded", backend.count),
+            ("iter_sorted", backend.iter_sorted),
+            ("match_sorted", backend.match_sorted),
+        ):
+            if getattr(cls, name) is getattr(TripleStore, name):
+                setattr(self, name, fast)
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The physical storage backend serving this store."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Short name of the storage backend ("memory", "sqlite", ...)."""
+        return self._backend.name
 
     # ------------------------------------------------------------------
     # Mutation
@@ -88,44 +142,16 @@ class TripleStore:
         if None in codes:
             return False
         encoded: EncodedTriple = codes  # type: ignore[assignment]
-        if encoded not in self._triples:
+        if not self._backend.remove(encoded):
             return False
-        self._triples.discard(encoded)
-        s, p, o = encoded
-        # Drop buckets that empty out: under churn, keeping them alive
-        # would grow all six indexes without bound.
-        for index, key in (
-            (self._idx_s, s),
-            (self._idx_p, p),
-            (self._idx_o, o),
-            (self._idx_sp, (s, p)),
-            (self._idx_so, (s, o)),
-            (self._idx_po, (p, o)),
-        ):
-            bucket = index[key]
-            bucket.discard(encoded)
-            if not bucket:
-                del index[key]
         self.stats.on_remove(encoded)
-        if self._sorted_cache:
-            self._sorted_cache.clear()
         self.version += 1
         return True
 
     def _add_encoded(self, encoded: EncodedTriple) -> bool:
-        if encoded in self._triples:
+        if not self._backend.add(encoded):
             return False
-        self._triples.add(encoded)
-        s, p, o = encoded
-        self._idx_s.setdefault(s, set()).add(encoded)
-        self._idx_p.setdefault(p, set()).add(encoded)
-        self._idx_o.setdefault(o, set()).add(encoded)
-        self._idx_sp.setdefault((s, p), set()).add(encoded)
-        self._idx_so.setdefault((s, o), set()).add(encoded)
-        self._idx_po.setdefault((p, o), set()).add(encoded)
         self.stats.on_add(encoded)
-        if self._sorted_cache:
-            self._sorted_cache.clear()
         self.version += 1
         return True
 
@@ -134,14 +160,14 @@ class TripleStore:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._triples)
+        return len(self._backend)
 
     def __contains__(self, triple: Triple) -> bool:
         codes = tuple(self.dictionary.lookup(term) for term in triple)
-        return None not in codes and codes in self._triples
+        return None not in codes and codes in self._backend
 
     def __iter__(self) -> Iterator[Triple]:
-        return (self._decode(encoded) for encoded in self._triples)
+        return (self._decode(encoded) for encoded in self._backend)
 
     def encode_term(self, term: Term) -> int | None:
         """Code for ``term`` or None when the term never occurs in the data."""
@@ -196,73 +222,31 @@ class TripleStore:
 
     def match_encoded(self, pattern: EncodedPattern) -> Iterable[EncodedTriple]:
         """Triples matching an encoded pattern, via the tightest index."""
-        s, p, o = pattern
-        if s is not None and p is not None and o is not None:
-            triple = (s, p, o)
-            return (triple,) if triple in self._triples else ()
-        if s is not None and p is not None:
-            return self._idx_sp.get((s, p), ())
-        if s is not None and o is not None:
-            return self._idx_so.get((s, o), ())
-        if p is not None and o is not None:
-            return self._idx_po.get((p, o), ())
-        if s is not None:
-            return self._idx_s.get(s, ())
-        if p is not None:
-            return self._idx_p.get(p, ())
-        if o is not None:
-            return self._idx_o.get(o, ())
-        return self._triples
-
-    @staticmethod
-    def _permutation_key(order: str):
-        """Sort-key function for one of the six column permutations."""
-        permutation = _PERMUTATIONS.get(order)
-        if permutation is None:
-            raise ValueError(
-                f"unknown sort order {order!r}; pick from {sorted(_PERMUTATIONS)}"
-            )
-        a, b, c = permutation
-        return lambda t: (t[a], t[b], t[c])
-
-    def _sorted_triples(self, order: str) -> list[EncodedTriple]:
-        key = self._permutation_key(order)
-        cached = self._sorted_cache.get(order)
-        if cached is None:
-            cached = sorted(self._triples, key=key)
-            self._sorted_cache[order] = cached
-        return cached
+        return self._backend.match(pattern)
 
     def iter_sorted(self, order: str = "spo") -> Iterator[EncodedTriple]:
         """All triples in the code order of a column permutation.
 
-        ``order`` is one of the six permutations of ``"spo"``. The sorted
-        list is computed lazily and cached until the next mutation, so
-        repeated merge-join plans over a stable store pay the sort once —
-        the in-memory analogue of RDF-3X's clustered permutation indexes.
+        ``order`` is one of the six permutations of ``"spo"``. The
+        memory backend computes the sorted list lazily and caches it
+        until the next mutation; the SQLite backend streams an ``ORDER
+        BY`` over its clustered permutation indexes — both are the
+        in-memory analogue of RDF-3X's clustered permutation indexes.
         """
-        return iter(self._sorted_triples(order))
+        return self._backend.iter_sorted(order)
 
     def match_sorted(
         self, pattern: EncodedPattern, order: str = "spo"
     ) -> Iterator[EncodedTriple]:
         """Matches of an encoded pattern, sorted by the given permutation.
 
-        Full scans reuse the cached sorted permutation; restricted
-        patterns sort their (already index-narrowed) match set on the
-        fly. This is what makes merge joins possible over any atom.
+        This is what makes merge joins possible over any atom.
         """
-        if pattern == (None, None, None):
-            return iter(self._sorted_triples(order))
-        key = self._permutation_key(order)
-        return iter(sorted(self.match_encoded(pattern), key=key))
+        return self._backend.match_sorted(pattern, order)
 
     def count_encoded(self, pattern: EncodedPattern) -> int:
         """Exact count of triples matching an encoded pattern."""
-        matches = self.match_encoded(pattern)
-        if matches is self._triples:
-            return len(self._triples)
-        return len(matches) if isinstance(matches, (set, tuple)) else sum(1 for _ in matches)
+        return self._backend.count(pattern)
 
     # ------------------------------------------------------------------
     # Statistics (Section 3.3 of the paper; maintained by repro.stats)
@@ -280,22 +264,186 @@ class TripleStore:
         """Average rendered term size; the width unit of the cost model."""
         return self.dictionary.average_term_size()
 
-    def copy(self) -> "TripleStore":
-        """An independent deep copy (shares no index structures).
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
 
-        Encoded triples, indexes and the dictionary are cloned directly;
-        no triple is decoded or re-encoded, so copying costs one set/dict
-        copy per structure instead of a full render→parse round trip per
-        triple (and codes stay identical between original and clone).
+    def copy(self, backend: str | StorageBackend | None = None) -> "TripleStore":
+        """An independent deep copy (shares no storage structures).
+
+        Encoded triples and the dictionary are cloned directly; no
+        triple is decoded or re-encoded, so codes stay identical between
+        original and clone. With ``backend`` set, the clone lives on a
+        *different* backend (e.g. ``store.copy(backend="memory")`` pulls
+        a SQLite-backed store into RAM); by default the clone uses a
+        deep copy of the current backend.
         """
-        clone = TripleStore()
+        clone = object.__new__(TripleStore)
         clone.dictionary = self.dictionary.copy()
-        clone._triples = set(self._triples)
-        clone._idx_s = {key: set(bucket) for key, bucket in self._idx_s.items()}
-        clone._idx_p = {key: set(bucket) for key, bucket in self._idx_p.items()}
-        clone._idx_o = {key: set(bucket) for key, bucket in self._idx_o.items()}
-        clone._idx_sp = {key: set(bucket) for key, bucket in self._idx_sp.items()}
-        clone._idx_so = {key: set(bucket) for key, bucket in self._idx_so.items()}
-        clone._idx_po = {key: set(bucket) for key, bucket in self._idx_po.items()}
+        if backend is None:
+            clone._attach_backend(self._backend.copy())
+        else:
+            target = create_backend(backend) if isinstance(backend, str) else backend
+            if len(target):
+                raise ValueError("the target backend of a copy must be empty")
+            target.add_bulk(iter(self._backend))
+            clone._attach_backend(target)
+        clone.version = 0
+        clone._saved_version = None
         clone.stats = self.stats.copy_for(clone)
         return clone
+
+    # ------------------------------------------------------------------
+    # Persistence (single-file snapshots; repro.storage.snapshot)
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write a single-file snapshot of this store to ``path``.
+
+        The snapshot holds the encoded triple table, the serialized
+        dictionary and the statistics catalog. When the store already
+        runs on a file-backed SQLite backend at ``path``, the triple
+        table *is* the file: saving commits pending writes and syncs
+        the dictionary/statistics sidecar tables in place — with the
+        dictionary appended incrementally (it is append-only), so a
+        re-save costs O(new terms), not O(dictionary).
+        """
+        stats_rows = list(self.stats.export_column_counts())
+        meta = {"triples": str(len(self))}
+        backend = self._backend
+        if (
+            isinstance(backend, SqliteBackend)
+            and backend.path is not None
+            and Path(backend.path).resolve() == Path(path).resolve()
+        ):
+            backend.flush()
+            start = synced_term_count(backend.connection)
+            term_rows = [
+                _term_row(code, term)
+                for code, term in self.dictionary.items(start)
+            ]
+            write_aux_tables(
+                backend.connection,
+                term_rows,
+                stats_rows,
+                meta,
+                incremental_terms=True,
+            )
+            self._saved_version = self.version
+        else:
+            term_rows = [
+                _term_row(code, term) for code, term in self.dictionary.items()
+            ]
+            write_snapshot(path, iter(backend), term_rows, stats_rows, meta)
+
+    @classmethod
+    def open(cls, path, backend: str = "sqlite") -> "TripleStore":
+        """Reopen a snapshot written by :meth:`save`.
+
+        With ``backend="sqlite"`` (the default) the store attaches to
+        the snapshot file directly — no triple is loaded into Python
+        memory, and subsequent mutations write to the file (call
+        :meth:`save` again to sync the dictionary sidecar before
+        handing the file to another process). With ``backend="memory"``
+        the triples are bulk-loaded into the in-memory structures.
+        """
+        if backend not in ("sqlite", "memory"):
+            raise ValueError(
+                f"unknown backend {backend!r} for open(); "
+                "pick 'sqlite' or 'memory'"
+            )
+        term_rows, stats_rows, meta, triples = read_snapshot(
+            path, include_triples=(backend == "memory")
+        )
+        store = object.__new__(cls)
+        store.dictionary = Dictionary()
+        for code, kind, value, datatype, language in term_rows:
+            try:
+                term = term_from_parts(kind, value, datatype, language)
+            except ValueError as exc:
+                raise SnapshotError(
+                    f"corrupt snapshot {path}: bad term row for code "
+                    f"{code}: {exc}"
+                ) from exc
+            assigned = store.dictionary.encode(term)
+            if assigned != code:
+                raise SnapshotError(
+                    f"corrupt snapshot {path}: term {term!r} maps to "
+                    f"code {assigned}, expected {code}"
+                )
+        if backend == "sqlite":
+            store._attach_backend(SqliteBackend(path))
+        else:
+            memory = MemoryBackend()
+            memory.add_bulk(triples)
+            store._attach_backend(memory)
+        try:
+            expected = meta.get("triples")
+            if expected is not None and int(expected) != len(store._backend):
+                raise SnapshotError(
+                    f"snapshot {path} sidecar is out of sync with its "
+                    f"triple table ({expected} recorded vs "
+                    f"{len(store._backend)} stored); reopen the store "
+                    "that wrote it and call save()"
+                )
+            # Second integrity guard: every stored code must decode.
+            # Catches a sidecar gone stale without moving the triple
+            # count (e.g. a crash after committing triples but before
+            # re-saving the dictionary). Index-only MAX lookups for
+            # SQLite; the memory path scans the triples it just loaded.
+            if backend == "sqlite":
+                maxima = store._backend.connection.execute(
+                    "SELECT MAX(s), MAX(p), MAX(o) FROM triples"
+                ).fetchone()
+                codes = [code for code in maxima if code is not None]
+                highest = max(codes) if codes else None
+            else:
+                highest = max((max(t) for t in triples), default=None)
+            if highest is not None and highest >= len(store.dictionary):
+                raise SnapshotError(
+                    f"snapshot {path} stores code {highest} but its "
+                    f"dictionary only holds {len(store.dictionary)} terms; "
+                    "reopen the store that wrote it and call save()"
+                )
+        except SnapshotError:
+            store._backend.close()
+            raise
+        store.version = 0
+        # The sidecar matches what is on disk right now.
+        store._saved_version = 0
+        store.stats = StatisticsCatalog(store)
+        store.stats.load_column_counts(stats_rows)
+        return store
+
+    def flush(self) -> None:
+        """Make pending writes durable (no-op for memory).
+
+        A file-backed SQLite store whose sidecar is out of date — never
+        written for a fresh file, or older than the current ``version``
+        — syncs the full snapshot, so the on-disk file is a reopenable
+        snapshot even if the process never reaches :meth:`close`; a
+        stale sidecar next to committed triples would poison the next
+        :meth:`open`. An up-to-date store flushes without rewriting
+        anything (and never writes to a read-only snapshot it only
+        read).
+        """
+        backend = self._backend
+        if (
+            self._saved_version != self.version
+            and isinstance(backend, SqliteBackend)
+            and backend.path is not None
+        ):
+            self.save(backend.path)
+        else:
+            backend.flush()
+
+    def close(self) -> None:
+        """Release backend resources.
+
+        A file-backed SQLite store that was mutated syncs its full
+        snapshot first (via :meth:`flush`), so the file on disk stays a
+        complete, reopenable snapshot. Unmutated stores close without
+        writing — a read-only snapshot file stays untouched.
+        """
+        self.flush()
+        self._backend.close()

@@ -112,3 +112,38 @@ Term = Union[URI, Literal, BlankNode]
 def is_term(value: object) -> bool:
     """Return True if ``value`` is an RDF term."""
     return isinstance(value, (URI, Literal, BlankNode))
+
+
+def term_to_parts(term: Term) -> tuple[str, str, str | None, str | None]:
+    """Flatten a term to ``(kind, value, datatype, language)`` parts.
+
+    The canonical structural codec: exact for every term (no rendering
+    or parsing involved). Store snapshots persist dictionary entries
+    through it; extend it (and :func:`term_from_parts`) first when a
+    term type grows a new attribute.
+    """
+    if isinstance(term, URI):
+        return ("uri", term.value, None, None)
+    if isinstance(term, Literal):
+        datatype = term.datatype.value if term.datatype is not None else None
+        return ("literal", term.lexical, datatype, term.language)
+    if isinstance(term, BlankNode):
+        return ("bnode", term.label, None, None)
+    raise ValueError(f"cannot serialize non-term value {term!r}")
+
+
+def term_from_parts(
+    kind: str, value: str, datatype: str | None, language: str | None
+) -> Term:
+    """Rebuild a term from its parts (exact inverse of term_to_parts)."""
+    if kind == "uri":
+        return URI(value)
+    if kind == "literal":
+        return Literal(
+            value,
+            datatype=URI(datatype) if datatype is not None else None,
+            language=language,
+        )
+    if kind == "bnode":
+        return BlankNode(value)
+    raise ValueError(f"unknown term kind {kind!r}")

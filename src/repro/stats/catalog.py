@@ -149,6 +149,33 @@ class StatisticsCatalog:
         return cached
 
     # ------------------------------------------------------------------
+    # Serialization (store snapshots; repro.storage.snapshot)
+    # ------------------------------------------------------------------
+
+    def export_column_counts(self):
+        """Serialized ``(column index, code, multiplicity)`` rows.
+
+        The snapshot writer persists these so a reopened store never
+        recounts its statistics from the triple table.
+        """
+        for column, counter in enumerate(self._col_values):
+            for code, count in counter.items():
+                yield (column, code, count)
+
+    def load_column_counts(self, rows) -> None:
+        """Replace the maintained counters with serialized rows.
+
+        Inverse of :meth:`export_column_counts`; used by
+        ``TripleStore.open``. Flushes the pattern memo — it may hold
+        counts from before the store this catalog now describes.
+        """
+        self._col_values = (Counter(), Counter(), Counter())
+        for column, code, count in rows:
+            self._col_values[column][code] = count
+        self._pattern_counts.clear()
+        self._pattern_version = self._store.version
+
+    # ------------------------------------------------------------------
     # Cloning
     # ------------------------------------------------------------------
 

@@ -1,0 +1,174 @@
+"""The storage backend contract of the triple store.
+
+A :class:`StorageBackend` holds the *encoded* triple table — three
+dictionary codes per triple — and answers exactly the physical
+operations :class:`~repro.rdf.store.TripleStore` needs: mutations,
+pattern matches through the tightest available index, sorted permutation
+scans (the merge-join input contract), exact pattern counts, and the
+per-column figures the statistics catalog verifies against.
+
+Backends speak *only* integer codes: no RDF term, query atom or
+statistics type appears here, so the package sits below ``repro.rdf``
+in the layer diagram and every layer above the store — engine, planner,
+stats, reformulation, selection — runs unchanged on any backend.
+
+Two implementations ship:
+
+* :class:`~repro.storage.memory.MemoryBackend` — the seed's hexastore
+  dict-of-sets structures, extracted verbatim (the default);
+* :class:`~repro.storage.sqlite.SqliteBackend` — a disk-backed SQLite
+  triple table with SPO/POS/OSP B-tree indexes, for datasets that do
+  not fit Python object memory.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import Iterable, Iterator
+
+#: An encoded triple: three dictionary codes.
+EncodedTriple = tuple[int, int, int]
+
+#: An encoded pattern: a code, or None for an unbound position.
+EncodedPattern = tuple[int | None, int | None, int | None]
+
+#: The six column permutations a sorted iterator can follow.
+PERMUTATIONS: dict[str, tuple[int, int, int]] = {
+    "spo": (0, 1, 2),
+    "sop": (0, 2, 1),
+    "pso": (1, 0, 2),
+    "pos": (1, 2, 0),
+    "osp": (2, 0, 1),
+    "ops": (2, 1, 0),
+}
+
+#: Column names of the triple table, in position order.
+COLUMNS = ("s", "p", "o")
+
+
+def permutation_key(order: str):
+    """Sort-key function for one of the six column permutations."""
+    permutation = PERMUTATIONS.get(order)
+    if permutation is None:
+        raise ValueError(
+            f"unknown sort order {order!r}; pick from {sorted(PERMUTATIONS)}"
+        )
+    a, b, c = permutation
+    return lambda t: (t[a], t[b], t[c])
+
+
+class StorageBackend(ABC):
+    """Physical storage of one encoded triple table.
+
+    The contract mirrors what the in-memory store historically did
+    against its private dicts; see the module docstring. All methods
+    deal in :data:`EncodedTriple` / :data:`EncodedPattern` values.
+    """
+
+    #: Short name used by CLIs and benchmarks ("memory", "sqlite", ...).
+    name: str = "?"
+
+    # -- mutation ------------------------------------------------------
+
+    @abstractmethod
+    def add(self, encoded: EncodedTriple) -> bool:
+        """Insert one triple; True when it was not already present."""
+
+    @abstractmethod
+    def remove(self, encoded: EncodedTriple) -> bool:
+        """Delete one triple; True when it was present."""
+
+    def add_bulk(self, encoded: Iterable[EncodedTriple]) -> int:
+        """Insert many triples; returns the number of new ones.
+
+        Backends override this when they have a faster batched path
+        (SQLite uses one ``executemany``). Callers that must observe
+        each insertion (statistics hooks) use :meth:`add` per triple.
+        """
+        return sum(1 for triple in encoded if self.add(triple))
+
+    # -- lookup --------------------------------------------------------
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored triples."""
+
+    @abstractmethod
+    def __contains__(self, encoded: EncodedTriple) -> bool:
+        """Exact membership test."""
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[EncodedTriple]:
+        """All triples, in no particular order."""
+
+    @abstractmethod
+    def match(self, pattern: EncodedPattern) -> Iterable[EncodedTriple]:
+        """Triples matching a pattern, via the tightest index."""
+
+    @abstractmethod
+    def count(self, pattern: EncodedPattern) -> int:
+        """Exact number of triples matching a pattern."""
+
+    @abstractmethod
+    def iter_sorted(self, order: str = "spo") -> Iterator[EncodedTriple]:
+        """All triples in the code order of a column permutation."""
+
+    @abstractmethod
+    def match_sorted(
+        self, pattern: EncodedPattern, order: str = "spo"
+    ) -> Iterator[EncodedTriple]:
+        """Matches of a pattern, sorted by the given permutation."""
+
+    # -- column statistics (ground truth for the stats catalog) --------
+
+    @abstractmethod
+    def distinct_values(self, column: str) -> int:
+        """Distinct values in column ``'s'``/``'p'``/``'o'``."""
+
+    @abstractmethod
+    def column_value_counts(self, column: str) -> Counter:
+        """Multiplicity of each value in the given column (a copy)."""
+
+    # -- lifecycle -----------------------------------------------------
+
+    @abstractmethod
+    def copy(self) -> "StorageBackend":
+        """An independent deep copy sharing no mutable state."""
+
+    def flush(self) -> None:
+        """Make pending writes durable (no-op for volatile backends)."""
+
+    def close(self) -> None:
+        """Release any held resources (no-op by default)."""
+
+    @staticmethod
+    def _column_index(column: str) -> int:
+        try:
+            return COLUMNS.index(column)
+        except ValueError:
+            raise ValueError(
+                f"unknown column {column!r}; pick from {COLUMNS}"
+            ) from None
+
+
+def create_backend(name: str, *, path=None) -> StorageBackend:
+    """Instantiate a backend by short name.
+
+    ``path`` only applies to disk-capable backends (SQLite); the memory
+    backend rejects it.
+    """
+    from repro.storage.memory import MemoryBackend
+    from repro.storage.sqlite import SqliteBackend
+
+    if name == "memory":
+        if path is not None:
+            raise ValueError("the memory backend does not take a path")
+        return MemoryBackend()
+    if name == "sqlite":
+        return SqliteBackend(path)
+    raise ValueError(f"unknown storage backend {name!r}; pick from {BACKENDS}")
+
+
+#: Selectable backend names, in CLI display order.
+BACKENDS = ("memory", "sqlite")

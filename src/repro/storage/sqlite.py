@@ -1,0 +1,223 @@
+"""A disk-backed SQLite storage backend.
+
+The encoded triple table lives in one SQLite table clustered on
+``(s, p, o)`` (a WITHOUT ROWID primary key) with two covering B-tree
+indexes on ``(p, o, s)`` and ``(o, s, p)``. Together the three
+permutations cover every one of the seven constant-pattern shapes as an
+index *prefix* — the classic three-permutation trick of RDF column
+stores — so pattern matches and counts push down to B-tree range
+queries, and the six sorted permutation scans the merge join consumes
+become ``ORDER BY`` over an index (or a one-pass external sort for the
+three non-covered orders, handled by SQLite itself).
+
+Because every operator above the store pulls rows through the
+:class:`~repro.storage.base.StorageBackend` contract, a dataset no
+longer needs to fit Python object memory: pass a file path and SQLite
+pages the table in and out as queries touch it. With no path the
+backend uses a SQLite temporary database — cached in RAM up to the
+page-cache budget, spilled to a private auto-deleted disk file beyond
+it — so even anonymous stores (saturations, copies) stay bounded.
+
+Writes accumulate in one open transaction (the connection's deferred
+autocommit mode) and become durable on :meth:`flush`/:meth:`close` —
+bulk loads pay one fsync, not one per triple. Reads on the same
+connection always see pending writes.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.storage.base import (
+    EncodedPattern,
+    EncodedTriple,
+    PERMUTATIONS,
+    StorageBackend,
+)
+
+#: DDL of the triple table and its two extra permutation indexes.
+SCHEMA = """
+CREATE TABLE IF NOT EXISTS triples (
+    s INTEGER NOT NULL,
+    p INTEGER NOT NULL,
+    o INTEGER NOT NULL,
+    PRIMARY KEY (s, p, o)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_triples_pos ON triples (p, o, s);
+CREATE INDEX IF NOT EXISTS idx_triples_osp ON triples (o, s, p);
+"""
+
+#: ORDER BY column list per permutation name.
+_ORDER_BY = {name: ", ".join(name) for name in PERMUTATIONS}
+
+
+def _where(pattern: EncodedPattern) -> tuple[str, tuple[int, ...]]:
+    """WHERE clause + parameters for an encoded pattern."""
+    conditions = [
+        f"{column} = ?"
+        for column, code in zip("spo", pattern)
+        if code is not None
+    ]
+    params = tuple(code for code in pattern if code is not None)
+    if not conditions:
+        return "", params
+    return " WHERE " + " AND ".join(conditions), params
+
+
+class SqliteBackend(StorageBackend):
+    """Encoded triples in a SQLite database (file-backed or in-memory)."""
+
+    name = "sqlite"
+
+    def __init__(self, path=None) -> None:
+        #: Database file path, or None for an anonymous database.
+        self.path = str(path) if path is not None else None
+        # Anonymous backends use a SQLite *temporary* database (""):
+        # pages live in the cache and spill to a private auto-deleted
+        # disk file as the data outgrows it — unlike ":memory:", big
+        # anonymous stores (saturations, copies) stay memory-bounded.
+        self._con = sqlite3.connect(self.path if self.path is not None else "")
+        # 16 MiB page cache: keeps benchmark-scale anonymous databases
+        # entirely cached while still bounding worst-case memory.
+        self._con.execute("PRAGMA cache_size = -16384")
+        self._con.executescript(SCHEMA)
+        self._con.commit()
+        # Triple count mirrored Python-side: len() is on the hot path
+        # of every cost formula and must not re-run COUNT(*).
+        self._count = self._con.execute(
+            "SELECT COUNT(*) FROM triples"
+        ).fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, encoded: EncodedTriple) -> bool:
+        cursor = self._con.execute(
+            "INSERT OR IGNORE INTO triples (s, p, o) VALUES (?, ?, ?)", encoded
+        )
+        inserted = cursor.rowcount == 1
+        if inserted:
+            self._count += 1
+        return inserted
+
+    def remove(self, encoded: EncodedTriple) -> bool:
+        cursor = self._con.execute(
+            "DELETE FROM triples WHERE s = ? AND p = ? AND o = ?", encoded
+        )
+        removed = cursor.rowcount == 1
+        if removed:
+            self._count -= 1
+        return removed
+
+    def add_bulk(self, encoded: Iterable[EncodedTriple]) -> int:
+        before = self._con.total_changes
+        self._con.executemany(
+            "INSERT OR IGNORE INTO triples (s, p, o) VALUES (?, ?, ?)", encoded
+        )
+        inserted = self._con.total_changes - before
+        self._count += inserted
+        return inserted
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, encoded: EncodedTriple) -> bool:
+        row = self._con.execute(
+            "SELECT 1 FROM triples WHERE s = ? AND p = ? AND o = ?", encoded
+        ).fetchone()
+        return row is not None
+
+    def __iter__(self) -> Iterator[EncodedTriple]:
+        return iter(self._con.execute("SELECT s, p, o FROM triples"))
+
+    def match(self, pattern: EncodedPattern) -> Iterable[EncodedTriple]:
+        s, p, o = pattern
+        if s is not None and p is not None and o is not None:
+            triple = (s, p, o)
+            return (triple,) if triple in self else ()
+        where, params = _where(pattern)
+        return self._con.execute(f"SELECT s, p, o FROM triples{where}", params)
+
+    def count(self, pattern: EncodedPattern) -> int:
+        if pattern == (None, None, None):
+            return self._count
+        where, params = _where(pattern)
+        return self._con.execute(
+            f"SELECT COUNT(*) FROM triples{where}", params
+        ).fetchone()[0]
+
+    def iter_sorted(self, order: str = "spo") -> Iterator[EncodedTriple]:
+        return self.match_sorted((None, None, None), order)
+
+    def match_sorted(
+        self, pattern: EncodedPattern, order: str = "spo"
+    ) -> Iterator[EncodedTriple]:
+        order_by = _ORDER_BY.get(order)
+        if order_by is None:
+            raise ValueError(
+                f"unknown sort order {order!r}; pick from {sorted(PERMUTATIONS)}"
+            )
+        where, params = _where(pattern)
+        return iter(
+            self._con.execute(
+                f"SELECT s, p, o FROM triples{where} ORDER BY {order_by}", params
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Column statistics
+    # ------------------------------------------------------------------
+
+    def distinct_values(self, column: str) -> int:
+        name = "spo"[self._column_index(column)]
+        return self._con.execute(
+            f"SELECT COUNT(DISTINCT {name}) FROM triples"
+        ).fetchone()[0]
+
+    def column_value_counts(self, column: str) -> Counter:
+        name = "spo"[self._column_index(column)]
+        return Counter(
+            dict(
+                self._con.execute(
+                    f"SELECT {name}, COUNT(*) FROM triples GROUP BY {name}"
+                )
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "SqliteBackend":
+        """An independent in-memory SQLite clone (via the backup API).
+
+        Copies of disk-backed databases are deliberately anonymous: the
+        clone must not fight the original over the same file. Persist a
+        clone explicitly with :meth:`~repro.rdf.store.TripleStore.save`.
+        """
+        self._con.commit()
+        clone = SqliteBackend()
+        self._con.backup(clone._con)
+        clone._count = self._count
+        return clone
+
+    def flush(self) -> None:
+        """Commit the open transaction (make pending writes durable)."""
+        self._con.commit()
+
+    def close(self) -> None:
+        """Commit and release the database connection."""
+        self._con.commit()
+        self._con.close()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying connection (used by snapshot persistence)."""
+        return self._con

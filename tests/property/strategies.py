@@ -53,9 +53,13 @@ def data_triples(draw, min_size=1, max_size=25):
 
 
 @st.composite
-def stores(draw, **kwargs):
-    """A store populated with random data triples."""
-    store = TripleStore()
+def stores(draw, backend="memory", **kwargs):
+    """A store populated with random data triples.
+
+    ``backend`` selects the storage backend; the engine-parity tests
+    run their matrix over every backend in ``repro.storage.BACKENDS``.
+    """
+    store = TripleStore(backend=backend)
     store.add_all(draw(data_triples(**kwargs)))
     return store
 

@@ -5,8 +5,14 @@ baseline (`evaluate_nested_loop`) and every join strategy of the unified
 engine must agree on the answer set of any conjunctive query — including
 self-join atoms like ``t(X, p, X)``, Cartesian products, and the rule-4
 ``non_literal`` restriction.
+
+The whole matrix runs once per storage backend (``repro.storage``): the
+backend swap must be invisible to every evaluator, so a memory-backed
+and a SQLite-backed store loaded with the same triples answer every
+query identically.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -20,25 +26,34 @@ from repro.query.evaluation import (
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import Literal, URI
 from repro.rdf.triples import Triple
+from repro.storage import BACKENDS
 
 from tests.property.strategies import queries, stores
 
 X = Variable("X")
 
+backends = pytest.mark.parametrize("backend", BACKENDS)
 
+
+@backends
 @settings(max_examples=60, deadline=None)
-@given(store=stores(), query=queries())
-def test_all_engines_match_reference_evaluators(store, query):
+@given(data=st.data())
+def test_all_engines_match_reference_evaluators(backend, data):
+    store = data.draw(stores(backend=backend), label="store")
+    query = data.draw(queries(), label="query")
     expected = evaluate_greedy(query, store)
     assert evaluate_nested_loop(query, store) == expected
     for engine in ENGINES:
         assert evaluate(query, store, engine=engine) == expected, engine
 
 
+@backends
 @settings(max_examples=60, deadline=None)
-@given(store=stores(), query=queries())
-def test_cost_based_auto_matches_every_fixed_engine(store, query):
+@given(data=st.data())
+def test_cost_based_auto_matches_every_fixed_engine(backend, data):
     """The cost-based choice only moves speed, never the answer set."""
+    store = data.draw(stores(backend=backend), label="store")
+    query = data.draw(queries(), label="query")
     chosen = choose_engine(query, store)
     assert chosen in FIXED_ENGINES + (HYBRID,)
     auto_answers = evaluate(query, store, engine="auto")
@@ -46,9 +61,12 @@ def test_cost_based_auto_matches_every_fixed_engine(store, query):
         assert evaluate(query, store, engine=engine) == auto_answers, engine
 
 
+@backends
 @settings(max_examples=40, deadline=None)
-@given(store=stores(), query=queries(), data=st.data())
-def test_non_literal_restriction_parity(store, query, data):
+@given(data=st.data())
+def test_non_literal_restriction_parity(backend, data):
+    store = data.draw(stores(backend=backend), label="store")
+    query = data.draw(queries(), label="query")
     body_vars = sorted(query.variables(), key=lambda v: v.name)
     if body_vars:
         restricted = data.draw(
@@ -61,10 +79,12 @@ def test_non_literal_restriction_parity(store, query, data):
         assert evaluate(query, store, engine=engine) == expected, engine
 
 
+@backends
 @settings(max_examples=40, deadline=None)
-@given(store=stores())
-def test_self_join_atom_parity(store):
+@given(data=st.data())
+def test_self_join_atom_parity(backend, data):
     # t(X, p, X) forces the intra-atom equality filter in every engine.
+    store = data.draw(stores(backend=backend), label="store")
     prop = URI("http://u/p0")
     store.add(Triple(URI("http://u/e0"), prop, URI("http://u/e0")))
     query = ConjunctiveQuery((X,), (Atom(X, prop, X),))
@@ -75,8 +95,27 @@ def test_self_join_atom_parity(store):
         assert evaluate(query, store, engine=engine) == expected, engine
 
 
-def test_non_literal_never_binds_literals_deterministic():
-    store = TripleStore()
+@backends
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_cross_backend_answer_parity(backend, data):
+    """A cross-backend copy answers every query exactly like the source.
+
+    In particular ``copy(backend="memory")`` of a SQLite-backed store
+    yields an equivalent memory-backed store (and vice versa).
+    """
+    store = data.draw(stores(backend=backend), label="store")
+    query = data.draw(queries(), label="query")
+    expected = evaluate(query, store, engine="auto")
+    for target in BACKENDS:
+        clone = store.copy(backend=target)
+        assert set(clone) == set(store)
+        assert evaluate(query, clone, engine="auto") == expected, target
+
+
+@backends
+def test_non_literal_never_binds_literals_deterministic(backend):
+    store = TripleStore(backend=backend)
     prop = URI("http://u/p")
     store.add(Triple(URI("http://u/s"), prop, Literal("text")))
     store.add(Triple(URI("http://u/s"), prop, URI("http://u/o")))

@@ -1,25 +1,29 @@
-"""Unit tests for the indexed triple store."""
+"""Unit tests for the indexed triple store, on every storage backend."""
 
 import pytest
 
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import Literal, URI
 from repro.rdf.triples import Triple
+from repro.storage import BACKENDS
 
 
 def u(x: str) -> URI:
     return URI(f"http://t/{x}")
 
 
-@pytest.fixture()
-def store() -> TripleStore:
-    s = TripleStore()
-    s.add(Triple(u("a"), u("p"), u("b")))
-    s.add(Triple(u("a"), u("p"), u("c")))
-    s.add(Triple(u("a"), u("q"), u("b")))
-    s.add(Triple(u("d"), u("p"), u("b")))
-    s.add(Triple(u("d"), u("q"), Literal("v")))
-    return s
+def populate(store: TripleStore) -> TripleStore:
+    store.add(Triple(u("a"), u("p"), u("b")))
+    store.add(Triple(u("a"), u("p"), u("c")))
+    store.add(Triple(u("a"), u("q"), u("b")))
+    store.add(Triple(u("d"), u("p"), u("b")))
+    store.add(Triple(u("d"), u("q"), Literal("v")))
+    return store
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request) -> TripleStore:
+    return populate(TripleStore(backend=request.param))
 
 
 class TestMutation:
@@ -115,6 +119,18 @@ class TestColumnStatistics:
         counts = store.column_value_counts("p")
         assert sum(counts.values()) == len(store)
 
+    def test_backend_agrees_with_catalog(self, store):
+        # The backend's ground-truth figures must match the catalog's
+        # incrementally maintained ones, on every backend.
+        store.remove(Triple(u("a"), u("p"), u("c")))
+        for column in ("s", "p", "o"):
+            assert store.backend.distinct_values(column) == store.distinct_values(
+                column
+            )
+            assert store.backend.column_value_counts(
+                column
+            ) == store.column_value_counts(column)
+
 
 def test_copy_is_independent(store):
     clone = store.copy()
@@ -131,35 +147,44 @@ def test_iteration_yields_decoded_triples(store):
 
 
 class TestIndexBucketCleanup:
-    def test_remove_deletes_empty_buckets(self, store):
+    """Memory-backend internals: empty buckets must not linger."""
+
+    @pytest.fixture()
+    def memory(self):
+        return populate(TripleStore(backend="memory")).backend
+
+    def test_remove_deletes_empty_buckets(self):
         # u("d") subject bucket holds two triples; removing both must
         # delete the bucket itself, not leave an empty set behind.
+        store = populate(TripleStore(backend="memory"))
         store.remove(Triple(u("d"), u("p"), u("b")))
         store.remove(Triple(u("d"), u("q"), Literal("v")))
         d_code = store.dictionary.lookup(u("d"))
-        assert d_code not in store._idx_s
+        assert d_code not in store.backend._idx_s
         v_code = store.dictionary.lookup(Literal("v"))
-        assert v_code not in store._idx_o
+        assert v_code not in store.backend._idx_o
 
     def test_churn_does_not_grow_indexes(self):
-        s = TripleStore()
+        s = TripleStore(backend="memory")
         for round_ in range(50):
             triple = Triple(u(f"subject{round_}"), u("p"), u(f"object{round_}"))
             s.add(triple)
             s.remove(triple)
         assert len(s) == 0
-        assert s._idx_s == {}
-        assert s._idx_o == {}
-        assert s._idx_sp == {}
-        assert s._idx_so == {}
-        assert s._idx_po == {}
+        backend = s.backend
+        assert backend._idx_s == {}
+        assert backend._idx_o == {}
+        assert backend._idx_sp == {}
+        assert backend._idx_so == {}
+        assert backend._idx_po == {}
         # The predicate bucket for u("p") emptied out too.
-        assert s._idx_p == {}
+        assert backend._idx_p == {}
 
-    def test_partial_bucket_survives(self, store):
+    def test_partial_bucket_survives(self):
+        store = populate(TripleStore(backend="memory"))
         store.remove(Triple(u("a"), u("p"), u("b")))
         a_code = store.dictionary.lookup(u("a"))
-        assert a_code in store._idx_s  # still holds two triples
+        assert a_code in store.backend._idx_s  # still holds two triples
         assert store.count(s=u("a")) == 2
 
 
@@ -184,6 +209,23 @@ class TestCopy:
             assert clone.distinct_values(column) == store.distinct_values(column)
         assert clone.average_term_size() == store.average_term_size()
 
+    def test_copy_preserves_backend_kind(self, store):
+        assert store.copy().backend_name == store.backend_name
+
+    @pytest.mark.parametrize("target", BACKENDS)
+    def test_cross_backend_copy_is_equivalent(self, store, target):
+        clone = store.copy(backend=target)
+        assert clone.backend_name == target
+        assert set(clone) == set(store)
+        assert len(clone) == len(store)
+        for column in ("s", "p", "o"):
+            assert clone.distinct_values(column) == store.distinct_values(column)
+        for pattern in (dict(s=u("a")), dict(p=u("p")), dict(o=u("b"))):
+            assert clone.count(**pattern) == store.count(**pattern)
+        # Mutations stay independent.
+        clone.add(Triple(u("only-clone"), u("p"), u("b")))
+        assert Triple(u("only-clone"), u("p"), u("b")) not in store
+
 
 class TestSortedIterators:
     def test_iter_sorted_spo(self, store):
@@ -203,7 +245,7 @@ class TestSortedIterators:
         keys = [(o, s) for s, _, o in matches]
         assert keys == sorted(keys)
 
-    def test_sorted_cache_invalidated_on_mutation(self, store):
+    def test_sorted_iteration_after_mutation(self, store):
         before = list(store.iter_sorted("spo"))
         store.add(Triple(u("zz"), u("p"), u("zz")))
         after = list(store.iter_sorted("spo"))
@@ -212,3 +254,12 @@ class TestSortedIterators:
     def test_unknown_order_rejected(self, store):
         with pytest.raises(ValueError):
             list(store.iter_sorted("xyz"))
+
+
+def test_fresh_store_rejects_non_empty_backend(tmp_path, store):
+    path = tmp_path / "full.db"
+    store.save(path)
+    from repro.storage import SqliteBackend
+
+    with pytest.raises(ValueError, match="non-empty backend"):
+        TripleStore(backend=SqliteBackend(path))

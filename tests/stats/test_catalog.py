@@ -8,10 +8,13 @@ store's contents through arbitrary add/remove churn and through
 import random
 from collections import Counter
 
+import pytest
+
 from repro.query.cq import Atom, Variable
 from repro.rdf.store import TripleStore
 from repro.rdf.triples import Triple
 from repro.stats import CatalogStatistics, StatisticsCatalog
+from repro.storage import BACKENDS
 
 from tests.conftest import ex
 
@@ -96,6 +99,37 @@ class TestIncrementalMaintenance:
         for column in ("s", "p", "o"):
             assert store.stats.distinct_values(column) == 0
         assert store.stats.predicate_count(ex("p1")) == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_removing_last_triple_of_predicate_leaves_no_stale_entries(
+        self, backend
+    ):
+        """Regression: distincts/multiplicities return to the *exact*
+        empty-store state — no zero-count counter entries, no stale
+        pattern-memo figures — on either backend."""
+        store = TripleStore(backend=backend)
+        lonely = Triple(ex("s0"), ex("lonelyP"), ex("o0"))
+        store.add(lonely)
+        store.add(triple(1, 1, 1))
+        # Prime the pattern memo while the predicate still exists.
+        assert store.stats.pattern_count(None, ex("lonelyP"), None) == 1
+        store.remove(lonely)
+        store.remove(triple(1, 1, 1))
+        fresh = TripleStore(backend=backend)
+        # Counter structures are *equal to* a fresh catalog's — Counter
+        # equality ignores zero entries, so compare the raw dicts too.
+        assert store.stats._col_values == fresh.stats._col_values
+        for counter in store.stats._col_values:
+            assert dict(counter) == {}
+        for column in ("s", "p", "o"):
+            assert store.stats.distinct_values(column) == 0
+            assert store.stats.column_value_counts(column) == Counter()
+            # Backend ground truth agrees: no lingering buckets/rows.
+            assert store.backend.column_value_counts(column) == Counter()
+        assert store.stats.predicate_count(ex("lonelyP")) == 0
+        # The memoized pre-removal count must not survive the removal.
+        assert store.stats.pattern_count(None, ex("lonelyP"), None) == 0
+        assert_catalog_matches(store)
 
 
 class TestCopy:

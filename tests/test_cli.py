@@ -117,3 +117,114 @@ def test_strategy_choices(capsys, data_file, workload_file):
         "--time-limit", "2",
     )
     assert "recommended views:" in out
+
+
+class TestStorageBackends:
+    def test_sqlite_backend_end_to_end(self, capsys, data_file, workload_file):
+        out = run_cli(
+            capsys,
+            "--data", str(data_file),
+            "--queries", str(workload_file),
+            "--backend", "sqlite",
+            "--time-limit", "2",
+            "--show-answers",
+        )
+        assert "[sqlite backend]" in out
+        assert "q1: 1 answers" in out
+
+    def test_save_then_reopen_snapshot(self, capsys, data_file, workload_file,
+                                       tmp_path):
+        db = tmp_path / "store.db"
+        out = run_cli(
+            capsys,
+            "--data", str(data_file),
+            "--queries", str(workload_file),
+            "--db", str(db),
+            "--time-limit", "2",
+        )
+        assert f"saved store snapshot to {db}" in out
+        assert db.is_file()
+        # Second run: no --data, the snapshot serves the workload.
+        for backend in ("sqlite", "memory"):
+            out = run_cli(
+                capsys,
+                "--queries", str(workload_file),
+                "--db", str(db),
+                "--backend", backend,
+                "--time-limit", "2",
+                "--show-answers",
+            )
+            assert f"[{backend} backend]" in out
+            assert "q1: 1 answers" in out
+
+    def test_refuses_to_overwrite_existing_db(self, capsys, data_file,
+                                              workload_file, tmp_path):
+        db = tmp_path / "store.db"
+        run_cli(
+            capsys,
+            "--data", str(data_file),
+            "--queries", str(workload_file),
+            "--backend", "sqlite",
+            "--db", str(db),
+            "--time-limit", "2",
+        )
+        # Refused with either backend: --db + --data on an existing
+        # snapshot must never destroy it silently.
+        for backend in ("sqlite", "memory"):
+            assert main([
+                "--data", str(data_file),
+                "--queries", str(workload_file),
+                "--backend", backend,
+                "--db", str(db),
+            ]) == 2
+            assert "refusing to overwrite" in capsys.readouterr().err
+
+    def test_neither_data_nor_db_errors(self, capsys, workload_file):
+        assert main(["--queries", str(workload_file)]) == 2
+        assert "either --data or --db" in capsys.readouterr().err
+
+    def test_parse_failure_leaves_no_db_stub(self, capsys, workload_file,
+                                             tmp_path):
+        bad = tmp_path / "bad.nt"
+        bad.write_text("<http://e/a> <http://e/p> missing-brackets .\n")
+        db = tmp_path / "store.db"
+        assert main([
+            "--data", str(bad),
+            "--queries", str(workload_file),
+            "--backend", "sqlite",
+            "--db", str(db),
+        ]) == 2
+        assert "cannot load" in capsys.readouterr().err
+        assert not db.exists()
+
+    def test_missing_data_file_leaves_no_db_stub(self, capsys, workload_file,
+                                                 tmp_path):
+        db = tmp_path / "store.db"
+        assert main([
+            "--data", str(tmp_path / "nope.nt"),
+            "--queries", str(workload_file),
+            "--backend", "sqlite",
+            "--db", str(db),
+        ]) == 2
+        assert "cannot load" in capsys.readouterr().err
+        assert not db.exists()
+
+    def test_unwritable_db_path_reports_cleanly(self, capsys, data_file,
+                                                workload_file, tmp_path):
+        assert main([
+            "--data", str(data_file),
+            "--queries", str(workload_file),
+            "--backend", "sqlite",
+            "--db", str(tmp_path / "no" / "such" / "dir" / "x.db"),
+        ]) == 2
+        assert "cannot create database" in capsys.readouterr().err
+
+    def test_corrupt_db_reports_cleanly(self, capsys, workload_file, tmp_path):
+        db = tmp_path / "garbage.db"
+        db.write_bytes(b"definitely not a sqlite database, lots of padding")
+        assert main([
+            "--queries", str(workload_file),
+            "--backend", "sqlite",
+            "--db", str(db),
+        ]) == 2
+        assert "cannot open" in capsys.readouterr().err
