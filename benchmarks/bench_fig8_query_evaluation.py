@@ -13,8 +13,16 @@ Paper setup: the five queries of workload Q1, answered several ways —
   (re-counts every remaining atom per recursion step) — the baseline
   the engine must beat;
 * **engine-***: the unified physical-operator engine on the saturated
-  store, one series per join strategy (the RDF-3X role);
+  store, one series per join strategy (the RDF-3X role), executing
+  batch-at-a-time (the default since the batched-engine PR);
+* **engine-auto-tuple**: the same auto-selected plans executed through
+  the historical tuple-at-a-time path (``batch_size=None``) — the
+  baseline the batched engine is measured against;
 * **initial state**: the workload queries themselves materialized.
+
+Timings depend on PYTHONHASHSEED (the synthetic Barton generator walks
+hash-ordered dicts), so cross-process comparisons must pin it — the
+committed JSONs use ``PYTHONHASHSEED=0`` (see ``docs/benchmarks.md``).
 
 Expected shape: views beat the triple-table plans by one or more orders
 of magnitude and land in the same range as the native engine; the
@@ -131,7 +139,7 @@ if pytest is not None:
         return _setup()
 
 
-def _measure(setup, repeats: int = 3):
+def _measure(setup, repeats: int = 3, workers: int = 1):
     queries = setup["queries"]
     post_state, post_extents = setup["post"]
     pre_state, pre_extents = setup["pre"]
@@ -163,12 +171,20 @@ def _measure(setup, repeats: int = 3):
         }
         for engine in ENGINE_SERIES:
             times[f"engine-{engine}"] = _time_ms(
-                lambda: evaluate(query, saturated, engine=engine), repeats
+                lambda: evaluate(query, saturated, engine=engine, workers=workers),
+                repeats,
             )
+        # The batched engine's baseline: same auto-selected plan, the
+        # historical tuple-at-a-time execution path.
+        times["engine-auto-tuple"] = _time_ms(
+            lambda: evaluate(query, saturated, engine="auto", batch_size=None),
+            repeats,
+        )
         # Correctness: every route returns the complete
         # (entailment-aware) answers.
         for engine in ENGINE_SERIES:
-            assert evaluate(query, saturated, engine=engine) == expected
+            assert evaluate(query, saturated, engine=engine, workers=workers) == expected
+        assert evaluate(query, saturated, engine="auto", batch_size=None) == expected
         assert answer_query(post_state, query.name, post_extents) == expected
         assert answer_query(pre_state, query.name, pre_extents) == expected
         assert answer_query(initial, query.name, initial_extents) == expected
@@ -190,6 +206,15 @@ def _report_rows(setup, rows, emit=report, engine_key="engine-auto"):
         f"{engine_key} total {total_engine:.2f} ms vs seed-greedy "
         f"{total_seed:.2f} ms ({speedup:.1f}x)",
     )
+    total_tuple = sum(times.get("engine-auto-tuple", 0.0) for _, times in rows)
+    total_batched = sum(times.get("engine-auto", 0.0) for _, times in rows)
+    if total_tuple and total_batched:
+        emit(
+            EXPERIMENT,
+            f"batched engine-auto total {total_batched:.2f} ms vs "
+            f"tuple-at-a-time {total_tuple:.2f} ms "
+            f"({total_tuple / total_batched:.2f}x)",
+        )
     emit(
         EXPERIMENT,
         f"view storage: post-reform={extent_size(post_extents)} tuples, "
@@ -203,24 +228,34 @@ def test_fig8_execution_times(benchmark, setup):
     _report_rows(setup, rows)
 
 
-def _json_payload(setup, rows):
+def _json_payload(setup, rows, workers: int = 1):
     """Machine-readable Figure 8 results (written to ``BENCH_fig8.json``).
 
     Per query: every measured series in milliseconds plus the engine the
     cost-based ``auto`` selection picked on the saturated store. Per
-    series: the workload total. Consumed across PRs to track the
-    evaluation-performance trajectory.
+    series: the workload total, plus the batched-over-tuple speedup of
+    the auto engine (the batched-engine acceptance figure). Consumed
+    across PRs to track the evaluation-performance trajectory.
     """
+    from repro.engine import DEFAULT_BATCH_SIZE
+
     saturated = setup["saturated"]
     by_name = {query.name: query for query in setup["queries"]}
     totals: dict[str, float] = {}
     for _, times in rows:
         for series, value in times.items():
             totals[series] = totals.get(series, 0.0) + value
+    tuple_total = totals.get("engine-auto-tuple", 0.0)
+    batched_total = totals.get("engine-auto", 0.0)
     return {
         "experiment": "fig8_query_evaluation",
         "scale": "full" if full_scale() else "quick",
         "database_triples": len(saturated),
+        "batch_size": DEFAULT_BATCH_SIZE,
+        "workers": workers,
+        "batched_speedup_vs_tuple": (
+            round(tuple_total / batched_total, 2) if batched_total else None
+        ),
         "queries": [
             {
                 "name": name,
@@ -316,6 +351,10 @@ def main(argv=None) -> int:
                         help="storage backend serving the triple-table "
                         "series (default: memory); the gate then compares "
                         "engine vs seed on that backend")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for the engine series "
+                        "(default 1 = serial; the planner only partitions "
+                        "joins above its cardinality threshold)")
     parser.add_argument("--json", metavar="PATH", default="BENCH_fig8.json",
                         help="write machine-readable results (per-engine "
                         "timings + chosen engine per query) to PATH; pass "
@@ -344,17 +383,19 @@ def main(argv=None) -> int:
         setup["restricted"] = setup["restricted"].copy(backend=args.backend)
     # Smoke mode gates on sub-millisecond timings; best-of-9 keeps one
     # noisy repeat on a shared CI runner from tripping the gate.
-    rows = _measure(setup, repeats=9 if args.smoke else 3)
+    rows = _measure(setup, repeats=9 if args.smoke else 3, workers=args.workers)
     if args.json:
         import json
         from pathlib import Path
 
-        Path(args.json).write_text(json.dumps(_json_payload(setup, rows), indent=2))
+        Path(args.json).write_text(
+            json.dumps(_json_payload(setup, rows, workers=args.workers), indent=2)
+        )
         print(f"wrote {args.json}")
     engine_key = "engine-auto" if args.engine == "all" else f"engine-{args.engine}"
     if args.engine != "all":
         keep = {"saturated-tt", "restricted-tt", "pre-reform", "post-reform",
-                "seed-greedy", "initial-state", engine_key}
+                "seed-greedy", "initial-state", "engine-auto-tuple", engine_key}
         rows = [
             (name, {k: v for k, v in times.items() if k in keep})
             for name, times in rows

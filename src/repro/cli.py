@@ -27,7 +27,13 @@ import sqlite3
 import sys
 from pathlib import Path
 
-from repro.engine import ENGINES, choose_engine, plan_query
+from repro.engine import (
+    DEFAULT_BATCH_SIZE,
+    ENGINES,
+    PartitionedHashJoin,
+    choose_engine,
+    plan_query,
+)
 from repro.query.parser import parse_queries
 from repro.rdf.ntriples import NTriplesParseError, parse_ntriples
 from repro.rdf.schema import RDFSchema
@@ -35,6 +41,15 @@ from repro.rdf.store import TripleStore
 from repro.selection.recommender import ENTAILMENT_MODES, STRATEGIES, ViewSelector
 from repro.selection.search import SearchBudget
 from repro.storage import BACKENDS, SnapshotError, SqliteBackend
+
+
+def _non_negative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}"
+        )
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,8 +90,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--explain", action="store_true",
                         help="print each workload query's physical plan on "
                         "the store, including the engine the cost-based "
-                        "selection picked for it")
+                        "selection picked for it, the batch size, the "
+                        "worker count, and whether the parallel "
+                        "partitioned join was selected")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for the parallel partitioned "
+                        "hash join (default 1 = serial; only plans above "
+                        "the cost-based cardinality threshold partition)")
+    parser.add_argument("--batch-size", type=_non_negative_int,
+                        default=DEFAULT_BATCH_SIZE,
+                        metavar="ROWS",
+                        help="rows per operator batch in the execution "
+                        f"engine (default {DEFAULT_BATCH_SIZE}; 0 selects "
+                        "the tuple-at-a-time path)")
     return parser
+
+
+def _uses_partitioned_join(root) -> bool:
+    """True when the compiled plan contains a PartitionedHashJoin."""
+    if isinstance(root, PartitionedHashJoin):
+        return True
+    return any(_uses_partitioned_join(child) for child in root._children())
 
 
 def _load_store(args) -> TripleStore | None:
@@ -157,15 +191,21 @@ def main(argv: list[str] | None = None) -> int:
           f"{sum(len(q) for q in queries)} atoms\n")
 
     if args.explain:
-        print("physical plans on the store:")
+        batch = "tuple-at-a-time" if args.batch_size == 0 else str(args.batch_size)
+        print("physical plans on the store "
+              f"[batch-size={batch} workers={args.workers}]:")
         for query in queries:
             chosen = (
                 choose_engine(query, store)
                 if args.engine == "auto"
                 else args.engine
             )
-            print(f"  {query.name} [engine={chosen}]:")
-            root = plan_query(query, store, engine=args.engine)
+            root = plan_query(
+                query, store, engine=args.engine, workers=args.workers
+            )
+            partitioned = "yes" if _uses_partitioned_join(root) else "no"
+            print(f"  {query.name} [engine={chosen} "
+                  f"partitioned-join={partitioned}]:")
             for line in root.explain().splitlines():
                 print(f"    {line}")
         print()
@@ -194,10 +234,15 @@ def main(argv: list[str] | None = None) -> int:
           f"({result.stats.created} states in {result.runtime:.1f}s)")
 
     if args.show_answers:
-        extents = recommendation.materialize(engine=args.engine)
+        batch_size = None if args.batch_size == 0 else args.batch_size
+        extents = recommendation.materialize(
+            engine=args.engine, batch_size=batch_size, workers=args.workers
+        )
         print(f"\nanswers from the materialized views ({args.engine} engine):")
         for query in queries:
-            answers = recommendation.answer(query.name, extents, engine=args.engine)
+            answers = recommendation.answer(
+                query.name, extents, engine=args.engine, batch_size=batch_size
+            )
             print(f"  {query.name}: {len(answers)} answers")
     return 0
 

@@ -10,20 +10,33 @@ extents.
 
 Public surface::
 
-    run_query(query, store, engine="auto")      # CQ -> set of answers
-    run_plan(plan, extents, engine="auto")      # algebra Plan -> rows
+    run_query(query, store, engine="auto",
+              batch_size=DEFAULT_BATCH_SIZE, workers=1)   # CQ -> answers
+    run_plan(plan, extents, engine="auto",
+             batch_size=DEFAULT_BATCH_SIZE)               # Plan -> rows
     plan_query / plan_rewriting                 # operator trees (explain)
     choose_engine(query, store)                 # cost-based auto choice
     ENGINES / FIXED_ENGINES                     # selectable strategies
+    DEFAULT_BATCH_SIZE / PARALLEL_ROW_THRESHOLD # batch/parallel knobs
 
 ``engine="auto"`` is cost-based: the shared cardinality estimator
 (:mod:`repro.stats`) prices every fixed strategy per query and the
 cheapest is compiled, with the choice cached in the prepared-plan
 cache until the store mutates.
+
+Execution is batch-at-a-time by default: operators exchange row-list
+batches (``list`` of row tuples, at most ``batch_size`` per hand-off —
+see :mod:`repro.engine.operators` for the contract), with storage
+backends feeding batches natively. ``batch_size=None`` falls back to
+the historical tuple-at-a-time path. With ``workers > 1``, hash joins
+above an estimated-cardinality threshold execute as parallel
+partitioned joins over a cached process pool
+(:class:`~repro.engine.operators.PartitionedHashJoin`).
 """
 
 from repro.engine.extents import ViewExtent
 from repro.engine.operators import (
+    DEFAULT_BATCH_SIZE,
     Distinct,
     Empty,
     ExtentScan,
@@ -32,6 +45,7 @@ from repro.engine.operators import (
     IndexScan,
     MergeJoin,
     Operator,
+    PartitionedHashJoin,
     Projection,
     Relabel,
     Selection,
@@ -40,6 +54,7 @@ from repro.engine.planner import (
     ENGINES,
     FIXED_ENGINES,
     HYBRID,
+    PARALLEL_ROW_THRESHOLD,
     choose_engine,
     plan_query,
     plan_rewriting,
@@ -48,9 +63,11 @@ from repro.engine.planner import (
 )
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
     "ENGINES",
     "FIXED_ENGINES",
     "HYBRID",
+    "PARALLEL_ROW_THRESHOLD",
     "choose_engine",
     "Distinct",
     "Empty",
@@ -60,6 +77,7 @@ __all__ = [
     "IndexScan",
     "MergeJoin",
     "Operator",
+    "PartitionedHashJoin",
     "Projection",
     "Relabel",
     "Selection",

@@ -27,6 +27,7 @@ class ViewExtent(list):
     def __init__(self, rows: Iterable[Row] = ()) -> None:
         super().__init__(rows)
         self._indexes: dict[tuple[int, ...], dict[tuple, list[Row]]] = {}
+        self._tails: dict[tuple, dict[tuple, list[tuple]]] = {}
 
     def index_on(self, positions: Sequence[int]) -> dict[tuple, list[Row]]:
         """Rows grouped by their values at ``positions`` (dict-of-lists).
@@ -44,3 +45,28 @@ class ViewExtent(list):
                 index.setdefault(key, []).append(row)
             self._indexes[key_positions] = index
         return index
+
+    def tails_on(
+        self, positions: Sequence[int], keep: Sequence[int]
+    ) -> dict[tuple, list[tuple]]:
+        """Pre-projected join tails grouped by key (dict-of-lists).
+
+        Like :meth:`index_on`, but each bucket holds the rows already
+        projected to the ``keep`` positions — exactly what a hash join
+        appends to matching probe rows. The batched hash join asks for
+        this first, so repeated workload executions skip both the build
+        phase *and* the per-probe projection. Built once per
+        ``(positions, keep)`` pair and cached; bucket order is row
+        order, preserving the seed's join output order.
+        """
+        cache_key = (tuple(positions), tuple(keep))
+        tails = self._tails.get(cache_key)
+        if tails is None:
+            key_positions, keep_positions = cache_key
+            tails = {}
+            for row in self:
+                key = tuple(row[p] for p in key_positions)
+                tail = tuple(row[p] for p in keep_positions)
+                tails.setdefault(key, []).append(tail)
+            self._tails[cache_key] = tails
+        return tails

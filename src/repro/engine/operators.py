@@ -1,15 +1,28 @@
 """Physical operators of the unified execution engine.
 
-Every operator exposes a ``schema`` (a tuple of column names) and yields
-rows — plain tuples — when iterated. Operators compose into left-deep
-trees; iteration is pull-based (generators), so upstream operators only
-produce what downstream consumers demand.
+Every operator exposes a ``schema`` (a tuple of column names) and two
+pull-based execution paths over the same plan tree:
+
+* **batch-at-a-time** (:meth:`Operator.batches`, the default execution
+  mode) — the operator produces *row-list batches*: plain Python
+  ``list`` objects holding at most ``size`` rows (tuples), never empty.
+  This is the engine's batch-representation contract: a batch is a
+  ``list[tuple]``, row layout identical to the row-at-a-time path, with
+  no padding and no fixed fill degree (operators may emit short batches
+  after filtering). Batches collapse the per-row generator hand-off
+  between operators into one call per ~thousand rows and let the inner
+  loops run as C-speed list comprehensions / ``itemgetter`` maps;
+* **tuple-at-a-time** (``__iter__``) — the historical one-row-per-
+  ``yield`` path, kept as the benchmark baseline and for consumers that
+  genuinely want early exit after a handful of rows.
 
 Two value domains flow through the same operator classes:
 
 * **dictionary codes** (ints) for plans over a :class:`TripleStore` —
   leaves are :class:`IndexScan`, joins may probe store indexes through
-  :class:`IndexNestedLoopJoin` or use :class:`MergeJoin` over the
+  :class:`IndexNestedLoopJoin` (whose batched path answers a whole
+  batch of probes through ``match_many_encoded`` — one SQL statement
+  per batch on the SQLite backend) or use :class:`MergeJoin` over the
   store's sorted-permutation iterators;
 * **decoded RDF terms** for plans over materialized view extents —
   leaves are :class:`ExtentScan`, joins are hash joins that reuse the
@@ -21,16 +34,58 @@ instantiate; nothing here chooses join orders or algorithms.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.query.cq import Atom, Variable
 from repro.rdf.store import TripleStore
+from repro.storage.base import DEFAULT_BATCH_SIZE
 
 #: A physical row: a tuple of dictionary codes or of decoded RDF terms.
 PhysicalRow = tuple
 
+#: A batch: a non-empty list of at most ``size`` physical rows.
+Batch = list
+
 #: Permutation name whose *leading* attribute is the given triple position.
 _SORT_ORDERS = ("spo", "pso", "osp")
+
+
+def _rebatch(chunks: Iterable[list], size: int) -> Iterator[Batch]:
+    """Repack an iterable of row-lists into batches of at most ``size``.
+
+    The shared flush loop of the joins' batched paths. Linear in total
+    rows: every row is appended once and sliced out once — no
+    front-deletion of the pending list (which would go quadratic on
+    multi-million-row join outputs).
+    """
+    pending: list = []
+    for chunk in chunks:
+        pending.extend(chunk)
+        length = len(pending)
+        if length >= size:
+            for start in range(0, length - size + 1, size):
+                yield pending[start : start + size]
+            tail = length % size
+            pending = pending[length - tail :] if tail else []
+    if pending:
+        yield pending
+
+
+def _projector(positions: Sequence[int]) -> Callable[[PhysicalRow], tuple]:
+    """A C-speed row projector that *always* returns a tuple.
+
+    ``itemgetter`` returns a bare value for a single position, so the
+    one- and zero-column cases get explicit lambdas; join keys and
+    projected rows must be tuples in every arity.
+    """
+    positions = tuple(positions)
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        position = positions[0]
+        return lambda row: (row[position],)
+    return itemgetter(*positions)
 
 
 class Operator:
@@ -43,15 +98,50 @@ class Operator:
     def __iter__(self) -> Iterator[PhysicalRow]:
         raise NotImplementedError
 
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        """The batch-at-a-time path: non-empty lists of ≤ ``size`` rows.
+
+        The base implementation chunks the row iterator, so any operator
+        is batch-consumable; the built-in operators override it with
+        natively vectorized loops that also pull their children through
+        ``batches`` — one override makes the whole subtree batched.
+        """
+        batch: Batch = []
+        append = batch.append
+        for row in self:
+            append(row)
+            if len(batch) >= size:
+                yield batch
+                batch = []
+                append = batch.append
+        if batch:
+            yield batch
+
     def rows(self) -> list[PhysicalRow]:
         """Materialize the full output."""
         return list(self)
+
+    def rows_batched(self, size: int = DEFAULT_BATCH_SIZE) -> list[PhysicalRow]:
+        """Materialize the full output through the batched path."""
+        out: list[PhysicalRow] = []
+        for batch in self.batches(size):
+            out.extend(batch)
+        return out
 
     def hash_index(self, positions: tuple[int, ...]):
         """A prebuilt hash index keyed on ``positions``, or None.
 
         Overridden by :class:`ExtentScan` over indexed extents so hash
         joins can skip the build phase entirely.
+        """
+        return None
+
+    def hash_tails(self, positions: tuple[int, ...], keep: tuple[int, ...]):
+        """Prebuilt, pre-projected join tails keyed on ``positions``.
+
+        Like :meth:`hash_index`, but the buckets hold rows already
+        projected to ``keep`` — the batched hash join's preferred build
+        input. None when the operator cannot provide it.
         """
         return None
 
@@ -78,6 +168,9 @@ class Empty(Operator):
     def __iter__(self) -> Iterator[PhysicalRow]:
         return iter(())
 
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        return iter(())
+
 
 class ExtentScan(Operator):
     """Scan a materialized view extent (rows of decoded terms)."""
@@ -90,6 +183,11 @@ class ExtentScan(Operator):
     def __iter__(self) -> Iterator[PhysicalRow]:
         return iter(self._rows)
 
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        rows = self._rows
+        for start in range(0, len(rows), size):
+            yield list(rows[start : start + size])
+
     def rows(self) -> list[PhysicalRow]:
         return list(self._rows)
 
@@ -98,6 +196,12 @@ class ExtentScan(Operator):
         if index_on is None:
             return None
         return index_on(positions)
+
+    def hash_tails(self, positions: tuple[int, ...], keep: tuple[int, ...]):
+        tails_on = getattr(self._rows, "tails_on", None)
+        if tails_on is None:
+            return None
+        return tails_on(positions, keep)
 
     def _describe(self) -> str:
         return f"ExtentScan({self.name}){list(self.schema)}"
@@ -210,6 +314,33 @@ class IndexScan(Operator):
                 continue
             yield tuple(triple[position] for position, _ in out)
 
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        if self.impossible:
+            return
+        if self.sort_by is None:
+            source = self.store.match_encoded_batches(self.pattern, size)
+        else:
+            position = next(pos for pos, name in self._out if name == self.sort_by)
+            source = self.store.match_sorted_batches(
+                self.pattern, _SORT_ORDERS[position], size
+            )
+        eqs, nl = self._eqs, self._nl
+        project = _projector(tuple(position for position, _ in self._out))
+        if not eqs and not nl:
+            for chunk in source:
+                yield [project(triple) for triple in chunk]
+            return
+        is_literal = self.store.dictionary.is_literal_code
+        for chunk in source:
+            batch = [
+                project(triple)
+                for triple in chunk
+                if not any(triple[i] != triple[j] for i, j in eqs)
+                and not any(is_literal(triple[position]) for position in nl)
+            ]
+            if batch:
+                yield batch
+
     def _describe(self) -> str:
         return f"IndexScan({self.atom}){list(self.schema)}"
 
@@ -264,6 +395,63 @@ class IndexNestedLoopJoin(Operator):
                     continue
                 yield row + tuple(triple[position] for position, _ in out)
 
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        """Probe the store with one *batch* of patterns at a time.
+
+        Input rows are grouped by probe key, the distinct keys become a
+        single ``match_many_encoded`` call (one SQL statement on the
+        SQLite backend instead of one SELECT per row), and each key's
+        projected match tails are concatenated onto every input row of
+        its group. Output row *multiset* equals the row-at-a-time path;
+        row order differs (grouped by key within each input batch).
+        """
+        if self.impossible:
+            return iter(())
+        template, fills, eqs, nl = self._template, self._fills, self._eqs, self._nl
+        match_many = self.store.match_many_encoded
+        is_literal = self.store.dictionary.is_literal_code
+        project = _projector(tuple(position for position, _ in self._out))
+        key_of = _projector(tuple(column for _, column in fills))
+        fill_positions = tuple(position for position, _ in fills)
+        filtered = bool(eqs or nl)
+
+        def joined_chunks() -> Iterator[list]:
+            for in_batch in self.child.batches(size):
+                groups: dict[tuple, list] = {}
+                for row in in_batch:
+                    key = key_of(row)
+                    group = groups.get(key)
+                    if group is None:
+                        groups[key] = [row]
+                    else:
+                        group.append(row)
+                patterns = []
+                for key in groups:
+                    pattern = list(template)
+                    for position, value in zip(fill_positions, key):
+                        pattern[position] = value
+                    patterns.append((pattern[0], pattern[1], pattern[2]))
+                for (key, rows), matches in zip(
+                    groups.items(), match_many(patterns)
+                ):
+                    if not matches:
+                        continue
+                    if filtered:
+                        tails = [
+                            project(triple)
+                            for triple in matches
+                            if not any(triple[i] != triple[j] for i, j in eqs)
+                            and not any(is_literal(triple[p]) for p in nl)
+                        ]
+                    else:
+                        tails = [project(triple) for triple in matches]
+                    if not tails:
+                        continue
+                    for row in rows:
+                        yield [row + tail for tail in tails]
+
+        return _rebatch(joined_chunks(), size)
+
     def _describe(self) -> str:
         return f"IndexNestedLoopJoin({self.atom}){list(self.schema)}"
 
@@ -310,12 +498,198 @@ class HashJoin(Operator):
                 for other in matches:
                     yield row + tuple(other[p] for p in keep)
 
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        """Build from right batches, probe left batches.
+
+        When the build side is ours (no prebuilt extent index), the
+        table holds pre-projected right *tails*, so the probe loop is a
+        plain concatenation. Output row order matches the row-at-a-time
+        path exactly (left order, then build order per key).
+        """
+        keep_of = _projector(self._keep_right)
+        # Best source first: cached pre-projected tails (indexed view
+        # extents), then a cached row index, then build our own tails.
+        table = self.right.hash_tails(self._right_keys, self._keep_right)
+        rows_not_tails = False
+        if table is None:
+            table = self.right.hash_index(self._right_keys)
+            rows_not_tails = table is not None
+        if table is None:
+            right_key_of = _projector(self._right_keys)
+            table = {}
+            get = table.get
+            for right_batch in self.right.batches(size):
+                for row in right_batch:
+                    key = right_key_of(row)
+                    tails = get(key)
+                    if tails is None:
+                        table[key] = [keep_of(row)]
+                    else:
+                        tails.append(keep_of(row))
+        left_key_of = _projector(self._left_keys)
+        get = table.get
+
+        def joined_chunks() -> Iterator[list]:
+            for left_batch in self.left.batches(size):
+                chunk: list = []
+                for row in left_batch:
+                    matches = get(left_key_of(row))
+                    if matches:
+                        if rows_not_tails:
+                            chunk.extend([row + keep_of(other) for other in matches])
+                        else:
+                            chunk.extend([row + tail for tail in matches])
+                if chunk:
+                    yield chunk
+
+        yield from _rebatch(joined_chunks(), size)
+
     def _describe(self) -> str:
         condition = ",".join(
             f"{self.left.schema[lp]}={self.right.schema[rp]}"
             for lp, rp in zip(self._left_keys, self._right_keys)
         )
         return f"HashJoin[{condition}]{list(self.schema)}"
+
+    def _children(self) -> tuple[Operator, ...]:
+        return (self.left, self.right)
+
+
+#: Runtime floor (total materialized input rows) below which a
+#: partitioned join runs serially even when workers were requested:
+#: dispatching tiny partitions to a pool costs more than joining them.
+MIN_PARALLEL_INPUT_ROWS = 8192
+
+
+class PartitionedHashJoin(Operator):
+    """Equi-join by disjoint hash partitions, optionally across workers.
+
+    Both inputs are materialized (through their batched paths) and split
+    into ``partitions`` disjoint buckets by join-key hash; each bucket
+    pair is hash-joined independently — rows with equal keys always land
+    in the same partition, so the union of the partition joins is
+    exactly the full join. With ``workers > 1`` the partitions are
+    processed by a cached process pool (:mod:`repro.engine.parallel`);
+    with one worker, or when the materialized inputs fall below
+    ``min_parallel_rows`` (planner estimates can be wrong — small joins
+    must never pay pool dispatch), the partitions are joined in-process.
+
+    The planner only instantiates this operator above an estimated-
+    cardinality threshold, so small interactive queries keep the plain
+    streaming :class:`HashJoin` and its latency.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        pairs: Sequence[tuple[int, int]],
+        keep_right: Sequence[int],
+        workers: int = 1,
+        partitions: int | None = None,
+        min_parallel_rows: int | None = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self._left_keys = tuple(lp for lp, _ in pairs)
+        self._right_keys = tuple(rp for _, rp in pairs)
+        self._keep_right = tuple(keep_right)
+        self.workers = max(1, workers)
+        # One partition per worker: partitions are balanced by key hash,
+        # and fewer, larger partitions amortize per-task dispatch best.
+        self.partitions = partitions if partitions else self.workers
+        self.min_parallel_rows = (
+            MIN_PARALLEL_INPUT_ROWS if min_parallel_rows is None else min_parallel_rows
+        )
+        self.schema = left.schema + tuple(right.schema[p] for p in self._keep_right)
+
+    def __iter__(self) -> Iterator[PhysicalRow]:
+        for batch in self.batches():
+            yield from batch
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        from repro.engine.parallel import join_partition
+
+        left_rows = self.left.rows_batched(size)
+        right_rows = self.right.rows_batched(size)
+        if (
+            self.workers <= 1
+            or self.partitions <= 1
+            or len(left_rows) + len(right_rows) < self.min_parallel_rows
+        ):
+            partition_results: Iterable[list] = (
+                join_partition(
+                    left_rows,
+                    right_rows,
+                    self._left_keys,
+                    self._right_keys,
+                    self._keep_right,
+                ),
+            )
+        else:
+            partition_results = self._parallel_results(left_rows, right_rows)
+        yield from _rebatch(partition_results, size)
+
+    def _parallel_results(self, left_rows: list, right_rows: list) -> Iterator[list]:
+        """Partition both inputs and join partitions across the pool.
+
+        A pool that breaks mid-flight (a worker killed under memory
+        pressure) degrades to joining the unfinished partitions
+        in-process — the parallel path must never fail where the serial
+        one would succeed.
+        """
+        from repro.engine.parallel import (
+            BrokenProcessPool,
+            get_executor,
+            join_partition,
+        )
+
+        left_key_of = _projector(self._left_keys)
+        right_key_of = _projector(self._right_keys)
+        count = self.partitions
+        left_parts: list[list] = [[] for _ in range(count)]
+        for row in left_rows:
+            left_parts[hash(left_key_of(row)) % count].append(row)
+        right_parts: list[list] = [[] for _ in range(count)]
+        for row in right_rows:
+            right_parts[hash(right_key_of(row)) % count].append(row)
+        pairs = [
+            (left_part, right_part)
+            for left_part, right_part in zip(left_parts, right_parts)
+            if left_part and right_part
+        ]
+        arguments = (self._left_keys, self._right_keys, self._keep_right)
+        try:
+            executor = get_executor(self.workers)
+            futures = [
+                executor.submit(join_partition, left_part, right_part, *arguments)
+                for left_part, right_part in pairs
+            ]
+        except BrokenProcessPool:
+            futures = []
+        # Collect in partition order: deterministic output for a
+        # deterministic partitioning function.
+        for index, future in enumerate(futures):
+            try:
+                yield future.result()
+            except BrokenProcessPool:
+                for left_part, right_part in pairs[index:]:
+                    yield join_partition(left_part, right_part, *arguments)
+                return
+        if not futures:
+            for left_part, right_part in pairs:
+                yield join_partition(left_part, right_part, *arguments)
+
+    def _describe(self) -> str:
+        condition = ",".join(
+            f"{self.left.schema[lp]}={self.right.schema[rp]}"
+            for lp, rp in zip(self._left_keys, self._right_keys)
+        )
+        return (
+            f"PartitionedHashJoin[{condition}]"
+            f"(workers={self.workers}, partitions={self.partitions})"
+            f"{list(self.schema)}"
+        )
 
     def _children(self) -> tuple[Operator, ...]:
         return (self.left, self.right)
@@ -353,19 +727,23 @@ class MergeJoin(Operator):
             return lambda row: tuple(row[p] for p in positions)
         return lambda row: tuple(value_key(row[p]) for p in positions)
 
-    def _sorted_input(self, child: Operator, positions: tuple[int, ...], key) -> list:
-        rows = child.rows()
+    def _sorted_input(
+        self,
+        child: Operator,
+        positions: tuple[int, ...],
+        key,
+        batch_size: int | None = None,
+    ) -> list:
+        rows = child.rows() if batch_size is None else child.rows_batched(batch_size)
         columns = tuple(child.schema[p] for p in positions)
         if child.sorted_on is not None and child.sorted_on[: len(columns)] == columns:
             return rows
         rows.sort(key=key)
         return rows
 
-    def __iter__(self) -> Iterator[PhysicalRow]:
+    def _merge(self, left_rows: list, right_rows: list) -> Iterator[PhysicalRow]:
         left_key = self._key_function(self._left_keys)
         right_key = self._key_function(self._right_keys)
-        left_rows = self._sorted_input(self.left, self._left_keys, left_key)
-        right_rows = self._sorted_input(self.right, self._right_keys, right_key)
         keep = self._keep_right
         i = j = 0
         n_left, n_right = len(left_rows), len(right_rows)
@@ -386,6 +764,33 @@ class MergeJoin(Operator):
                     for other in right_rows[j:j_end]:
                         yield row + tuple(other[p] for p in keep)
                 i, j = i_end, j_end
+
+    def __iter__(self) -> Iterator[PhysicalRow]:
+        left_key = self._key_function(self._left_keys)
+        right_key = self._key_function(self._right_keys)
+        left_rows = self._sorted_input(self.left, self._left_keys, left_key)
+        right_rows = self._sorted_input(self.right, self._right_keys, right_key)
+        return self._merge(left_rows, right_rows)
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        """Materialize both sides through their batched paths, then merge.
+
+        The merge pass itself is inherently row-sequential; batching
+        still pays because the inputs arrive through the vectorized
+        subtree and the output leaves in row-list batches.
+        """
+        left_key = self._key_function(self._left_keys)
+        right_key = self._key_function(self._right_keys)
+        left_rows = self._sorted_input(self.left, self._left_keys, left_key, size)
+        right_rows = self._sorted_input(self.right, self._right_keys, right_key, size)
+        batch: Batch = []
+        for row in self._merge(left_rows, right_rows):
+            batch.append(row)
+            if len(batch) >= size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
 
     def _describe(self) -> str:
         condition = ",".join(
@@ -410,6 +815,13 @@ class Selection(Operator):
     def __iter__(self) -> Iterator[PhysicalRow]:
         predicate = self.predicate
         return (row for row in self.child if predicate(row))
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        predicate = self.predicate
+        for in_batch in self.child.batches(size):
+            batch = [row for row in in_batch if predicate(row)]
+            if batch:
+                yield batch
 
     def _children(self) -> tuple[Operator, ...]:
         return (self.child,)
@@ -447,6 +859,25 @@ class Projection(Operator):
                 seen.add(image)
                 yield image
 
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        project = _projector(self._positions)
+        if not self.distinct:
+            for in_batch in self.child.batches(size):
+                yield [project(row) for row in in_batch]
+            return
+        seen: set = set()
+        add = seen.add
+        for in_batch in self.child.batches(size):
+            batch: Batch = []
+            append = batch.append
+            for row in in_batch:
+                image = project(row)
+                if image not in seen:
+                    add(image)
+                    append(image)
+            if batch:
+                yield batch
+
     def _describe(self) -> str:
         return f"Projection[{','.join(self.schema)}]"
 
@@ -468,6 +899,19 @@ class Distinct(Operator):
                 seen.add(row)
                 yield row
 
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        seen: set = set()
+        add = seen.add
+        for in_batch in self.child.batches(size):
+            batch = []
+            append = batch.append
+            for row in in_batch:
+                if row not in seen:
+                    add(row)
+                    append(row)
+            if batch:
+                yield batch
+
     def _children(self) -> tuple[Operator, ...]:
         return (self.child,)
 
@@ -485,6 +929,9 @@ class Relabel(Operator):
 
     def __iter__(self) -> Iterator[PhysicalRow]:
         return iter(self.child)
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        return self.child.batches(size)
 
     def _children(self) -> tuple[Operator, ...]:
         return (self.child,)

@@ -1,0 +1,97 @@
+"""Worker-pool plumbing of the parallel partitioned hash join.
+
+The :class:`~repro.engine.operators.PartitionedHashJoin` operator splits
+both join inputs into disjoint partitions by join-key hash and hands
+each partition to :func:`join_partition` — a self-contained, picklable
+function over plain row lists, so it runs identically in-process and in
+a worker process.
+
+Process pools are cached per worker count (:func:`get_executor`):
+forking a pool costs tens of milliseconds, which must be paid once per
+session, not once per join. Pools use the ``fork`` start method where
+available (rows need not be shipped back through module re-imports) and
+are shut down at interpreter exit.
+
+Everything crossing the process boundary is plain data — lists of
+tuples of dictionary codes plus position tuples — never an operator,
+store, or database connection.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+#: Live executors, keyed by worker count.
+_executors: dict[int, ProcessPoolExecutor] = {}
+
+
+def _is_broken(executor: ProcessPoolExecutor) -> bool:
+    """True when the pool can no longer accept work (a worker died)."""
+    return bool(getattr(executor, "_broken", False))
+
+
+def get_executor(workers: int) -> ProcessPoolExecutor:
+    """The cached process pool for ``workers`` worker processes.
+
+    A cached pool that broke (a worker was killed — OOM is plausible on
+    exactly the large joins this serves) is discarded and replaced, so
+    one dead worker never poisons every later parallel join.
+    """
+    executor = _executors.get(workers)
+    if executor is not None and _is_broken(executor):
+        executor.shutdown(wait=False, cancel_futures=True)
+        executor = None
+    if executor is None:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        executor = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        _executors[workers] = executor
+    return executor
+
+
+def shutdown_executors() -> None:
+    """Shut down every cached pool (registered at interpreter exit)."""
+    for executor in _executors.values():
+        executor.shutdown(wait=False, cancel_futures=True)
+    _executors.clear()
+
+
+atexit.register(shutdown_executors)
+
+
+def join_partition(
+    left_rows: list,
+    right_rows: list,
+    left_positions: tuple[int, ...],
+    right_positions: tuple[int, ...],
+    keep_positions: tuple[int, ...],
+) -> list:
+    """Hash-join one partition: build on the right, probe with the left.
+
+    Pure function over plain row lists — the unit of work a pool worker
+    executes. Returns the joined rows (left row + kept right columns),
+    in left-row order then right build order per key, matching the
+    serial hash join's output order partition-locally.
+    """
+    table: dict[tuple, list] = {}
+    get = table.get
+    for row in right_rows:
+        key = tuple(row[position] for position in right_positions)
+        tails = get(key)
+        tail = tuple(row[position] for position in keep_positions)
+        if tails is None:
+            table[key] = [tail]
+        else:
+            tails.append(tail)
+    joined: list = []
+    extend = joined.extend
+    for row in left_rows:
+        tails = get(tuple(row[position] for position in left_positions))
+        if tails:
+            extend([row + tail for tail in tails])
+    return joined

@@ -34,14 +34,21 @@ Over extents the store-specific strategies degrade gracefully: ``auto``
 and ``index-nested-loop`` resolve to hash joins (there is no triple
 index to probe), ``merge`` sorts decoded terms by their N-Triples
 rendering.
+
+Execution is batch-at-a-time by default (see
+:mod:`repro.engine.operators` for the batch contract); with
+``workers > 1``, hash-join steps whose estimated cardinalities clear
+:data:`PARALLEL_ROW_THRESHOLD` run as parallel partitioned hash joins
+over a cached process pool.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.engine.operators import (
+    DEFAULT_BATCH_SIZE,
     Empty,
     ExtentScan,
     HashJoin,
@@ -49,9 +56,11 @@ from repro.engine.operators import (
     IndexScan,
     MergeJoin,
     Operator,
+    PartitionedHashJoin,
     Projection,
     Relabel,
     Selection,
+    _projector,
 )
 from repro.query import algebra
 from repro.query.cq import ConjunctiveQuery, Variable
@@ -73,9 +82,30 @@ FIXED_ENGINES = ("index-nested-loop", "hash", "merge")
 HYBRID = "hybrid"
 
 
+#: Estimated rows (join input + build side) a hash-join step must reach
+#: before the planner swaps in the parallel :class:`PartitionedHashJoin`.
+#: Below it, partitioning overhead would cost more than it parallelizes
+#: away — small Figure-8-style queries keep their streaming-join latency.
+PARALLEL_ROW_THRESHOLD = 50_000
+
+
 def _check_engine(engine: str) -> None:
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; pick from {ENGINES}")
+
+
+def _check_batch_size(batch_size: int | None) -> int | None:
+    """Normalize a public ``batch_size``: None/0 → tuple path, else ≥ 1.
+
+    A negative size would silently produce empty batches downstream
+    (``range``/``islice``/``fetchmany`` all treat it as "nothing"), so
+    it is rejected here at the API boundary instead.
+    """
+    if not batch_size:  # None or 0: the tuple-at-a-time path
+        return None
+    if batch_size < 0:
+        raise ValueError(f"batch_size must be positive, 0 or None, got {batch_size}")
+    return batch_size
 
 
 # ----------------------------------------------------------------------
@@ -191,6 +221,19 @@ def choose_engine(
     :func:`_strategy_costs`). Without an explicit ``statistics``
     provider the choice is cached in the store's prepared-plan cache
     and flushed with it when the store mutates.
+
+    >>> from repro.query.parser import parse_query
+    >>> from repro.rdf.ntriples import parse_ntriples
+    >>> from repro.rdf.store import TripleStore
+    >>> store = TripleStore()
+    >>> _ = store.add_all(parse_ntriples('''
+    ... <http://e/a> <http://e/knows> <http://e/b> .
+    ... <http://e/b> <http://e/knows> <http://e/c> .
+    ... '''))
+    >>> query = parse_query(
+    ...     "q(X, Z) :- t(X, <http://e/knows>, Y), t(Y, <http://e/knows>, Z)")
+    >>> choose_engine(query, store) in FIXED_ENGINES + (HYBRID,)
+    True
     """
     if statistics is None:
         return _cached_choice(
@@ -265,6 +308,7 @@ def plan_query(
     store: TripleStore,
     engine: str = "auto",
     statistics=None,
+    workers: int = 1,
 ) -> Operator:
     """Compile a conjunctive query into a physical operator tree.
 
@@ -272,6 +316,12 @@ def plan_query(
     covers every body variable (by name); :func:`run_query` adds head
     assembly and decoding. ``engine="auto"`` resolves to the cheapest
     fixed strategy under the cost model (:func:`choose_engine`).
+
+    With ``workers > 1``, hash-join steps whose estimated input and
+    build cardinalities reach :data:`PARALLEL_ROW_THRESHOLD` compile to
+    the parallel :class:`~repro.engine.operators.PartitionedHashJoin`;
+    everything below the threshold keeps the streaming operators, so
+    requesting workers never penalizes small queries.
 
     Plans compiled without an explicit ``statistics`` provider are
     cached per store (prepared-statement style) and reused until the
@@ -282,7 +332,7 @@ def plan_query(
     if statistics is None:
         entry = _plan_cache_entry(store)
         plans = entry["plans"]
-        key = (query, engine)
+        key = (query, engine, workers)
         cached = plans.get(key)
         if cached is not None:
             return cached
@@ -290,14 +340,14 @@ def plan_query(
         resolved = engine
         if engine == "auto":
             resolved = _cached_choice(entry, query, estimator)
-        root = _compile_query(query, store, resolved, estimator)
+        root = _compile_query(query, store, resolved, estimator, workers)
         if len(plans) >= _PLAN_CACHE_LIMIT:
             plans.clear()
         plans[key] = root
         return root
     estimator = _estimator(store, statistics)
     resolved = _select_engine(query, estimator) if engine == "auto" else engine
-    return _compile_query(query, store, resolved, estimator)
+    return _compile_query(query, store, resolved, estimator, workers)
 
 
 def _compile_query(
@@ -305,6 +355,7 @@ def _compile_query(
     store: TripleStore,
     engine: str,
     estimator: CardinalityEstimator,
+    workers: int = 1,
 ) -> Operator:
     """Compile under one resolved strategy — a fixed engine or
     :data:`HYBRID` (``auto`` is resolved upstream)."""
@@ -320,8 +371,18 @@ def _compile_query(
                 return Empty(variable_schema)
     order = estimator.join_order(query.atoms)
     atoms = query.atoms
+    parallel_steps: set[int] = set()
+    if workers > 1 and len(order) > 1:
+        # A hash-join step goes parallel-partitioned only when the
+        # estimated work (probe input + build side) clears the
+        # threshold; small queries keep their streaming joins.
+        counts = [float(estimator.atom_cardinality(atoms[i])) for i in order]
+        prefix = estimator.prefix_cardinalities(atoms, order)
+        for step in range(1, len(order)):
+            if prefix[step - 1] + counts[step] >= PARALLEL_ROW_THRESHOLD:
+                parallel_steps.add(step)
     root: Operator = IndexScan(store, atoms[order[0]], non_literal)
-    for index in order[1:]:
+    for step, index in enumerate(order[1:], start=1):
         atom = atoms[index]
         if engine == "index-nested-loop":
             root = IndexNestedLoopJoin(root, store, atom, non_literal)
@@ -347,6 +408,10 @@ def _compile_query(
                 right = IndexScan(store, atom, non_literal, sort_by=column)
                 pairs, keep_right = _natural_pairs(root.schema, right.schema)
             root = MergeJoin(root, right, pairs, keep_right)
+        elif step in parallel_steps:
+            root = PartitionedHashJoin(
+                root, right, pairs, keep_right, workers=workers
+            )
         else:
             root = HashJoin(root, right, pairs, keep_right)
     return root
@@ -357,9 +422,38 @@ def run_query(
     store: TripleStore,
     engine: str = "auto",
     statistics=None,
+    batch_size: int | None = DEFAULT_BATCH_SIZE,
+    workers: int = 1,
 ) -> set[tuple[Term, ...]]:
-    """All answers of the query on the store (set semantics, decoded)."""
-    root = plan_query(query, store, engine=engine, statistics=statistics)
+    """All answers of the query on the store (set semantics, decoded).
+
+    Executes batch-at-a-time by default (``batch_size`` rows per
+    operator hand-off); ``batch_size=None`` selects the tuple-at-a-time
+    path, kept as the measured baseline of the batched engine. The
+    answer set is identical either way. ``workers`` enables the
+    parallel partitioned hash join on plans the cost model deems big
+    enough (see :func:`plan_query`).
+
+    >>> from repro.query.parser import parse_query
+    >>> from repro.rdf.ntriples import parse_ntriples
+    >>> from repro.rdf.store import TripleStore
+    >>> store = TripleStore()
+    >>> _ = store.add_all(parse_ntriples('''
+    ... <http://e/a> <http://e/knows> <http://e/b> .
+    ... <http://e/b> <http://e/knows> <http://e/c> .
+    ... '''))
+    >>> query = parse_query(
+    ...     "q(X, Z) :- t(X, <http://e/knows>, Y), t(Y, <http://e/knows>, Z)")
+    >>> answers = run_query(query, store)
+    >>> sorted((s.n3(), o.n3()) for s, o in answers)
+    [('<http://e/a>', '<http://e/c>')]
+    >>> run_query(query, store, batch_size=None) == answers  # tuple path
+    True
+    """
+    batch_size = _check_batch_size(batch_size)
+    root = plan_query(
+        query, store, engine=engine, statistics=statistics, workers=workers
+    )
     schema = root.schema
     slots: list[int | None] = []
     constants: list[Term | None] = []
@@ -371,19 +465,43 @@ def run_query(
             slots.append(None)
             constants.append(term)
     decode = store.dictionary.decode
-    answers: set[tuple[Term, ...]] = set()
-    decoded_cache: dict[int, Term] = {}
-    for row in root:
+    if batch_size is not None and all(slot is not None for slot in slots):
+        # Batched fast path for all-variable heads: deduplicate *encoded*
+        # head images first, then decode each distinct image once.
+        project = _projector(slots)
+        images: set[tuple] = set()
+        for batch in root.batches(batch_size):
+            images.update([project(row) for row in batch])
+        decoded_cache: dict[int, Term] = {}
+        answers: set[tuple[Term, ...]] = set()
+        for image in images:
+            answer = []
+            for code in image:
+                term = decoded_cache.get(code)
+                if term is None:
+                    term = decode(code)
+                    decoded_cache[code] = term
+                answer.append(term)
+            answers.add(tuple(answer))
+        return answers
+    rows: Iterable = (
+        root
+        if batch_size is None
+        else (row for batch in root.batches(batch_size) for row in batch)
+    )
+    answers = set()
+    cache: dict[int, Term] = {}
+    for row in rows:
         answer = []
         for slot, constant in zip(slots, constants):
             if slot is None:
                 answer.append(constant)
             else:
                 code = row[slot]
-                term = decoded_cache.get(code)
+                term = cache.get(code)
                 if term is None:
                     term = decode(code)
-                    decoded_cache[code] = term
+                    cache[code] = term
                 answer.append(term)
         answers.add(tuple(answer))
     return answers
@@ -467,12 +585,25 @@ def run_plan(
     plan: algebra.Plan,
     extents: Mapping[str, Sequence[tuple]],
     engine: str = "auto",
+    batch_size: int | None = DEFAULT_BATCH_SIZE,
 ) -> list[tuple]:
     """Execute a rewriting plan over view extents.
 
     Matches the historical ``algebra.execute`` contract: duplicates are
     preserved except through ``Project``, and with the default engine
     the row order is exactly the seed's (scan order, hash joins
-    streaming the left input).
+    streaming the left input) — the batched operators preserve that
+    order, so ``batch_size`` only moves speed. ``batch_size=None``
+    selects the tuple-at-a-time path.
+
+    >>> from repro.query.algebra import Join, Scan
+    >>> extents = {"v1": [(1, 2), (4, 5)], "v2": [(2, 3)]}
+    >>> plan = Join(Scan("v1", ("x", "y")), Scan("v2", ("y", "z")))
+    >>> run_plan(plan, extents)
+    [(1, 2, 3)]
     """
-    return list(plan_rewriting(plan, extents, engine))
+    batch_size = _check_batch_size(batch_size)
+    root = plan_rewriting(plan, extents, engine)
+    if batch_size is None:
+        return list(root)
+    return root.rows_batched(batch_size)

@@ -263,8 +263,17 @@ def rename_scan(plan: Plan, old: str, new: str) -> Plan:
 # ----------------------------------------------------------------------
 
 
+#: Sentinel: "use the engine's default batch size" (the engine constant
+#: cannot be imported at module top level — the engine imports this
+#: module's plan nodes, so that import would be circular).
+_DEFAULT_BATCH = object()
+
+
 def execute(
-    plan: Plan, extents: Mapping[str, Sequence[Row]], engine: str = "auto"
+    plan: Plan,
+    extents: Mapping[str, Sequence[Row]],
+    engine: str = "auto",
+    batch_size=_DEFAULT_BATCH,
 ) -> list[Row]:
     """Run the plan over view extents; returns rows (duplicates preserved
     except through Project, which deduplicates, matching set semantics of
@@ -275,11 +284,22 @@ def execute(
     :class:`~repro.engine.extents.ViewExtent` instances (as produced by
     :func:`repro.selection.materialize.materialize_views`); plain
     ``list`` extents still work, building a transient hash table per
-    join. With the default engine the row order matches the historical
-    tuple-at-a-time interpreter exactly.
+    join. Execution is batch-at-a-time by default; ``batch_size=None``
+    selects the tuple-at-a-time path. The row order matches the
+    historical interpreter exactly under the default engine either way.
+
+    >>> extents = {"v1": [(1, 2), (1, 2), (4, 5)], "v2": [(2, 3)]}
+    >>> join = Join(Scan("v1", ("x", "y")), Scan("v2", ("y", "z")))
+    >>> execute(join, extents)          # duplicates preserved
+    [(1, 2, 3), (1, 2, 3)]
+    >>> execute(Project(join, ("x",)), extents)  # Project deduplicates
+    [(1,)]
     """
     # Imported lazily: the engine compiles this module's plan nodes, so
     # a top-level import would be circular.
+    from repro.engine.operators import DEFAULT_BATCH_SIZE
     from repro.engine.planner import run_plan
 
-    return run_plan(plan, extents, engine=engine)
+    if batch_size is _DEFAULT_BATCH:
+        batch_size = DEFAULT_BATCH_SIZE
+    return run_plan(plan, extents, engine=engine, batch_size=batch_size)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.engine import run_query
+from repro.engine import DEFAULT_BATCH_SIZE, run_query
 from repro.query.cq import Atom, ConjunctiveQuery, UnionQuery, Variable
 from repro.rdf.store import EncodedPattern, TripleStore
 from repro.rdf.terms import Term
@@ -131,14 +131,26 @@ def evaluate(
     store: TripleStore,
     engine: str = "auto",
     statistics=None,
+    batch_size: int | None = DEFAULT_BATCH_SIZE,
+    workers: int = 1,
 ) -> set[Answer]:
     """All answers of a conjunctive query on the store (set semantics).
 
     Delegates to the physical-operator engine; ``engine`` picks the join
     strategy (see :data:`repro.engine.ENGINES`) and ``statistics`` may
-    supply precomputed atom cardinalities for join ordering.
+    supply precomputed atom cardinalities for join ordering. Execution
+    is batch-at-a-time (``batch_size`` rows per operator hand-off;
+    ``None`` restores the tuple-at-a-time path) and ``workers`` enables
+    the parallel partitioned hash join on big-enough plans.
     """
-    return run_query(query, store, engine=engine, statistics=statistics)
+    return run_query(
+        query,
+        store,
+        engine=engine,
+        statistics=statistics,
+        batch_size=batch_size,
+        workers=workers,
+    )
 
 
 def evaluate_greedy(query: ConjunctiveQuery, store: TripleStore) -> set[Answer]:
@@ -159,12 +171,16 @@ def evaluate_union(
     union: UnionQuery | Iterable[ConjunctiveQuery],
     store: TripleStore,
     engine: str = "auto",
+    batch_size: int | None = DEFAULT_BATCH_SIZE,
+    workers: int = 1,
 ) -> set[Answer]:
     """All answers of a union of conjunctive queries (duplicates removed)."""
     disjuncts = union.disjuncts if isinstance(union, UnionQuery) else tuple(union)
     results: set[Answer] = set()
     for disjunct in disjuncts:
-        results |= evaluate(disjunct, store, engine=engine)
+        results |= evaluate(
+            disjunct, store, engine=engine, batch_size=batch_size, workers=workers
+        )
     return results
 
 

@@ -33,6 +33,7 @@ from repro.rdf.terms import Term, term_from_parts, term_to_parts
 from repro.rdf.triples import Triple
 from repro.stats.catalog import StatisticsCatalog
 from repro.storage.base import (
+    DEFAULT_BATCH_SIZE,
     EncodedPattern,
     EncodedTriple,
     StorageBackend,
@@ -105,6 +106,9 @@ class TripleStore:
             ("count_encoded", backend.count),
             ("iter_sorted", backend.iter_sorted),
             ("match_sorted", backend.match_sorted),
+            ("match_encoded_batches", backend.match_batches),
+            ("match_sorted_batches", backend.match_sorted_batches),
+            ("match_many_encoded", backend.match_many),
         ):
             if getattr(cls, name) is getattr(TripleStore, name):
                 setattr(self, name, fast)
@@ -248,6 +252,35 @@ class TripleStore:
         """Exact count of triples matching an encoded pattern."""
         return self._backend.count(pattern)
 
+    def match_encoded_batches(
+        self, pattern: EncodedPattern, size: int = DEFAULT_BATCH_SIZE
+    ):
+        """Matches of an encoded pattern as row-list batches.
+
+        The batch-at-a-time engine's scan input: lists of at most
+        ``size`` encoded triples, one backend round-trip per batch
+        (SQLite serves each batch with a single ``fetchmany``).
+        """
+        return self._backend.match_batches(pattern, size)
+
+    def match_sorted_batches(
+        self,
+        pattern: EncodedPattern,
+        order: str = "spo",
+        size: int = DEFAULT_BATCH_SIZE,
+    ):
+        """Sorted matches of an encoded pattern as row-list batches."""
+        return self._backend.match_sorted_batches(pattern, order, size)
+
+    def match_many_encoded(self, patterns):
+        """Matches of a whole batch of encoded patterns, input-aligned.
+
+        The batched index-nested-loop probe path: the SQLite backend
+        answers the batch with one SQL statement instead of one SELECT
+        per probe (see :meth:`repro.storage.base.StorageBackend.match_many`).
+        """
+        return self._backend.match_many(patterns)
+
     # ------------------------------------------------------------------
     # Statistics (Section 3.3 of the paper; maintained by repro.stats)
     # ------------------------------------------------------------------
@@ -307,6 +340,25 @@ class TripleStore:
         the dictionary/statistics sidecar tables in place — with the
         dictionary appended incrementally (it is append-only), so a
         re-save costs O(new terms), not O(dictionary).
+
+        Round-trip: build, save, reopen on any backend —
+
+        >>> import os, tempfile
+        >>> from repro.rdf.terms import URI
+        >>> from repro.rdf.triples import Triple
+        >>> store = TripleStore()
+        >>> store.add(Triple(URI("http://e/s"), URI("http://e/p"),
+        ...                  URI("http://e/o")))
+        True
+        >>> directory = tempfile.mkdtemp()
+        >>> path = os.path.join(directory, "snapshot.db")
+        >>> store.save(path)
+        >>> reopened = TripleStore.open(path, backend="memory")
+        >>> len(reopened)
+        1
+        >>> next(iter(reopened)).p.n3()
+        '<http://e/p>'
+        >>> reopened.close(); os.remove(path); os.rmdir(directory)
         """
         stats_rows = list(self.stats.export_column_counts())
         meta = {"triples": str(len(self))}

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from repro.engine.extents import ViewExtent
+from repro.engine.operators import DEFAULT_BATCH_SIZE
 from repro.query.algebra import Row, execute
 from repro.query.evaluation import Answer, evaluate, evaluate_union
 from repro.rdf.schema import RDFSchema
@@ -24,6 +25,8 @@ def materialize_views(
     store: TripleStore,
     schema: RDFSchema | None = None,
     engine: str = "auto",
+    batch_size: int | None = DEFAULT_BATCH_SIZE,
+    workers: int = 1,
 ) -> dict[str, ViewExtent]:
     """Compute the extent of every view of ``state`` on ``store``.
 
@@ -41,7 +44,15 @@ def materialize_views(
     if schema is None:
         for view in state.views:
             extents[view.name] = ViewExtent(
-                _sorted_rows(evaluate(view, store, engine=engine))
+                _sorted_rows(
+                    evaluate(
+                        view,
+                        store,
+                        engine=engine,
+                        batch_size=batch_size,
+                        workers=workers,
+                    )
+                )
             )
         return extents
     from repro.reformulation.reformulate import reformulate
@@ -49,7 +60,15 @@ def materialize_views(
     for view in state.views:
         union = reformulate(view, schema)
         extents[view.name] = ViewExtent(
-            _sorted_rows(evaluate_union(union, store, engine=engine))
+            _sorted_rows(
+                evaluate_union(
+                    union,
+                    store,
+                    engine=engine,
+                    batch_size=batch_size,
+                    workers=workers,
+                )
+            )
         )
     return extents
 
@@ -64,6 +83,7 @@ def answer_query(
     query_name: str,
     extents: Mapping[str, Sequence[Row]],
     engine: str = "auto",
+    batch_size: int | None = DEFAULT_BATCH_SIZE,
 ) -> set[Answer]:
     """Answer one workload query purely from materialized view extents."""
     rewriting = state.rewritings.get(query_name)
@@ -71,7 +91,7 @@ def answer_query(
         raise KeyError(f"state has no rewriting for query {query_name!r}")
     answers: set[Answer] = set()
     for disjunct in rewriting:
-        rows = execute(disjunct.plan, extents, engine=engine)
+        rows = execute(disjunct.plan, extents, engine=engine, batch_size=batch_size)
         answers.update(disjunct.answer_rows(rows))
     return answers
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
+from repro.engine.operators import DEFAULT_BATCH_SIZE
 from repro.query.cq import ConjunctiveQuery
 from repro.query.evaluation import Answer
 from repro.rdf.entailment import saturate
@@ -73,7 +74,12 @@ class Recommendation:
         """The recommended views."""
         return self.state.views
 
-    def materialize(self, engine: str = "auto") -> dict[str, list]:
+    def materialize(
+        self,
+        engine: str = "auto",
+        batch_size: int | None = DEFAULT_BATCH_SIZE,
+        workers: int = 1,
+    ) -> dict[str, list]:
         """Extents for all recommended views, honoring the entailment mode.
 
         * ``post_reformulation`` — reformulated views on the plain store;
@@ -81,25 +87,47 @@ class Recommendation:
         * otherwise — plain views on the plain store.
 
         ``engine`` selects the join strategy used to evaluate the views
-        (see :data:`repro.engine.ENGINES`).
+        (see :data:`repro.engine.ENGINES`); ``batch_size`` and
+        ``workers`` tune the batched engine exactly as in
+        :func:`repro.engine.run_query`.
         """
         if self.entailment == "post_reformulation":
-            return materialize_views(self.state, self.store, self.schema, engine=engine)
+            return materialize_views(
+                self.state,
+                self.store,
+                self.schema,
+                engine=engine,
+                batch_size=batch_size,
+                workers=workers,
+            )
         if self.entailment == "saturation":
             assert self.schema is not None
             return materialize_views(
-                self.state, saturate(self.store, self.schema), engine=engine
+                self.state,
+                saturate(self.store, self.schema),
+                engine=engine,
+                batch_size=batch_size,
+                workers=workers,
             )
-        return materialize_views(self.state, self.store, engine=engine)
+        return materialize_views(
+            self.state,
+            self.store,
+            engine=engine,
+            batch_size=batch_size,
+            workers=workers,
+        )
 
     def answer(
         self,
         query_name: str,
         extents: Mapping[str, Sequence],
         engine: str = "auto",
+        batch_size: int | None = DEFAULT_BATCH_SIZE,
     ) -> set[Answer]:
         """Answer one workload query from materialized extents."""
-        return answer_query(self.state, query_name, extents, engine=engine)
+        return answer_query(
+            self.state, query_name, extents, engine=engine, batch_size=batch_size
+        )
 
 
 class ViewSelector:

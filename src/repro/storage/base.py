@@ -7,6 +7,17 @@ pattern matches through the tightest available index, sorted permutation
 scans (the merge-join input contract), exact pattern counts, and the
 per-column figures the statistics catalog verifies against.
 
+The batched execution engine pulls through three *batched* fetch paths:
+:meth:`StorageBackend.match_batches` and
+:meth:`StorageBackend.match_sorted_batches` deliver one pattern's
+matches as row-list batches (one driver round-trip per batch instead of
+one per row for cursor-backed stores), and
+:meth:`StorageBackend.match_many` answers a whole batch of patterns at
+once (the index-nested-loop probe path — SQLite folds it into a single
+statement per batch). The base class derives all three from the
+row-at-a-time primitives, so third-party backends only implement the
+abstract core; the built-in backends override them natively.
+
 Backends speak *only* integer codes: no RDF term, query atom or
 statistics type appears here, so the package sits below ``repro.rdf``
 in the layer diagram and every layer above the store — engine, planner,
@@ -25,10 +36,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import Counter
-from typing import Iterable, Iterator
+from itertools import islice
+from typing import Iterable, Iterator, Sequence
 
 #: An encoded triple: three dictionary codes.
 EncodedTriple = tuple[int, int, int]
+
+#: Default number of rows per fetched batch (see ``repro.engine``).
+DEFAULT_BATCH_SIZE = 1024
 
 #: An encoded pattern: a code, or None for an unbound position.
 EncodedPattern = tuple[int | None, int | None, int | None]
@@ -120,6 +135,52 @@ class StorageBackend(ABC):
     ) -> Iterator[EncodedTriple]:
         """Matches of a pattern, sorted by the given permutation."""
 
+    # -- batched fetch (the batch-at-a-time engine's input paths) ------
+
+    def match_batches(
+        self, pattern: EncodedPattern, size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[list[EncodedTriple]]:
+        """Matches of a pattern as non-empty lists of at most ``size`` rows.
+
+        Semantically ``match`` chunked; cursor-backed stores override it
+        to pay one driver round-trip per batch (SQLite ``fetchmany``)
+        instead of one per row.
+        """
+        iterator = iter(self.match(pattern))
+        while True:
+            batch = list(islice(iterator, size))
+            if not batch:
+                return
+            yield batch
+
+    def match_sorted_batches(
+        self,
+        pattern: EncodedPattern,
+        order: str = "spo",
+        size: int = DEFAULT_BATCH_SIZE,
+    ) -> Iterator[list[EncodedTriple]]:
+        """``match_sorted`` chunked into lists of at most ``size`` rows."""
+        iterator = self.match_sorted(pattern, order)
+        while True:
+            batch = list(islice(iterator, size))
+            if not batch:
+                return
+            yield batch
+
+    def match_many(
+        self, patterns: Sequence[EncodedPattern]
+    ) -> list[Sequence[EncodedTriple]]:
+        """Matches of a whole batch of patterns, aligned with the input.
+
+        ``result[i]`` holds the matches of ``patterns[i]`` (any sequence
+        type; callers must not mutate it). This is the probe path of the
+        batched index-nested-loop join: the engine hands over one batch
+        of probe patterns and the backend answers them in as few
+        round-trips as it can — the SQLite backend compiles the batch
+        into a single SQL statement.
+        """
+        return [list(self.match(pattern)) for pattern in patterns]
+
     # -- column statistics (ground truth for the stats catalog) --------
 
     @abstractmethod
@@ -157,6 +218,24 @@ def create_backend(name: str, *, path=None) -> StorageBackend:
 
     ``path`` only applies to disk-capable backends (SQLite); the memory
     backend rejects it.
+
+    Backends speak encoded triples only — three dictionary codes in,
+    three codes out — through the :class:`StorageBackend` contract:
+
+    >>> backend = create_backend("memory")
+    >>> backend.add((1, 2, 3))
+    True
+    >>> backend.add((1, 2, 3))          # already present
+    False
+    >>> _ = backend.add((1, 2, 4))
+    >>> sorted(backend.match((1, 2, None)))
+    [(1, 2, 3), (1, 2, 4)]
+    >>> backend.count((None, None, 4))
+    1
+    >>> [sorted(m) for m in backend.match_many([(1, 2, None), (9, None, None)])]
+    [[(1, 2, 3), (1, 2, 4)], []]
+    >>> [len(batch) for batch in backend.match_batches((None, None, None), 1)]
+    [1, 1]
     """
     from repro.storage.memory import MemoryBackend
     from repro.storage.sqlite import SqliteBackend

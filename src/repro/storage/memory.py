@@ -116,6 +116,13 @@ class MemoryBackend(StorageBackend):
             return self._idx_o.get(o, ())
         return self._triples
 
+    def match_many(self, patterns):
+        # The dict indexes already hold each answer as a collection:
+        # hand the buckets out as-is (callers must not mutate them)
+        # instead of copying every bucket into a fresh list.
+        match = self.match
+        return [match(pattern) for pattern in patterns]
+
     def count(self, pattern: EncodedPattern) -> int:
         matches = self.match(pattern)
         if matches is self._triples:

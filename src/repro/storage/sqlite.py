@@ -31,6 +31,7 @@ from collections import Counter
 from typing import Iterable, Iterator
 
 from repro.storage.base import (
+    DEFAULT_BATCH_SIZE,
     EncodedPattern,
     EncodedTriple,
     PERMUTATIONS,
@@ -51,6 +52,26 @@ CREATE INDEX IF NOT EXISTS idx_triples_osp ON triples (o, s, p);
 
 #: ORDER BY column list per permutation name.
 _ORDER_BY = {name: ", ".join(name) for name in PERMUTATIONS}
+
+#: Probe-column order per bound-column mask, chosen so the batched
+#: ``match_many`` probe always walks an index prefix: SPO for s / (s,p),
+#: POS for p / (p,o), OSP for o / (o,s).
+_PROBE_ORDER: dict[tuple[bool, bool, bool], tuple[int, ...]] = {
+    (True, False, False): (0,),
+    (False, True, False): (1,),
+    (False, False, True): (2,),
+    (True, True, False): (0, 1),
+    (True, False, True): (2, 0),
+    (False, True, True): (1, 2),
+    (True, True, True): (0, 1, 2),
+}
+
+#: Bound-parameter budget per batched-probe statement. Stays below 999,
+#: the SQLITE_MAX_VARIABLE_NUMBER default of the oldest SQLite builds
+#: still in the wild (< 3.32); the per-statement key count is derived
+#: from it as ``budget // bound columns``, so a three-column probe mask
+#: still collapses hundreds of per-probe SELECTs into one statement.
+_PROBE_PARAM_BUDGET = 900
 
 
 def _where(pattern: EncodedPattern) -> tuple[str, tuple[int, ...]]:
@@ -144,6 +165,108 @@ class SqliteBackend(StorageBackend):
             return (triple,) if triple in self else ()
         where, params = _where(pattern)
         return self._con.execute(f"SELECT s, p, o FROM triples{where}", params)
+
+    def match_batches(
+        self, pattern: EncodedPattern, size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[list[EncodedTriple]]:
+        s, p, o = pattern
+        if s is not None and p is not None and o is not None:
+            triple = (s, p, o)
+            if triple in self:
+                yield [triple]
+            return
+        where, params = _where(pattern)
+        cursor = self._con.execute(f"SELECT s, p, o FROM triples{where}", params)
+        while True:
+            batch = cursor.fetchmany(size)
+            if not batch:
+                return
+            yield batch
+
+    def match_sorted_batches(
+        self,
+        pattern: EncodedPattern,
+        order: str = "spo",
+        size: int = DEFAULT_BATCH_SIZE,
+    ) -> Iterator[list[EncodedTriple]]:
+        order_by = _ORDER_BY.get(order)
+        if order_by is None:
+            raise ValueError(
+                f"unknown sort order {order!r}; pick from {sorted(PERMUTATIONS)}"
+            )
+        where, params = _where(pattern)
+        cursor = self._con.execute(
+            f"SELECT s, p, o FROM triples{where} ORDER BY {order_by}", params
+        )
+        while True:
+            batch = cursor.fetchmany(size)
+            if not batch:
+                return
+            yield batch
+
+    def match_many(self, patterns):
+        """One SQL statement per probe batch instead of one per probe.
+
+        Patterns are grouped by their bound-column mask; each group's
+        distinct key tuples become a single ``IN (VALUES ...)`` (or
+        plain ``IN`` for one column) query over the matching index
+        prefix, and the fetched triples are bucketed back per key. The
+        common caller — the batched index-nested-loop join — sends
+        same-mask batches, so the statement text is stable and sqlite3's
+        statement cache kicks in.
+        """
+        if not patterns:
+            return []
+        execute = self._con.execute
+        # key tuple (in probe-column order) -> shared result bucket.
+        by_mask: dict[tuple[bool, bool, bool], dict[tuple, list]] = {}
+        for pattern in patterns:
+            mask = (
+                pattern[0] is not None,
+                pattern[1] is not None,
+                pattern[2] is not None,
+            )
+            probe = _PROBE_ORDER.get(mask)
+            key = () if probe is None else tuple(pattern[i] for i in probe)
+            by_mask.setdefault(mask, {}).setdefault(key, [])
+        for mask, buckets in by_mask.items():
+            probe = _PROBE_ORDER.get(mask)
+            if probe is None:  # unconstrained pattern: one full scan
+                buckets[()] = list(execute("SELECT s, p, o FROM triples"))
+                continue
+            columns = [("s", "p", "o")[i] for i in probe]
+            keys = list(buckets)
+            chunk_size = max(1, _PROBE_PARAM_BUDGET // len(columns))
+            for start in range(0, len(keys), chunk_size):
+                chunk = keys[start : start + chunk_size]
+                if len(columns) == 1:
+                    placeholders = ",".join("?" * len(chunk))
+                    sql = (
+                        f"SELECT s, p, o FROM triples "
+                        f"WHERE {columns[0]} IN ({placeholders})"
+                    )
+                    params = [key[0] for key in chunk]
+                else:
+                    row = "(" + ",".join("?" * len(columns)) + ")"
+                    placeholders = ",".join([row] * len(chunk))
+                    sql = (
+                        f"SELECT s, p, o FROM triples "
+                        f"WHERE ({', '.join(columns)}) IN (VALUES {placeholders})"
+                    )
+                    params = [value for key in chunk for value in key]
+                for triple in execute(sql, params):
+                    buckets[tuple(triple[i] for i in probe)].append(triple)
+        results = []
+        for pattern in patterns:
+            mask = (
+                pattern[0] is not None,
+                pattern[1] is not None,
+                pattern[2] is not None,
+            )
+            probe = _PROBE_ORDER.get(mask)
+            key = () if probe is None else tuple(pattern[i] for i in probe)
+            results.append(by_mask[mask][key])
+        return results
 
     def count(self, pattern: EncodedPattern) -> int:
         if pattern == (None, None, None):

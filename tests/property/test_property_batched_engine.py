@@ -1,0 +1,191 @@
+"""Parity of the batch-at-a-time execution paths (the batched engine's
+safety net).
+
+The batched operators must be invisible semantically: for any store,
+any query, any batch size — including the degenerate size 1 and a prime
+size that never divides the row counts evenly — and serial or parallel
+partitioned hash joins, the engine returns exactly the answers of the
+tuple-at-a-time path and of the seed's greedy evaluator. Rewriting
+plans over extents additionally preserve the row *multiset* (duplicates
+and all) across batch sizes.
+
+The matrix runs per storage backend: the SQLite backend serves batches
+through ``fetchmany`` and batched probes through single-statement
+``IN (VALUES ...)`` queries, which must not change a single row.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.engine.operators as operators
+import repro.engine.planner as planner
+from repro.engine import ENGINES, PartitionedHashJoin, plan_query, run_plan
+from repro.query.algebra import Join, Project, Scan
+from repro.query.cq import Atom, ConjunctiveQuery, Variable
+from repro.query.evaluation import evaluate, evaluate_greedy
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import URI
+from repro.rdf.triples import Triple
+from repro.storage import BACKENDS
+
+from tests.property.strategies import ENTITIES, queries, stores
+
+#: Batch sizes the parity matrix sweeps: degenerate, prime, default.
+BATCH_SIZES = (1, 7, None)
+
+backends = pytest.mark.parametrize("backend", BACKENDS)
+
+
+def _batch_size(value):
+    """None stands for "the engine default" in the sweep."""
+    return {} if value is None else {"batch_size": value}
+
+
+@backends
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_batched_answers_match_tuple_at_a_time(backend, data):
+    store = data.draw(stores(backend=backend), label="store")
+    query = data.draw(queries(), label="query")
+    expected = evaluate_greedy(query, store)
+    for engine in ENGINES:
+        assert evaluate(query, store, engine=engine, batch_size=None) == expected
+        for size in BATCH_SIZES:
+            got = evaluate(query, store, engine=engine, **_batch_size(size))
+            assert got == expected, (engine, size)
+
+
+@backends
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_batch_stream_is_well_formed(backend, data):
+    """Batches are non-empty lists of ≤ size rows covering the output."""
+    store = data.draw(stores(backend=backend), label="store")
+    query = data.draw(queries(), label="query")
+    size = data.draw(st.integers(1, 9), label="size")
+    for engine in ENGINES:
+        root = plan_query(query, store, engine=engine)
+        rows = list(root)
+        batched = []
+        for batch in root.batches(size):
+            assert isinstance(batch, list)
+            assert 0 < len(batch) <= size
+            batched.extend(batch)
+        assert Counter(batched) == Counter(rows), engine
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_rewriting_plan_multiset_parity_across_batch_sizes(data):
+    """run_plan preserves the exact row multiset (and the seed's row
+    order under the default engine) at every batch size."""
+    size_l = data.draw(st.integers(0, 12), label="left rows")
+    size_r = data.draw(st.integers(0, 12), label="right rows")
+    pick = st.sampled_from(ENTITIES)
+    extents = {
+        "v1": [
+            (data.draw(pick), data.draw(pick)) for _ in range(size_l)
+        ],
+        "v2": [
+            (data.draw(pick), data.draw(pick)) for _ in range(size_r)
+        ],
+    }
+    plan = Join(Scan("v1", ("x", "y")), Scan("v2", ("y", "z")))
+    projected = Project(plan, ("x", "z"))
+    for engine in ENGINES:
+        reference = run_plan(plan, extents, engine=engine, batch_size=None)
+        for size in (1, 7, 1024):
+            rows = run_plan(plan, extents, engine=engine, batch_size=size)
+            assert Counter(rows) == Counter(reference), (engine, size)
+            if engine != "merge":
+                # Non-sorting engines keep the seed's exact row order.
+                assert rows == reference, (engine, size)
+        for size in (1, 7, 1024):
+            assert run_plan(projected, extents, engine=engine, batch_size=size) == (
+                run_plan(projected, extents, engine=engine, batch_size=None)
+            ), (engine, size)
+
+
+@backends
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_parallel_partitioned_join_parity(backend, data, monkeypatch):
+    """Workers and partitioning move speed only, never the answer set."""
+    store = data.draw(stores(backend=backend, min_size=5), label="store")
+    query = data.draw(queries(), label="query")
+    monkeypatch.setattr(planner, "PARALLEL_ROW_THRESHOLD", 0)
+    monkeypatch.setattr(operators, "MIN_PARALLEL_INPUT_ROWS", 0)
+    expected = evaluate_greedy(query, store)
+    for size in BATCH_SIZES:
+        got = evaluate(
+            query, store, engine="hash", workers=2, **_batch_size(size)
+        )
+        assert got == expected, size
+    # Serial partitioned execution (workers=1 collapses to one task).
+    assert evaluate(query, store, engine="hash", workers=1) == expected
+
+
+@backends
+def test_planner_partitions_only_above_threshold(backend, monkeypatch):
+    """The cost model gates the partitioned join on estimated size."""
+    store = TripleStore(backend=backend)
+    p0, p1 = URI("http://u/p0"), URI("http://u/p1")
+    for i in range(40):
+        store.add(Triple(URI(f"http://u/e{i}"), p0, URI(f"http://u/f{i % 7}")))
+        store.add(Triple(URI(f"http://u/f{i % 7}"), p1, URI(f"http://u/g{i % 3}")))
+    X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+    query = ConjunctiveQuery((X, Z), (Atom(X, p0, Y), Atom(Y, p1, Z)))
+
+    def has_partitioned(root):
+        if isinstance(root, PartitionedHashJoin):
+            return True
+        return any(has_partitioned(child) for child in root._children())
+
+    # Far below the default threshold: workers alone change nothing.
+    assert not has_partitioned(plan_query(query, store, engine="hash", workers=4))
+    # Forced threshold of zero: the same plan partitions.
+    monkeypatch.setattr(planner, "PARALLEL_ROW_THRESHOLD", 0)
+    store.add(Triple(URI("http://u/inv"), p0, URI("http://u/inv2")))  # flush cache
+    root = plan_query(query, store, engine="hash", workers=4)
+    assert has_partitioned(root)
+    # Serial compilation never partitions, threshold or not.
+    assert not has_partitioned(plan_query(query, store, engine="hash", workers=1))
+    expected = evaluate_greedy(query, store)
+    assert evaluate(query, store, engine="hash", workers=4) == expected
+
+
+@backends
+def test_batch_size_zero_selects_the_tuple_path(backend):
+    """0 follows the CLI convention: tuple-at-a-time, never zero-row batches."""
+    store = TripleStore(backend=backend)
+    p = URI("http://u/p0")
+    store.add(Triple(URI("http://u/e0"), p, URI("http://u/e1")))
+    store.add(Triple(URI("http://u/e1"), p, URI("http://u/e2")))
+    X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+    query = ConjunctiveQuery((X, Z), (Atom(X, p, Y), Atom(Y, p, Z)))
+    expected = evaluate_greedy(query, store)
+    assert expected  # non-degenerate: the join has an answer
+    assert evaluate(query, store, batch_size=0) == expected
+    assert evaluate(query, store, batch_size=None) == expected
+    extents = {"v": [(1, 2), (1, 2)]}
+    plan = Scan("v", ("x", "y"))
+    assert run_plan(plan, extents, batch_size=0) == [(1, 2), (1, 2)]
+
+
+def test_negative_batch_size_is_rejected():
+    """A negative size would silently yield empty batches downstream."""
+    store = TripleStore()
+    store.add(Triple(URI("http://u/e0"), URI("http://u/p0"), URI("http://u/e1")))
+    X = Variable("X")
+    query = ConjunctiveQuery((X,), (Atom(X, URI("http://u/p0"), URI("http://u/e1")),))
+    with pytest.raises(ValueError, match="batch_size must be positive"):
+        evaluate(query, store, batch_size=-5)
+    with pytest.raises(ValueError, match="batch_size must be positive"):
+        run_plan(Scan("v", ("x",)), {"v": [(1,)]}, batch_size=-1)

@@ -1,0 +1,123 @@
+"""Contract tests for the storage layer's batched fetch paths.
+
+``match_batches`` / ``match_sorted_batches`` must chunk exactly what
+``match`` / ``match_sorted`` produce, and ``match_many`` must answer a
+batch of patterns exactly as per-pattern ``match`` calls would — on
+every backend, for every pattern shape (the SQLite backend routes each
+bound-column mask through a different index prefix and folds probe
+batches into single ``IN (VALUES ...)`` statements, including chunking
+past its per-statement probe limit).
+"""
+
+import random
+
+import pytest
+
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import URI
+from repro.rdf.triples import Triple
+from repro.storage import BACKENDS
+from repro.storage.base import PERMUTATIONS
+from repro.storage.sqlite import _PROBE_PARAM_BUDGET
+
+backends = pytest.mark.parametrize("backend", BACKENDS)
+
+
+def _populated_store(backend, triples=600, entities=40, properties=5, seed=11):
+    rng = random.Random(seed)
+    store = TripleStore(backend=backend)
+    for _ in range(triples):
+        store.add(
+            Triple(
+                URI(f"http://u/e{rng.randrange(entities)}"),
+                URI(f"http://u/p{rng.randrange(properties)}"),
+                URI(f"http://u/e{rng.randrange(entities)}"),
+            )
+        )
+    return store
+
+
+def _all_shapes(store):
+    """One encoded pattern per bound-column mask, plus misses."""
+    s = store.encode_term(URI("http://u/e1"))
+    p = store.encode_term(URI("http://u/p1"))
+    o = store.encode_term(URI("http://u/e2"))
+    some = next(iter(store.backend))
+    return [
+        (None, None, None),
+        (s, None, None),
+        (None, p, None),
+        (None, None, o),
+        (s, p, None),
+        (s, None, o),
+        (None, p, o),
+        some,
+        (s, p, o),
+    ]
+
+
+@backends
+@pytest.mark.parametrize("size", [1, 7, 1024])
+def test_match_batches_chunk_match_exactly(backend, size):
+    store = _populated_store(backend)
+    for pattern in _all_shapes(store):
+        expected = sorted(store.match_encoded(pattern))
+        flattened = []
+        for batch in store.match_encoded_batches(pattern, size):
+            assert 0 < len(batch) <= size
+            flattened.extend(batch)
+        assert sorted(flattened) == expected, pattern
+
+
+@backends
+@pytest.mark.parametrize("size", [1, 13])
+def test_match_sorted_batches_preserve_order(backend, size):
+    store = _populated_store(backend)
+    for order in PERMUTATIONS:
+        for pattern in [(None, None, None), (None, store.encode_term(URI("http://u/p0")), None)]:
+            expected = list(store.match_sorted(pattern, order))
+            flattened = [
+                triple
+                for batch in store.match_sorted_batches(pattern, order, size)
+                for triple in batch
+            ]
+            assert flattened == expected, (order, pattern)
+
+
+@backends
+def test_match_many_matches_per_pattern_match(backend):
+    store = _populated_store(backend)
+    rng = random.Random(3)
+    shapes = _all_shapes(store)
+    patterns = [shapes[rng.randrange(len(shapes))] for _ in range(200)]
+    results = store.match_many_encoded(patterns)
+    assert len(results) == len(patterns)
+    for pattern, result in zip(patterns, results):
+        assert sorted(result) == sorted(store.match_encoded(pattern)), pattern
+
+
+@backends
+def test_match_many_empty_and_missing(backend):
+    store = _populated_store(backend, triples=20)
+    assert store.match_many_encoded([]) == []
+    missing = (10**6, 10**6 + 1, None)
+    results = store.match_many_encoded([missing, (None, None, None)])
+    assert list(results[0]) == []
+    assert sorted(results[1]) == sorted(store.match_encoded((None, None, None)))
+
+
+def test_sqlite_match_many_chunks_past_probe_limit():
+    """More distinct probes than fit one statement still answer exactly."""
+    store = _populated_store("sqlite", triples=900, entities=800)
+    codes = [
+        store.encode_term(URI(f"http://u/e{i}"))
+        for i in range(800)
+    ]
+    p = store.encode_term(URI("http://u/p2"))
+    patterns = [(code, p, None) for code in codes if code is not None]
+    # Two bound columns per probe: more distinct keys than one
+    # statement's parameter budget allows, forcing the chunked path.
+    assert len(patterns) > _PROBE_PARAM_BUDGET // 2
+    results = store.match_many_encoded(patterns)
+    for pattern, result in zip(patterns, results):
+        assert sorted(result) == sorted(store.match_encoded(pattern)), pattern

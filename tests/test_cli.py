@@ -85,8 +85,9 @@ def test_explain_prints_plans_and_chosen_engine(capsys, data_file, workload_file
         "--time-limit", "2",
         "--explain",
     )
-    assert "physical plans on the store:" in out
+    assert "physical plans on the store [batch-size=1024 workers=1]:" in out
     assert "q2 [engine=" in out
+    assert "partitioned-join=no" in out
     assert "IndexScan" in out
 
 
@@ -99,7 +100,7 @@ def test_explain_honors_fixed_engine(capsys, data_file, workload_file):
         "--explain",
         "--engine", "hash",
     )
-    assert "q2 [engine=hash]" in out
+    assert "q2 [engine=hash partitioned-join=no]" in out
 
 
 def test_empty_workload_errors(capsys, data_file, tmp_path):
@@ -228,3 +229,31 @@ class TestStorageBackends:
             "--db", str(db),
         ]) == 2
         assert "cannot open" in capsys.readouterr().err
+
+
+def test_uses_partitioned_join_walks_the_plan_tree():
+    """--explain's partitioned-join detection finds the operator anywhere."""
+    from repro.cli import _uses_partitioned_join
+    from repro.engine import ExtentScan, HashJoin, PartitionedHashJoin
+
+    left = ExtentScan("l", [(1, 2)], ("x", "y"))
+    right = ExtentScan("r", [(2, 3)], ("y", "z"))
+    plain = HashJoin(left, right, pairs=[(1, 0)], keep_right=[1])
+    assert not _uses_partitioned_join(plain)
+    partitioned = PartitionedHashJoin(left, right, pairs=[(1, 0)], keep_right=[1])
+    assert _uses_partitioned_join(partitioned)
+    nested = HashJoin(partitioned, right, pairs=[(2, 0)], keep_right=[1])
+    assert _uses_partitioned_join(nested)
+
+
+def test_explain_reports_workers_and_batch_size(capsys, data_file, workload_file):
+    out = run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--time-limit", "2",
+        "--explain",
+        "--workers", "2",
+        "--batch-size", "0",
+    )
+    assert "[batch-size=tuple-at-a-time workers=2]" in out

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job (stdlib only, offline).
+
+Checks every ``[text](target)`` link in the given Markdown files:
+
+* relative file targets must exist on disk (resolved against the
+  containing file's directory);
+* ``#fragment`` anchors — standalone or attached to a Markdown target —
+  must match a heading in the target file, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to hyphens);
+* absolute ``http(s)://`` / ``mailto:`` targets are skipped (the job
+  must not depend on the network).
+
+Fenced code blocks are ignored, so shell snippets and JSON examples
+cannot produce false positives.
+
+Usage::
+
+    python tools/check_markdown_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    content = FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {slugify(match.group(1)) for match in HEADING.finditer(content)}
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    content = FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK.finditer(content):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        raw, _, fragment = target.partition("#")
+        if raw:
+            resolved = (path.parent / raw).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}: broken link -> {target} "
+                              f"({resolved} does not exist)")
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved):
+                errors.append(f"{path}: broken anchor -> {target} "
+                              f"(no heading slug {fragment!r} in {resolved.name})")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_markdown_links.py FILE.md [FILE.md ...]",
+              file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for name in argv:
+        path = Path(name)
+        if not path.is_file():
+            errors.append(f"{name}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = len(argv)
+    if errors:
+        print(f"{len(errors)} broken link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"all links ok across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
