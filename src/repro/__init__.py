@@ -59,10 +59,12 @@ from repro.stats import (
     StatisticsCatalog,
 )
 from repro.selection import (
+    CostDelta,
     CostModel,
     CostWeights,
     Recommendation,
     SearchBudget,
+    SearchStrategy,
     State,
     StoreStatistics,
     ReformulationAwareStatistics,
@@ -72,6 +74,7 @@ from repro.selection import (
     greedy_stratified_search,
     initial_state,
     materialize_views,
+    run_search,
 )
 
 __version__ = "1.0.0"
@@ -107,10 +110,13 @@ __all__ = [
     "CardinalityEstimator",
     "CatalogStatistics",
     "StatisticsCatalog",
+    "CostDelta",
     "CostModel",
     "CostWeights",
     "Recommendation",
     "SearchBudget",
+    "SearchStrategy",
+    "run_search",
     "State",
     "StoreStatistics",
     "ReformulationAwareStatistics",

@@ -38,8 +38,8 @@ from repro.query.parser import parse_queries
 from repro.rdf.ntriples import NTriplesParseError, parse_ntriples
 from repro.rdf.schema import RDFSchema
 from repro.rdf.store import TripleStore
-from repro.selection.recommender import ENTAILMENT_MODES, STRATEGIES, ViewSelector
-from repro.selection.search import SearchBudget
+from repro.selection.recommender import ENTAILMENT_MODES, ViewSelector
+from repro.selection.search import STRATEGY_FACTORIES, SearchBudget
 from repro.storage import BACKENDS, SnapshotError, SqliteBackend
 
 
@@ -74,10 +74,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--schema", type=Path, default=None,
                         help="N-Triples file with RDFS statements "
                         "(default: extracted from --data)")
-    parser.add_argument("--strategy", choices=sorted(STRATEGIES), default="dfs")
+    parser.add_argument("--strategy", choices=sorted(STRATEGY_FACTORIES),
+                        default="dfs")
     parser.add_argument("--entailment", choices=ENTAILMENT_MODES, default="none")
     parser.add_argument("--time-limit", type=float, default=30.0,
-                        help="stoptime budget in seconds (default 30)")
+                        help="stoptime budget in seconds (default 30); "
+                        "alias of --search-budget-seconds")
+    parser.add_argument("--search-budget-seconds", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stoptime budget for the view-selection search "
+                        "(overrides --time-limit)")
+    parser.add_argument("--search-budget-states", type=_non_negative_int,
+                        default=None, metavar="STATES",
+                        help="bound the number of states the search may "
+                        "create (a memory stand-in; default: unlimited)")
     parser.add_argument("--namespace", default="http://example.org/",
                         help="default namespace for bare query constants")
     parser.add_argument("--show-answers", action="store_true",
@@ -89,14 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: auto = cost-based per query)")
     parser.add_argument("--explain", action="store_true",
                         help="print each workload query's physical plan on "
-                        "the store, including the engine the cost-based "
-                        "selection picked for it, the batch size, the "
-                        "worker count, and whether the parallel "
-                        "partitioned join was selected")
+                        "the store (engine chosen by the cost-based "
+                        "selection, batch size, worker count, parallel "
+                        "partitioned join), plus the search's Figure-5 "
+                        "state accounting after the recommendation")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker processes for the parallel partitioned "
-                        "hash join (default 1 = serial; only plans above "
-                        "the cost-based cardinality threshold partition)")
+                        "hash join and for the search's parallel frontier "
+                        "pricing (default 1 = serial; only join plans above "
+                        "the cost-based cardinality threshold partition, "
+                        "and only large search frontiers fan out)")
     parser.add_argument("--batch-size", type=_non_negative_int,
                         default=DEFAULT_BATCH_SIZE,
                         metavar="ROWS",
@@ -210,12 +222,20 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"    {line}")
         print()
 
+    time_limit = (
+        args.search_budget_seconds
+        if args.search_budget_seconds is not None
+        else args.time_limit
+    )
     selector = ViewSelector(
         store,
         schema=schema,
         strategy=args.strategy,
         entailment=args.entailment,
-        budget=SearchBudget(time_limit=args.time_limit),
+        budget=SearchBudget(
+            time_limit=time_limit, max_states=args.search_budget_states
+        ),
+        workers=args.workers,
     )
     recommendation = selector.recommend(queries)
     result = recommendation.result
@@ -232,6 +252,18 @@ def main(argv: list[str] | None = None) -> int:
     print(f"best cost     {result.best_cost:.1f}")
     print(f"cost reduction {result.rcr:.1%} "
           f"({result.stats.created} states in {result.runtime:.1f}s)")
+
+    if args.explain:
+        stats = result.stats
+        rate = stats.created / result.runtime if result.runtime > 0 else 0.0
+        print()
+        print(f"search accounting [strategy={result.strategy or args.strategy} "
+              f"completed={'yes' if result.completed else 'no (budget)'}]:")
+        print(f"  created    {stats.created}")
+        print(f"  duplicates {stats.duplicates}")
+        print(f"  discarded  {stats.discarded}")
+        print(f"  explored   {stats.explored}")
+        print(f"  states/sec {rate:.0f}")
 
     if args.show_answers:
         batch_size = None if args.batch_size == 0 else args.batch_size

@@ -64,6 +64,23 @@ def shutdown_executors() -> None:
 atexit.register(shutdown_executors)
 
 
+def map_chunks(function, common, chunks, workers: int) -> list:
+    """Run ``function(common, chunk)`` for every chunk on the cached pool.
+
+    The generic fan-out primitive behind both the partitioned hash join
+    and the view-selection search's parallel frontier pricing: ``common``
+    (shipped once per chunk) carries the shared context — a cost model, a
+    statistics snapshot — and each chunk is an independent slice of the
+    work list. Results come back in chunk order. Everything crossing the
+    boundary must be picklable; a pool broken mid-flight surfaces as
+    :class:`BrokenProcessPool` for the caller to handle (the search falls
+    back to serial evaluation).
+    """
+    executor = get_executor(workers)
+    futures = [executor.submit(function, common, chunk) for chunk in chunks]
+    return [future.result() for future in futures]
+
+
 def join_partition(
     left_rows: list,
     right_rows: list,

@@ -9,27 +9,38 @@ Section 5 (:mod:`repro.selection.search`) or the relational competitors
 of Section 6.1 (:mod:`repro.selection.competitors`).
 """
 
-from repro.selection.state import State, Rewriting, RewritingDisjunct, initial_state
+from repro.selection.state import (
+    State,
+    StateDelta,
+    Rewriting,
+    RewritingDisjunct,
+    initial_state,
+)
 from repro.selection.stategraph import StateGraph
 from repro.selection.statistics import (
     Statistics,
     StoreStatistics,
     ReformulationAwareStatistics,
 )
-from repro.selection.costs import CostModel, CostWeights, CostBreakdown
+from repro.selection.costs import CostModel, CostWeights, CostBreakdown, CostDelta
 from repro.selection.transitions import (
     Transition,
     TransitionKind,
     TransitionEnumerator,
 )
 from repro.selection.search import (
+    STRATEGY_FACTORIES,
     SearchBudget,
+    SearchCore,
+    SearchNode,
     SearchResult,
+    SearchStrategy,
     descent_search,
     dfs_search,
     exhaustive_naive_search,
     exhaustive_stratified_search,
     greedy_stratified_search,
+    run_search,
 )
 from repro.selection.competitors import (
     MemoryBudgetExceeded,
@@ -49,6 +60,7 @@ from repro.selection.recommender import Recommendation, ViewSelector
 
 __all__ = [
     "State",
+    "StateDelta",
     "Rewriting",
     "RewritingDisjunct",
     "initial_state",
@@ -59,11 +71,17 @@ __all__ = [
     "CostModel",
     "CostWeights",
     "CostBreakdown",
+    "CostDelta",
     "Transition",
     "TransitionKind",
     "TransitionEnumerator",
+    "STRATEGY_FACTORIES",
     "SearchBudget",
+    "SearchCore",
+    "SearchNode",
     "SearchResult",
+    "SearchStrategy",
+    "run_search",
     "dfs_search",
     "descent_search",
     "exhaustive_naive_search",

@@ -32,9 +32,9 @@ from repro.query.containment import is_isomorphic
 from repro.selection.costs import CostModel
 from repro.selection.search import (
     SearchBudget,
+    SearchCore,
     SearchResult,
     SearchStats,
-    _Run,
     avf_closure,
 )
 from repro.selection.state import State, initial_state
@@ -56,12 +56,12 @@ class MemoryBudgetExceeded(RuntimeError):
         self.states_created = states_created
 
 
-def _states_exceeded(run: _Run) -> bool:
+def _states_exceeded(run: SearchCore) -> bool:
     budget = run.budget
     return budget.max_states is not None and run.stats.created > budget.max_states
 
 
-def _time_exceeded(run: _Run) -> bool:
+def _time_exceeded(run: SearchCore) -> bool:
     budget = run.budget
     if budget.time_limit is not None and run.elapsed() > budget.time_limit:
         run.completed = False
@@ -71,7 +71,7 @@ def _time_exceeded(run: _Run) -> bool:
 
 def _enumerate_query_pool(
     query_state: State,
-    run: _Run,
+    run: SearchCore,
     enumerator: TransitionEnumerator,
     max_pool: int,
     max_depth: int,
@@ -117,7 +117,7 @@ def _enumerate_query_pool(
     return pool
 
 
-def _combine(left: State, right: State, run: _Run) -> State:
+def _combine(left: State, right: State, run: SearchCore) -> State:
     """Union of two partial states over disjoint query subsets."""
     views = left.views + right.views
     rewritings = dict(left.rewritings)
@@ -141,7 +141,10 @@ def _relational_search(
     enumerator = enumerator or TransitionEnumerator()
     budget = budget or SearchBudget(max_states=200_000)
     whole = initial_state(queries, enumerator.namer)
-    run = _Run(whole, cost_model, budget, use_stoptt=False, use_stopvar=False)
+    run = SearchCore(
+        whole, cost_model, enumerator, budget,
+        use_avf=False, use_stoptt=False, use_stopvar=False,
+    )
     # Phase 1: per-query pools.
     pools: list[list[State]] = []
     for query in queries:
@@ -177,8 +180,8 @@ def _relational_search(
     for state in combined:
         # Only full candidate view sets (covering every query) count.
         if len(state.rewritings) == len(list(queries)):
-            run.offer(state)
-    return run.result()
+            run.offer(state, cost_model.total_cost(state))
+    return run.result(strategy=keep)
 
 
 def _discard_dominated(

@@ -15,17 +15,50 @@
   (pipelined), which preserves the paper's invariant that View Fusion
   never increases a state's cost (the AVF optimization relies on it).
 * **VMCε** is ``Σ_v f^len(v)`` for a user-provided factor ``f``.
+
+Incremental costing (the search-core refactor)
+----------------------------------------------
+
+A transition touches at most two views and the rewriting disjuncts that
+referenced them; everything else is shared *by identity* with the source
+state. The model exploits this with a two-level cross-state memo:
+
+* per-object fast path — every view / plan object is priced at most
+  once, ever (id-keyed, identity-checked);
+* canonical backing — view prices are shared across *isomorphic* views
+  (keyed on :func:`~repro.selection.state.canonical_token`) and plan
+  prices across structurally identical plans (keyed on a recursive
+  ``(node kind, query token)`` signature), so logically equal states
+  reached along different search branches never re-pay estimator work.
+
+Both levels are sound bitwise because the shared estimator multiplies
+its factors in canonical (sorted) order: isomorphic bodies price to the
+*identical* float. ``cost(state)`` always folds the cached component
+prices in the state's own canonical order (views in order, rewritings in
+order), so a warm-cache total is indistinguishable — bit for bit — from
+a cold full recompute; the property suite pins exactly that oracle
+equality. :meth:`CostModel.transition_cost` packages the successor's
+exact breakdown together with the per-component differences as a
+:class:`CostDelta`.
+
+``incremental=False`` restores the pre-refactor pricing path (estimator
+lookups per state, id-keyed plan memo only) and exists as the measured
+baseline of ``benchmarks/bench_selection.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.query.algebra import Join, Plan, Project, Rename, Scan, Select, iter_nodes
+from repro.query.algebra import Join, Plan, Project, Rename, Scan, Select
 from repro.query.cq import ConjunctiveQuery
-from repro.selection.state import State
+from repro.selection.state import State, canonical_token
 from repro.stats.estimator import CardinalityEstimator
 from repro.stats.provider import Statistics
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, no cycle
+    from repro.selection.transitions import Transition
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,24 +89,182 @@ class CostBreakdown:
     total: float
 
 
+@dataclass(frozen=True, slots=True)
+class CostDelta:
+    """The cost effect of one transition.
+
+    ``breakdown`` is the successor state's *exact* cost (folded from
+    cached component prices in the successor's canonical order — bitwise
+    equal to a full recompute). ``vso``/``rec``/``vmc``/``total`` are the
+    differences against the base state's breakdown. ``repriced_views`` /
+    ``repriced_plans`` count the components that actually missed the
+    cross-state memo — the work the incremental model paid, at most the
+    size of the transition's :class:`~repro.selection.state.StateDelta`.
+    """
+
+    breakdown: CostBreakdown
+    vso: float
+    rec: float
+    vmc: float
+    total: float
+    repriced_views: int = 0
+    repriced_plans: int = 0
+
+
 class CostModel:
     """Estimates state costs from a statistics snapshot.
 
     The model is pure: for fixed statistics and weights, ``cost(state)``
-    is deterministic, so searches are reproducible.
+    is deterministic, so searches are reproducible. With
+    ``incremental=True`` (the default) prices are memoized across states
+    and searches as described in the module docstring; the produced
+    numbers are identical either way.
     """
 
-    def __init__(self, statistics: Statistics, weights: CostWeights | None = None) -> None:
+    def __init__(
+        self,
+        statistics: Statistics,
+        weights: CostWeights | None = None,
+        incremental: bool = True,
+    ) -> None:
         self.statistics = statistics
         self.weights = weights or CostWeights()
+        self.incremental = incremental
         # The shared System-R formulas; memoizes per atom tuple, so
         # views sharing a body (renamings) price once.
         self.estimator = CardinalityEstimator(statistics)
-        # Plans are immutable and shared across states (substitution
-        # returns untouched subtrees by identity), so each plan's
-        # (io, cpu) is computed once. The plan reference is kept in the
-        # value to pin the id.
-        self._plan_cost_cache: dict[int, tuple[float, float, Plan]] = {}
+        self._version = getattr(statistics, "version", None)
+        # (cardinality, space, f^len) per view: id fast path + canonical
+        # token backing shared across isomorphic views.
+        self._view_by_id: dict[int, tuple[tuple[float, float, float], ConjunctiveQuery]] = {}
+        self._view_by_token: dict[int, tuple[float, float, float]] = {}
+        # (io, cpu) per rewriting plan: id fast path (plans are shared
+        # across states by identity) + structural signature backing.
+        self._plan_by_id: dict[int, tuple[tuple[float, float], Plan]] = {}
+        self._plan_by_sig: dict[tuple, tuple[float, float]] = {}
+        #: Pricing instrumentation: hits answered from a memo level,
+        #: misses priced through the estimator.
+        self.counters = {
+            "view_hits": 0,
+            "view_misses": 0,
+            "plan_hits": 0,
+            "plan_misses": 0,
+        }
+
+    def __reduce__(self):
+        # Worker processes (parallel frontier pricing) rebuild a clean
+        # model: id-keyed memos are meaningless across process copies.
+        return (type(self), (self.statistics, self.weights, self.incremental))
+
+    def _validate_caches(self) -> None:
+        """Flush every price memo when the statistics version moves."""
+        version = getattr(self.statistics, "version", None)
+        if version != self._version:
+            self._view_by_id.clear()
+            self._view_by_token.clear()
+            self._plan_by_id.clear()
+            self._plan_by_sig.clear()
+            self._version = version
+
+    # ------------------------------------------------------------------
+    # Component pricing (the memoized primitives)
+    # ------------------------------------------------------------------
+
+    def _price_view(self, view: ConjunctiveQuery) -> tuple[float, float, float]:
+        """(cardinality, space, maintenance term) of one view, priced
+        through the estimator. The arithmetic is identical on the
+        incremental and the baseline path."""
+        if self.incremental:
+            cardinality = self.estimator.query_cardinality(view)
+        else:
+            cardinality = self.estimator.conjunction_cardinality(view.atoms)
+        width = max(len(view.head), 1) * self.statistics.average_term_size()
+        return (cardinality, cardinality * width, self.weights.f ** len(view))
+
+    def _view_price(self, view: ConjunctiveQuery) -> tuple[float, float, float]:
+        self._validate_caches()
+        if not self.incremental:
+            self.counters["view_misses"] += 1
+            return self._price_view(view)
+        cached = self._view_by_id.get(id(view))
+        if cached is not None and cached[1] is view:
+            self.counters["view_hits"] += 1
+            return cached[0]
+        token = canonical_token(view)
+        price = self._view_by_token.get(token)
+        if price is None:
+            price = self._price_view(view)
+            if len(self._view_by_token) > 500_000:
+                self._view_by_token.clear()
+            self._view_by_token[token] = price
+            self.counters["view_misses"] += 1
+        else:
+            self.counters["view_hits"] += 1
+        if len(self._view_by_id) > 500_000:
+            self._view_by_id.clear()
+        self._view_by_id[id(view)] = (price, view)
+        return price
+
+    def _query_token(self, query: ConjunctiveQuery | None) -> int | None:
+        return None if query is None else canonical_token(query)
+
+    def _plan_signature(self, plan: Plan) -> tuple:
+        """A flat (node kind, query token) pre-order encoding of a plan.
+
+        Pre-order with fixed per-kind arities (scans are leaves, joins
+        binary, the rest unary) reconstructs the tree uniquely, so a
+        flat tuple is unambiguous. Two plans with equal signatures
+        consist of the same node shapes over isomorphic query
+        annotations, hence every term of their (io, cpu) sums is the
+        identical float.
+        """
+        parts: list = []
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Scan):
+                parts.append("S")
+            elif isinstance(node, Select):
+                parts.append("F")
+                stack.append(node.child)
+            elif isinstance(node, Project):
+                parts.append("P")
+                stack.append(node.child)
+            elif isinstance(node, Rename):
+                parts.append("R")
+                stack.append(node.child)
+            else:
+                parts.append("J")
+                stack.append(node.right)
+                stack.append(node.left)
+            parts.append(self._query_token(node.query))
+        return tuple(parts)
+
+    def _price_plan(self, plan: Plan) -> tuple[float, float]:
+        """(io, cpu) of one plan — the seed arithmetic, verbatim."""
+        io = 0.0
+        cpu = 0.0
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Scan):
+                if node.query is None:
+                    raise ValueError(f"scan of {node.view!r} lacks a view annotation")
+                io += self.view_cardinality(node.query)
+            elif isinstance(node, Select):
+                cpu += self.plan_cardinality(node.child)
+                stack.append(node.child)
+            elif isinstance(node, Join):
+                cpu += (
+                    self.plan_cardinality(node.left)
+                    + self.plan_cardinality(node.right)
+                    + self.plan_cardinality(node)
+                )
+                stack.append(node.right)
+                stack.append(node.left)
+            elif isinstance(node, (Project, Rename)):
+                stack.append(node.child)
+        return io, cpu
 
     # ------------------------------------------------------------------
     # Cardinality estimation
@@ -86,7 +277,7 @@ class CostModel:
         times ``1/max(distinct)`` per extra variable occurrence, clamped
         to at least one row.
         """
-        return self.estimator.conjunction_cardinality(view.atoms)
+        return self._view_price(view)[0]
 
     def plan_cardinality(self, plan: Plan) -> float:
         """Estimated output cardinality of a rewriting plan node.
@@ -110,42 +301,46 @@ class CostModel:
 
     def view_space(self, view: ConjunctiveQuery) -> float:
         """Space occupied by one materialized view."""
-        width = max(len(view.head), 1) * self.statistics.average_term_size()
-        return self.view_cardinality(view) * width
+        return self._view_price(view)[1]
+
+    def view_maintenance(self, view: ConjunctiveQuery) -> float:
+        """One view's VMC term ``f^len(v)``."""
+        return self._view_price(view)[2]
 
     def vso(self, state: State) -> float:
         """View space occupancy: total size of all materialized views."""
         return sum(self.view_space(view) for view in state.views)
 
     def plan_io_cpu(self, plan: Plan) -> tuple[float, float]:
-        """(ioε, cpuε) of one rewriting plan, memoized per plan object.
+        """(ioε, cpuε) of one rewriting plan, memoized cross-state.
 
         io reads every scanned view once; cpu charges a pass per
         selection and build+probe+output per join (projections and
         renames are pipelined for free).
         """
-        cached = self._plan_cost_cache.get(id(plan))
-        if cached is not None and cached[2] is plan:
-            return cached[0], cached[1]
-        io = 0.0
-        cpu = 0.0
-        for node in iter_nodes(plan):
-            if isinstance(node, Scan):
-                if node.query is None:
-                    raise ValueError(f"scan of {node.view!r} lacks a view annotation")
-                io += self.view_cardinality(node.query)
-            elif isinstance(node, Select):
-                cpu += self.plan_cardinality(node.child)
-            elif isinstance(node, Join):
-                cpu += (
-                    self.plan_cardinality(node.left)
-                    + self.plan_cardinality(node.right)
-                    + self.plan_cardinality(node)
-                )
-        if len(self._plan_cost_cache) > 500_000:
-            self._plan_cost_cache.clear()
-        self._plan_cost_cache[id(plan)] = (io, cpu, plan)
-        return io, cpu
+        self._validate_caches()
+        cached = self._plan_by_id.get(id(plan))
+        if cached is not None and cached[1] is plan:
+            self.counters["plan_hits"] += 1
+            return cached[0]
+        if self.incremental:
+            signature = self._plan_signature(plan)
+            price = self._plan_by_sig.get(signature)
+            if price is None:
+                price = self._price_plan(plan)
+                if len(self._plan_by_sig) > 500_000:
+                    self._plan_by_sig.clear()
+                self._plan_by_sig[signature] = price
+                self.counters["plan_misses"] += 1
+            else:
+                self.counters["plan_hits"] += 1
+        else:
+            price = self._price_plan(plan)
+            self.counters["plan_misses"] += 1
+        if len(self._plan_by_id) > 500_000:
+            self._plan_by_id.clear()
+        self._plan_by_id[id(plan)] = (price, plan)
+        return price
 
     def rewriting_io(self, state: State) -> float:
         """ioε: every view appearing in a rewriting is read once."""
@@ -176,19 +371,69 @@ class CostModel:
 
     def vmc(self, state: State) -> float:
         """View maintenance cost: Σ f^len(v)."""
-        return sum(self.weights.f ** len(view) for view in state.views)
+        return sum(self.view_maintenance(view) for view in state.views)
 
     def cost(self, state: State) -> CostBreakdown:
-        """The full breakdown and the weighted total cε."""
-        vso = self.vso(state)
+        """The full breakdown and the weighted total cε.
+
+        Component prices come from the cross-state memo; the folds run
+        in the state's own canonical order (views in view order,
+        rewritings in mapping order), so the result is bitwise identical
+        whether the memo is warm or cold. Views are looked up once for
+        both their space and maintenance terms; the accumulation order
+        per component is exactly that of :meth:`vso` / :meth:`vmc`.
+        """
+        vso = 0.0
+        vmc = 0.0
+        for view in state.views:
+            _, space, maintenance = self._view_price(view)
+            vso += space
+            vmc += maintenance
         rec = self.rec(state)
-        vmc = self.vmc(state)
         total = self.weights.cs * vso + self.weights.cr * rec + self.weights.cm * vmc
         return CostBreakdown(vso=vso, rec=rec, vmc=vmc, total=total)
 
     def total_cost(self, state: State) -> float:
         """Shorthand for ``cost(state).total``."""
         return self.cost(state).total
+
+    # ------------------------------------------------------------------
+    # Incremental transition pricing
+    # ------------------------------------------------------------------
+
+    def transition_cost(self, base: CostBreakdown, transition: "Transition") -> CostDelta:
+        """Price a transition's successor against its base breakdown.
+
+        Only the views/plans named by the transition's
+        :class:`~repro.selection.state.StateDelta` can miss the memo —
+        every untouched component is shared by identity with the base
+        state and answers from the id fast path. ``breakdown`` is the
+        successor's exact cost; the component fields are the differences
+        against ``base`` (float subtraction of two exact sums).
+        """
+        before_views = self.counters["view_misses"]
+        before_plans = self.counters["plan_misses"]
+        breakdown = self.cost(transition.result)
+        return CostDelta(
+            breakdown=breakdown,
+            vso=breakdown.vso - base.vso,
+            rec=breakdown.rec - base.rec,
+            vmc=breakdown.vmc - base.vmc,
+            total=breakdown.total - base.total,
+            repriced_views=self.counters["view_misses"] - before_views,
+            repriced_plans=self.counters["plan_misses"] - before_plans,
+        )
+
+
+def price_states(cost_model: CostModel, states: list[State]) -> list[CostBreakdown]:
+    """Price a batch of states — the unit of parallel frontier work.
+
+    Module-level and pure so a forked worker can run it over a pickled
+    model copy; :meth:`CostModel.__reduce__` ships the copy with cold
+    memos, and cold-vs-warm pricing is bitwise identical by design, so
+    parallel evaluation returns exactly the serial results.
+    """
+    return [cost_model.cost(state) for state in states]
 
 
 def calibrate_maintenance_weight(

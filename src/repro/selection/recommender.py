@@ -36,6 +36,7 @@ from repro.rdf.store import TripleStore
 from repro.selection.costs import CostModel, CostWeights
 from repro.selection.materialize import answer_query, materialize_views
 from repro.selection.search import (
+    STRATEGY_FACTORIES,
     SearchBudget,
     SearchResult,
     descent_search,
@@ -43,11 +44,15 @@ from repro.selection.search import (
     exhaustive_naive_search,
     exhaustive_stratified_search,
     greedy_stratified_search,
+    run_search,
 )
 from repro.selection.state import State, ViewNamer, initial_state
 from repro.selection.statistics import ReformulationAwareStatistics, StoreStatistics
 from repro.selection.transitions import TransitionEnumerator
 
+#: Historical name -> search-function map, kept for the public API; the
+#: names are exactly the keys of the strategy registry the selector
+#: validates against and ``run_search`` resolves with.
 STRATEGIES: dict[str, Callable] = {
     "dfs": dfs_search,
     "descent": descent_search,
@@ -55,6 +60,7 @@ STRATEGIES: dict[str, Callable] = {
     "exnaive": exhaustive_naive_search,
     "exstr": exhaustive_stratified_search,
 }
+assert STRATEGIES.keys() == STRATEGY_FACTORIES.keys()
 
 ENTAILMENT_MODES = ("none", "saturation", "pre_reformulation", "post_reformulation")
 
@@ -144,9 +150,13 @@ class ViewSelector:
         vb_mode: str = "disjoint",
         use_avf: bool = True,
         use_stopvar: bool = True,
+        workers: int = 1,
     ) -> None:
-        if strategy not in STRATEGIES:
-            raise ValueError(f"unknown strategy {strategy!r}; pick from {sorted(STRATEGIES)}")
+        if strategy not in STRATEGY_FACTORIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; "
+                f"pick from {sorted(STRATEGY_FACTORIES)}"
+            )
         if entailment not in ENTAILMENT_MODES:
             raise ValueError(
                 f"unknown entailment mode {entailment!r}; pick from {ENTAILMENT_MODES}"
@@ -162,6 +172,7 @@ class ViewSelector:
         self.vb_mode = vb_mode
         self.use_avf = use_avf
         self.use_stopvar = use_stopvar
+        self.workers = workers
 
     def _statistics(self):
         if self.entailment == "post_reformulation":
@@ -189,14 +200,15 @@ class ViewSelector:
         statistics = self._statistics()
         cost_model = CostModel(statistics, self.weights)
         start = self._initial_state(queries, namer)
-        search = STRATEGIES[self.strategy]
-        result = search(
+        result = run_search(
             start,
             cost_model,
+            self.strategy,
             enumerator=enumerator,
             budget=self.budget,
             use_avf=self.use_avf,
             use_stopvar=self.use_stopvar,
+            workers=self.workers,
         )
         return Recommendation(
             state=result.best_state,

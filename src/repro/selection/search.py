@@ -1,17 +1,31 @@
-"""Search strategies over the space of candidate view sets (Section 5).
+"""The unified view-selection search core (Section 5).
 
-Implemented strategies:
+One driver owns *all* run bookkeeping — budget, stop conditions,
+duplicate detection, best-state tracking, the Figure-5 accounting and
+the Figure-7 cost trace — and every strategy of the paper is a thin
+policy object on top of it:
 
-* :func:`exhaustive_naive_search` — EXNAÏVE (Algorithm 2): any transition
-  on any candidate state, duplicate states detected by canonical keys.
-* :func:`exhaustive_stratified_search` — EXSTR: like EXNAÏVE but every
-  path respects the stratification ``VB* SC* JC* VF*`` (Definition 5.3),
-  which provably never applies more transitions (Theorem 5.3).
-* :func:`dfs_search` — DFS: stratified depth-first exploration; the
-  candidate set stays small, which is the paper's answer to the memory
-  blow-ups of the relational strategies.
-* :func:`greedy_stratified_search` — GSTR: exhausts each stratum but
-  keeps only the best state between strata.
+========  =============================  ===================================
+name      frontier policy                stratum policy
+========  =============================  ===================================
+exnaive   round-robin, lazy candidates   none — any transition anywhere
+exstr     round-robin, lazy candidates   resume at the creating stratum
+dfs       cost-ordered stack             resume at the creating stratum
+gstr      per-stratum stack, keep best   one stratum at a time, fresh dedup
+descent   per-view work queue            first improving JC/VB/SC move
+========  =============================  ===================================
+
+The split is the :class:`SearchStrategy` protocol: a strategy decides
+*which* state to look at next and *which* transition kinds apply from
+it, and routes every created successor through the core's
+:meth:`SearchCore.consider` / :meth:`SearchCore.complete` pair — so
+budget, stoptt/stopvar, dedup and best-state accounting live in exactly
+one place. ``complete`` prices whole waves of surviving successors at
+once, through the incremental :class:`~repro.selection.costs.CostModel`
+serially or, with ``workers > 1``, fanned out over the cached fork pool
+of :mod:`repro.engine.parallel` (states in a wave are independent, and
+cold-cache pricing is bitwise equal to warm-cache pricing, so parallel
+results are identical to serial ones).
 
 Options shared by all strategies:
 
@@ -24,18 +38,21 @@ Options shared by all strategies:
   stop condition satisfied by the initial state is disabled, as the
   paper requires.
 
-Every search returns a :class:`SearchResult` with the Figure-5 state
-accounting (created / duplicates / discarded / explored) and the
-Figure-7 cost-over-time trace.
+The historical entry points (:func:`dfs_search`,
+:func:`exhaustive_naive_search`, :func:`exhaustive_stratified_search`,
+:func:`greedy_stratified_search`, :func:`descent_search`) are thin
+wrappers over :func:`run_search` and behave exactly as before.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.query.cq import ConjunctiveQuery, Variable
-from repro.selection.costs import CostModel
+from repro.selection.costs import CostBreakdown, CostModel, price_states
 from repro.selection.state import State
 from repro.selection.transitions import (
     STRATIFIED_ORDER,
@@ -43,6 +60,10 @@ from repro.selection.transitions import (
     TransitionEnumerator,
     TransitionKind,
 )
+
+#: Waves smaller than this are always priced in-process: pool dispatch
+#: plus state pickling costs more than pricing a handful of states.
+MIN_PARALLEL_FRONTIER = 8
 
 
 @dataclass(frozen=True, slots=True)
@@ -80,6 +101,7 @@ class SearchResult:
     runtime: float
     cost_history: list[tuple[float, float]] = field(default_factory=list)
     completed: bool = True
+    strategy: str = ""
 
     @property
     def rcr(self) -> float:
@@ -109,77 +131,8 @@ def view_is_all_variables(view: ConjunctiveQuery) -> bool:
     return not view.constants()
 
 
-class _Run:
-    """Shared bookkeeping for one search run."""
-
-    def __init__(
-        self,
-        initial: State,
-        cost_model: CostModel,
-        budget: SearchBudget,
-        use_stoptt: bool,
-        use_stopvar: bool,
-    ) -> None:
-        self.cost_model = cost_model
-        self.budget = budget
-        self.stats = SearchStats()
-        self.started = time.perf_counter()
-        self.initial_cost = cost_model.total_cost(initial)
-        self.best_state = initial
-        self.best_cost = self.initial_cost
-        self.cost_history: list[tuple[float, float]] = [(0.0, self.initial_cost)]
-        self.completed = True
-        # Stop conditions satisfied by S0 are disabled (Section 5.2).
-        self.use_stoptt = use_stoptt and not any(
-            view_is_triple_table(v) for v in initial.views
-        )
-        self.use_stopvar = use_stopvar and not any(
-            view_is_all_variables(v) for v in initial.views
-        )
-
-    def elapsed(self) -> float:
-        return time.perf_counter() - self.started
-
-    def out_of_budget(self) -> bool:
-        budget = self.budget
-        if budget.time_limit is not None and self.elapsed() > budget.time_limit:
-            self.completed = False
-            return True
-        if budget.max_states is not None and self.stats.created > budget.max_states:
-            self.completed = False
-            return True
-        return False
-
-    def rejected(self, state: State) -> bool:
-        """Apply the stoptt / stopvar stop conditions."""
-        if self.use_stoptt and any(view_is_triple_table(v) for v in state.views):
-            return True
-        if self.use_stopvar and any(view_is_all_variables(v) for v in state.views):
-            return True
-        return False
-
-    def offer(self, state: State) -> None:
-        """Record a (kept) state as a candidate best."""
-        cost = self.cost_model.total_cost(state)
-        if cost < self.best_cost:
-            self.best_cost = cost
-            self.best_state = state
-            self.cost_history.append((self.elapsed(), cost))
-
-    def result(self) -> SearchResult:
-        return SearchResult(
-            best_state=self.best_state,
-            best_cost=self.best_cost,
-            initial_cost=self.initial_cost,
-            stats=self.stats,
-            runtime=self.elapsed(),
-            cost_history=self.cost_history,
-            completed=self.completed,
-        )
-
-
 def avf_closure(
-    state: State, enumerator: TransitionEnumerator, run: _Run | None = None
+    state: State, enumerator: TransitionEnumerator, run: "SearchCore | None" = None
 ) -> State:
     """Aggressive View Fusion: fuse until no two views are isomorphic.
 
@@ -203,172 +156,342 @@ def avf_closure(
 _KIND_INDEX = {kind: index for index, kind in enumerate(STRATIFIED_ORDER)}
 
 
-def dfs_search(
-    initial: State,
-    cost_model: CostModel,
-    enumerator: TransitionEnumerator | None = None,
-    budget: SearchBudget | None = None,
-    use_avf: bool = True,
-    use_stoptt: bool = True,
-    use_stopvar: bool = True,
-) -> SearchResult:
-    """Stratified depth-first search (DFS, Section 5.2)."""
-    enumerator = enumerator or TransitionEnumerator()
-    budget = budget or SearchBudget()
-    run = _Run(initial, cost_model, budget, use_stoptt, use_stopvar)
-    seen: set[tuple] = {initial.key}
-    # Each entry: (state, minimum stratum index allowed from here).
-    stack: list[tuple[State, int]] = [(initial, 0)]
-    while stack:
-        if run.out_of_budget():
-            break
-        state, stage = stack.pop()
-        run.stats.explored += 1
-        pending: list[tuple[float, State, int]] = []
-        aborted = False
-        for kind_index in range(stage, len(STRATIFIED_ORDER)):
-            kind = STRATIFIED_ORDER[kind_index]
-            for transition in enumerator.transitions(state, [kind]):
-                run.stats.created += 1
-                run.stats.transitions += 1
-                successor = transition.result
-                if use_avf and kind is not TransitionKind.VF:
-                    successor = avf_closure(successor, enumerator, run)
-                if successor.key in seen:
-                    run.stats.duplicates += 1
-                    continue
-                seen.add(successor.key)
-                if run.rejected(successor):
-                    run.stats.discarded += 1
-                    continue
-                run.offer(successor)
-                pending.append(
-                    (cost_model.total_cost(successor), successor, kind_index)
+@dataclass(slots=True)
+class SearchNode:
+    """One frontier entry: a state, its exact cost, and the minimum
+    stratum index still applicable from it (stratified strategies)."""
+
+    state: State
+    breakdown: CostBreakdown
+    stage: int = 0
+
+    @property
+    def cost(self) -> float:
+        return self.breakdown.total
+
+
+class SearchCore:
+    """Shared bookkeeping and successor accounting for one search run.
+
+    Strategies create successors in two steps: :meth:`consider` applies
+    the per-successor accounting (created / AVF closure / duplicate /
+    stop-condition) and returns the surviving state or ``None``;
+    :meth:`complete` prices a wave of survivors (serially, or on the
+    fork pool with ``workers > 1``), offers each as a candidate best,
+    and wraps them into :class:`SearchNode` entries.
+    """
+
+    def __init__(
+        self,
+        initial: State,
+        cost_model: CostModel,
+        enumerator: TransitionEnumerator,
+        budget: SearchBudget,
+        use_avf: bool,
+        use_stoptt: bool,
+        use_stopvar: bool,
+        workers: int = 1,
+    ) -> None:
+        self.cost_model = cost_model
+        self.enumerator = enumerator
+        self.budget = budget
+        self.use_avf = use_avf
+        self.workers = max(1, workers)
+        self.stats = SearchStats()
+        self.started = time.perf_counter()
+        self.initial_breakdown = cost_model.cost(initial)
+        self.initial_cost = self.initial_breakdown.total
+        self.best_state = initial
+        self.best_cost = self.initial_cost
+        self.cost_history: list[tuple[float, float]] = [(0.0, self.initial_cost)]
+        self.completed = True
+        # Stop conditions satisfied by S0 are disabled (Section 5.2).
+        self.use_stoptt = use_stoptt and not any(
+            view_is_triple_table(v) for v in initial.views
+        )
+        self.use_stopvar = use_stopvar and not any(
+            view_is_all_variables(v) for v in initial.views
+        )
+        self.seen: set[tuple] = {initial.key}
+        self.root = SearchNode(initial, self.initial_breakdown, 0)
+
+    # -- run bookkeeping ------------------------------------------------
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started
+
+    def out_of_budget(self) -> bool:
+        budget = self.budget
+        if budget.time_limit is not None and self.elapsed() > budget.time_limit:
+            self.completed = False
+            return True
+        if budget.max_states is not None and self.stats.created > budget.max_states:
+            self.completed = False
+            return True
+        return False
+
+    def rejected(self, state: State) -> bool:
+        """Apply the stoptt / stopvar stop conditions."""
+        if self.use_stoptt and any(view_is_triple_table(v) for v in state.views):
+            return True
+        if self.use_stopvar and any(view_is_all_variables(v) for v in state.views):
+            return True
+        return False
+
+    def offer(self, state: State, cost: float) -> None:
+        """Record a (kept) state as a candidate best."""
+        if cost < self.best_cost:
+            self.best_cost = cost
+            self.best_state = state
+            self.cost_history.append((self.elapsed(), cost))
+
+    def mark_explored(self, count: int = 1) -> None:
+        """A strategy finished expanding ``count`` states."""
+        self.stats.explored += count
+
+    def discard(self, count: int = 1) -> None:
+        """A strategy dropped ``count`` states it will not pursue
+        (e.g. GSTR keeping only a stratum's best)."""
+        self.stats.discarded += count
+
+    def reset_dedup(self, *keys: tuple) -> None:
+        """Restart duplicate detection from the given state keys (GSTR
+        dedups per stratum, as in the paper)."""
+        self.seen = set(keys)
+
+    # -- successor pipeline ---------------------------------------------
+
+    def consider(self, transition: Transition) -> State | None:
+        """Account one created transition; returns the surviving state.
+
+        Applies, in order: creation accounting, aggressive view fusion
+        (never after a VF — the closure already is one), duplicate
+        detection on canonical state keys, and the stoptt/stopvar stop
+        conditions. ``None`` means the successor was consumed by the
+        accounting (duplicate or discarded).
+        """
+        self.stats.created += 1
+        self.stats.transitions += 1
+        successor = transition.result
+        if self.use_avf and transition.kind is not TransitionKind.VF:
+            successor = avf_closure(successor, self.enumerator, self)
+        if successor.key in self.seen:
+            self.stats.duplicates += 1
+            return None
+        self.seen.add(successor.key)
+        if self.rejected(successor):
+            self.stats.discarded += 1
+            return None
+        return successor
+
+    def price_frontier(self, states: Sequence[State]) -> list[CostBreakdown]:
+        """Exact breakdowns for a wave of independent states.
+
+        Serial by default; with ``workers > 1`` and a large enough wave
+        the states are priced on the cached fork pool. Cold-cache
+        pricing is bitwise identical to warm-cache pricing (the cost
+        model's contract), so both paths return the same floats.
+        """
+        if self.workers > 1 and len(states) >= MIN_PARALLEL_FRONTIER:
+            try:
+                from repro.engine.parallel import map_chunks
+
+                chunk = (len(states) + self.workers - 1) // self.workers
+                chunks = [
+                    list(states[start : start + chunk])
+                    for start in range(0, len(states), chunk)
+                ]
+                results = map_chunks(
+                    price_states, self.cost_model, chunks, self.workers
                 )
-                if run.out_of_budget():
-                    aborted = True
+                return [breakdown for batch in results for breakdown in batch]
+            except Exception:
+                # Unpicklable statistics provider or a broken pool:
+                # fall back to the (identical) serial pricing, and stop
+                # retrying the pool — the failure is per-run, not
+                # per-wave.
+                self.workers = 1
+        return [self.cost_model.cost(state) for state in states]
+
+    def complete(
+        self, states: Sequence[State], stages: Sequence[int] | None = None
+    ) -> list[SearchNode]:
+        """Price a wave of surviving successors and offer each."""
+        if not states:
+            return []
+        breakdowns = self.price_frontier(states)
+        nodes = []
+        for index, (state, breakdown) in enumerate(zip(states, breakdowns)):
+            self.offer(state, breakdown.total)
+            stage = stages[index] if stages is not None else 0
+            nodes.append(SearchNode(state, breakdown, stage))
+        return nodes
+
+    def expand(
+        self, node: SearchNode, kinds: Sequence[TransitionKind]
+    ) -> Iterator[State]:
+        """Surviving successors of one state under the given kinds."""
+        for transition in self.enumerator.transitions(node.state, kinds):
+            survivor = self.consider(transition)
+            if survivor is not None:
+                yield survivor
+            if self.out_of_budget():
+                return
+
+    def result(self, strategy: str = "") -> SearchResult:
+        return SearchResult(
+            best_state=self.best_state,
+            best_cost=self.best_cost,
+            initial_cost=self.initial_cost,
+            stats=self.stats,
+            runtime=self.elapsed(),
+            cost_history=self.cost_history,
+            completed=self.completed,
+            strategy=strategy,
+        )
+
+
+@runtime_checkable
+class SearchStrategy(Protocol):
+    """A search strategy: a frontier policy over the core's primitives.
+
+    ``run`` drives the whole exploration through
+    :meth:`SearchCore.consider` / :meth:`SearchCore.complete` /
+    :meth:`SearchCore.expand`; it must check
+    :meth:`SearchCore.out_of_budget` between expansions. The stratum
+    policy is the strategy's choice of transition kinds per frontier
+    entry (most use :data:`STRATIFIED_ORDER` suffixes via
+    ``SearchNode.stage``).
+    """
+
+    name: str
+
+    def run(self, core: SearchCore) -> None:
+        """Explore until exhaustion or budget."""
+
+
+class ExhaustiveStrategy:
+    """EXNAÏVE / EXSTR (Algorithm 2): round-robin over lazy candidates.
+
+    Every candidate state keeps a lazy transition iterator; one round
+    advances each candidate by one surviving successor, the round's
+    survivors are priced as one wave, and exhausted candidates move to
+    the explored count. With ``stratified=True`` every path respects the
+    ``VB* SC* JC* VF*`` order of Definition 5.3 (Theorem 5.3: never more
+    transitions than EXNAÏVE).
+    """
+
+    def __init__(self, stratified: bool) -> None:
+        self.stratified = stratified
+        self.name = "exstr" if stratified else "exnaive"
+
+    def _iterator(self, core: SearchCore, node: SearchNode):
+        kinds = (
+            STRATIFIED_ORDER[node.stage :] if self.stratified else STRATIFIED_ORDER
+        )
+        return core.enumerator.transitions(node.state, kinds)
+
+    def run(self, core: SearchCore) -> None:
+        candidates: list = [(core.root, self._iterator(core, core.root))]
+        while candidates:
+            if core.out_of_budget():
+                break
+            progressed = False
+            wave: list[State] = []
+            wave_stages: list[int] = []
+            for position in range(len(candidates)):
+                if core.out_of_budget():
                     break
-            if aborted:
+                node, iterator = candidates[position]
+                advanced = False
+                for transition in iterator:  # resume where we left off
+                    stage = _KIND_INDEX[transition.kind] if self.stratified else 0
+                    survivor = core.consider(transition)
+                    if survivor is None:
+                        continue
+                    wave.append(survivor)
+                    wave_stages.append(stage)
+                    advanced = True
+                    break
+                if not advanced:
+                    candidates[position] = None
+                    core.mark_explored()
+                else:
+                    progressed = True
+            for successor in core.complete(wave, wave_stages):
+                candidates.append((successor, self._iterator(core, successor)))
+            candidates = [entry for entry in candidates if entry is not None]
+            if not progressed and not candidates:
                 break
-        # Expand the cheapest successor first (the stack pops from the
-        # end): under a stoptime condition, cost-guided depth-first
-        # descent reaches low-cost regions long before plain DFS order.
-        pending.sort(key=lambda entry: -entry[0])
-        stack.extend((state, stage) for _, state, stage in pending)
-    return run.result()
 
 
-def exhaustive_naive_search(
-    initial: State,
-    cost_model: CostModel,
-    enumerator: TransitionEnumerator | None = None,
-    budget: SearchBudget | None = None,
-    use_avf: bool = False,
-    use_stoptt: bool = True,
-    use_stopvar: bool = False,
-) -> SearchResult:
-    """EXNAÏVE (Algorithm 2): unordered transitions, CS/ES bookkeeping."""
-    return _exhaustive(
-        initial, cost_model, enumerator, budget, stratified=False,
-        use_avf=use_avf, use_stoptt=use_stoptt, use_stopvar=use_stopvar,
-    )
+class DfsStrategy:
+    """Stratified depth-first search (DFS, Section 5.2).
 
+    Expands one state fully (all strata from its stage on), prices the
+    survivors as one wave, and pushes them cheapest-last so the stack
+    pops the cheapest successor first — under a stoptime condition,
+    cost-guided descent reaches low-cost regions long before plain DFS
+    order.
+    """
 
-def exhaustive_stratified_search(
-    initial: State,
-    cost_model: CostModel,
-    enumerator: TransitionEnumerator | None = None,
-    budget: SearchBudget | None = None,
-    use_avf: bool = False,
-    use_stoptt: bool = True,
-    use_stopvar: bool = False,
-) -> SearchResult:
-    """EXSTR: exhaustive search along stratified paths only."""
-    return _exhaustive(
-        initial, cost_model, enumerator, budget, stratified=True,
-        use_avf=use_avf, use_stoptt=use_stoptt, use_stopvar=use_stopvar,
-    )
+    name = "dfs"
 
-
-def _exhaustive(
-    initial: State,
-    cost_model: CostModel,
-    enumerator: TransitionEnumerator | None,
-    budget: SearchBudget | None,
-    stratified: bool,
-    use_avf: bool,
-    use_stoptt: bool,
-    use_stopvar: bool,
-) -> SearchResult:
-    enumerator = enumerator or TransitionEnumerator()
-    budget = budget or SearchBudget()
-    run = _Run(initial, cost_model, budget, use_stoptt, use_stopvar)
-    seen: set[tuple] = {initial.key}
-    # Candidate states carry a lazy transition iterator; exhausted
-    # candidates move to the explored set (only counted, not stored).
-    candidates: list[tuple[State, object]] = []
-
-    def make_iterator(state: State, stage: int):
-        kinds = STRATIFIED_ORDER[stage:] if stratified else STRATIFIED_ORDER
-        return enumerator.transitions(state, kinds)
-
-    def stage_of(transition: Transition) -> int:
-        return _KIND_INDEX[transition.kind] if stratified else 0
-
-    candidates.append((initial, make_iterator(initial, 0)))
-    while candidates:
-        if run.out_of_budget():
-            break
-        progressed = False
-        for position in range(len(candidates)):
-            if run.out_of_budget():
+    def run(self, core: SearchCore) -> None:
+        stack: list[SearchNode] = [core.root]
+        while stack:
+            if core.out_of_budget():
                 break
-            state, iterator = candidates[position]
-            advanced = False
-            for transition in iterator:  # resume where we left off
-                run.stats.created += 1
-                run.stats.transitions += 1
-                successor = transition.result
-                if use_avf and transition.kind is not TransitionKind.VF:
-                    successor = avf_closure(successor, enumerator, run)
-                if successor.key in seen:
-                    run.stats.duplicates += 1
-                    continue
-                seen.add(successor.key)
-                if run.rejected(successor):
-                    run.stats.discarded += 1
-                    continue
-                run.offer(successor)
-                candidates.append(
-                    (successor, make_iterator(successor, stage_of(transition)))
-                )
-                advanced = True
+            node = stack.pop()
+            core.mark_explored()
+            wave: list[State] = []
+            wave_stages: list[int] = []
+            for kind_index in range(node.stage, len(STRATIFIED_ORDER)):
+                kind = STRATIFIED_ORDER[kind_index]
+                for survivor in core.expand(node, [kind]):
+                    wave.append(survivor)
+                    wave_stages.append(kind_index)
+                if core.out_of_budget():
+                    break
+            pending = core.complete(wave, wave_stages)
+            pending.sort(key=lambda entry: -entry.cost)
+            stack.extend(pending)
+
+
+class GreedyStratifiedStrategy:
+    """GSTR: exhaust each stratum, keep only the best state in between.
+
+    Duplicate detection restarts per stratum (the paper's CS/ES sets are
+    per phase); every state but the stratum's best is discarded.
+    """
+
+    name = "gstr"
+
+    def run(self, core: SearchCore) -> None:
+        current = core.root
+        for kind in STRATIFIED_ORDER:
+            core.reset_dedup(current.state.key)
+            stack = [current]
+            stratum_best = current
+            while stack:
+                if core.out_of_budget():
+                    break
+                node = stack.pop()
+                core.mark_explored()
+                wave = list(core.expand(node, [kind]))
+                successors = core.complete(wave)
+                for successor in successors:
+                    if successor.cost < stratum_best.cost:
+                        stratum_best = successor
+                stack.extend(successors)
+            # All states but the stratum best are discarded (GSTR).
+            core.discard(max(0, len(core.seen) - 1))
+            current = stratum_best
+            if core.out_of_budget():
                 break
-            if not advanced:
-                candidates[position] = None  # type: ignore[assignment]
-                run.stats.explored += 1
-            else:
-                progressed = True
-        candidates = [entry for entry in candidates if entry is not None]
-        if not progressed and not candidates:
-            break
-    return run.result()
 
 
-def descent_search(
-    initial: State,
-    cost_model: CostModel,
-    enumerator: TransitionEnumerator | None = None,
-    budget: SearchBudget | None = None,
-    use_avf: bool = True,
-    use_stoptt: bool = True,
-    use_stopvar: bool = True,
-    kinds: tuple[TransitionKind, ...] = (
-        TransitionKind.JC,
-        TransitionKind.VB,
-        TransitionKind.SC,
-    ),
-) -> SearchResult:
+class DescentStrategy:
     """First-improvement stratified descent — the large-workload scaling
     mode of DFS.
 
@@ -390,21 +513,26 @@ def descent_search(
     candidates rather than a full state expansion. Like GSTR, this
     strategy trades the completeness guarantee for throughput.
     """
-    from collections import deque
 
-    enumerator = enumerator or TransitionEnumerator()
-    budget = budget or SearchBudget()
-    run = _Run(initial, cost_model, budget, use_stoptt, use_stopvar)
-    seen: set[tuple] = {initial.key}
-    current = avf_closure(initial, enumerator, run) if use_avf else initial
-    current_cost = cost_model.total_cost(current)
-    if current is not initial:
-        run.offer(current)
+    name = "descent"
 
-    def view_candidates(state: State, view_name: str):
+    def __init__(
+        self,
+        kinds: tuple[TransitionKind, ...] = (
+            TransitionKind.JC,
+            TransitionKind.VB,
+            TransitionKind.SC,
+        ),
+    ) -> None:
+        self.kinds = kinds
+
+    def _view_candidates(
+        self, core: SearchCore, state: State, view_name: str
+    ) -> Iterator[Transition]:
         """Lazily yield this view's transitions, in the ``kinds`` order."""
+        enumerator = core.enumerator
         view = state.view(view_name)
-        for kind in kinds:
+        for kind in self.kinds:
             if kind is TransitionKind.JC:
                 for atom_index, attribute in enumerator.jc_candidates(view):
                     yield enumerator.apply_jc(state, view_name, atom_index, attribute)
@@ -415,48 +543,151 @@ def descent_search(
                 for atom_index, attribute, _ in enumerator.sc_candidates(view):
                     yield enumerator.apply_sc(state, view_name, atom_index, attribute)
 
-    queue = deque(view.name for view in current.views)
-    queued = set(queue)
-    while queue and not run.out_of_budget():
-        view_name = queue.popleft()
-        queued.discard(view_name)
-        if not any(view.name == view_name for view in current.views):
-            continue  # the view was fused away in the meantime
-        improved = False
-        for transition in view_candidates(current, view_name):
-            run.stats.created += 1
-            run.stats.transitions += 1
-            successor = transition.result
-            if use_avf:
-                successor = avf_closure(successor, enumerator, run)
-            if successor.key in seen:
-                run.stats.duplicates += 1
-                continue
-            seen.add(successor.key)
-            if run.rejected(successor):
-                run.stats.discarded += 1
-                continue
-            cost = cost_model.total_cost(successor)
-            if cost < current_cost:
-                run.offer(successor)
-                old_names = {view.name for view in current.views}
-                current, current_cost = successor, cost
-                run.stats.explored += 1
-                improved = True
-                for view in current.views:
-                    if view.name not in old_names and view.name not in queued:
-                        queue.append(view.name)
-                        queued.add(view.name)
-                break
-            run.stats.discarded += 1
-            if run.out_of_budget():
-                break
-        if improved and view_name not in queued:
-            # The view may have survived (e.g. a sibling was split off);
-            # give it another chance later.
-            queue.append(view_name)
-            queued.add(view_name)
-    return run.result()
+    def run(self, core: SearchCore) -> None:
+        current = core.root
+        if core.use_avf:
+            fused = avf_closure(current.state, core.enumerator, core)
+            if fused is not current.state:
+                core.seen.add(fused.key)
+                current = core.complete([fused])[0]
+
+        queue = deque(view.name for view in current.state.views)
+        queued = set(queue)
+        while queue and not core.out_of_budget():
+            view_name = queue.popleft()
+            queued.discard(view_name)
+            if not any(view.name == view_name for view in current.state.views):
+                continue  # the view was fused away in the meantime
+            improved = False
+            for transition in self._view_candidates(core, current.state, view_name):
+                survivor = core.consider(transition)
+                if survivor is None:
+                    continue
+                successor = core.complete([survivor])[0]
+                if successor.cost < current.cost:
+                    old_names = {view.name for view in current.state.views}
+                    current = successor
+                    core.mark_explored()
+                    improved = True
+                    for view in current.state.views:
+                        if view.name not in old_names and view.name not in queued:
+                            queue.append(view.name)
+                            queued.add(view.name)
+                    break
+                core.discard()
+                if core.out_of_budget():
+                    break
+            if improved and view_name not in queued:
+                # The view may have survived (e.g. a sibling was split
+                # off); give it another chance later.
+                queue.append(view_name)
+                queued.add(view_name)
+
+
+#: Strategy factories by name — the registry the recommender and the CLI
+#: resolve ``--strategy`` against.
+STRATEGY_FACTORIES: dict[str, Callable[[], SearchStrategy]] = {
+    "exnaive": lambda: ExhaustiveStrategy(stratified=False),
+    "exstr": lambda: ExhaustiveStrategy(stratified=True),
+    "dfs": DfsStrategy,
+    "gstr": GreedyStratifiedStrategy,
+    "descent": DescentStrategy,
+}
+
+
+def run_search(
+    initial: State,
+    cost_model: CostModel,
+    strategy: SearchStrategy | str,
+    enumerator: TransitionEnumerator | None = None,
+    budget: SearchBudget | None = None,
+    use_avf: bool = True,
+    use_stoptt: bool = True,
+    use_stopvar: bool = True,
+    workers: int = 1,
+) -> SearchResult:
+    """Run one search strategy through the unified core."""
+    if isinstance(strategy, str):
+        try:
+            strategy = STRATEGY_FACTORIES[strategy]()
+        except KeyError:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; "
+                f"pick from {sorted(STRATEGY_FACTORIES)}"
+            ) from None
+    core = SearchCore(
+        initial,
+        cost_model,
+        enumerator or TransitionEnumerator(),
+        budget or SearchBudget(),
+        use_avf=use_avf,
+        use_stoptt=use_stoptt,
+        use_stopvar=use_stopvar,
+        workers=workers,
+    )
+    strategy.run(core)
+    return core.result(strategy.name)
+
+
+# ----------------------------------------------------------------------
+# Historical entry points (thin wrappers, unchanged signatures)
+# ----------------------------------------------------------------------
+
+
+def dfs_search(
+    initial: State,
+    cost_model: CostModel,
+    enumerator: TransitionEnumerator | None = None,
+    budget: SearchBudget | None = None,
+    use_avf: bool = True,
+    use_stoptt: bool = True,
+    use_stopvar: bool = True,
+    workers: int = 1,
+) -> SearchResult:
+    """Stratified depth-first search (DFS, Section 5.2)."""
+    return run_search(
+        initial, cost_model, DfsStrategy(), enumerator, budget,
+        use_avf=use_avf, use_stoptt=use_stoptt, use_stopvar=use_stopvar,
+        workers=workers,
+    )
+
+
+def exhaustive_naive_search(
+    initial: State,
+    cost_model: CostModel,
+    enumerator: TransitionEnumerator | None = None,
+    budget: SearchBudget | None = None,
+    use_avf: bool = False,
+    use_stoptt: bool = True,
+    use_stopvar: bool = False,
+    workers: int = 1,
+) -> SearchResult:
+    """EXNAÏVE (Algorithm 2): unordered transitions, CS/ES bookkeeping."""
+    return run_search(
+        initial, cost_model, ExhaustiveStrategy(stratified=False),
+        enumerator, budget,
+        use_avf=use_avf, use_stoptt=use_stoptt, use_stopvar=use_stopvar,
+        workers=workers,
+    )
+
+
+def exhaustive_stratified_search(
+    initial: State,
+    cost_model: CostModel,
+    enumerator: TransitionEnumerator | None = None,
+    budget: SearchBudget | None = None,
+    use_avf: bool = False,
+    use_stoptt: bool = True,
+    use_stopvar: bool = False,
+    workers: int = 1,
+) -> SearchResult:
+    """EXSTR: exhaustive search along stratified paths only."""
+    return run_search(
+        initial, cost_model, ExhaustiveStrategy(stratified=True),
+        enumerator, budget,
+        use_avf=use_avf, use_stoptt=use_stoptt, use_stopvar=use_stopvar,
+        workers=workers,
+    )
 
 
 def greedy_stratified_search(
@@ -467,46 +698,34 @@ def greedy_stratified_search(
     use_avf: bool = True,
     use_stoptt: bool = True,
     use_stopvar: bool = True,
+    workers: int = 1,
 ) -> SearchResult:
     """GSTR: exhaust each stratum, keep only the best state in between."""
-    enumerator = enumerator or TransitionEnumerator()
-    budget = budget or SearchBudget()
-    run = _Run(initial, cost_model, budget, use_stoptt, use_stopvar)
-    current = initial
-    for kind in STRATIFIED_ORDER:
-        # Explore everything reachable from `current` using `kind` only.
-        seen: set[tuple] = {current.key}
-        stack = [current]
-        stratum_best = current
-        stratum_best_cost = run.cost_model.total_cost(current)
-        while stack:
-            if run.out_of_budget():
-                break
-            state = stack.pop()
-            run.stats.explored += 1
-            for transition in enumerator.transitions(state, [kind]):
-                run.stats.created += 1
-                run.stats.transitions += 1
-                successor = transition.result
-                if use_avf and kind is not TransitionKind.VF:
-                    successor = avf_closure(successor, enumerator, run)
-                if successor.key in seen:
-                    run.stats.duplicates += 1
-                    continue
-                seen.add(successor.key)
-                if run.rejected(successor):
-                    run.stats.discarded += 1
-                    continue
-                run.offer(successor)
-                cost = run.cost_model.total_cost(successor)
-                if cost < stratum_best_cost:
-                    stratum_best, stratum_best_cost = successor, cost
-                stack.append(successor)
-                if run.out_of_budget():
-                    break
-        # All states but the stratum best are discarded (GSTR).
-        run.stats.discarded += max(0, len(seen) - 1)
-        current = stratum_best
-        if run.out_of_budget():
-            break
-    return run.result()
+    return run_search(
+        initial, cost_model, GreedyStratifiedStrategy(), enumerator, budget,
+        use_avf=use_avf, use_stoptt=use_stoptt, use_stopvar=use_stopvar,
+        workers=workers,
+    )
+
+
+def descent_search(
+    initial: State,
+    cost_model: CostModel,
+    enumerator: TransitionEnumerator | None = None,
+    budget: SearchBudget | None = None,
+    use_avf: bool = True,
+    use_stoptt: bool = True,
+    use_stopvar: bool = True,
+    kinds: tuple[TransitionKind, ...] = (
+        TransitionKind.JC,
+        TransitionKind.VB,
+        TransitionKind.SC,
+    ),
+    workers: int = 1,
+) -> SearchResult:
+    """First-improvement stratified descent (see :class:`DescentStrategy`)."""
+    return run_search(
+        initial, cost_model, DescentStrategy(kinds), enumerator, budget,
+        use_avf=use_avf, use_stoptt=use_stoptt, use_stopvar=use_stopvar,
+        workers=workers,
+    )

@@ -74,15 +74,44 @@ class ViewNamer:
 #: tuples of deeply nested canonical encodings.
 _CANONICAL_TOKENS: dict[tuple, int] = {}
 
+#: Per-view-object token memo. Views are immutable and shared across many
+#: states, so after a view is tokenized once, every later state built
+#: around it gets its key component in O(1) — without even re-hashing the
+#: view (canonical_form's own memo still hashes the full query per call).
+_TOKEN_CACHE: dict[int, tuple[int, ConjunctiveQuery]] = {}
+
 
 def canonical_token(view: ConjunctiveQuery) -> int:
     """A small integer identifying the view's isomorphism class."""
+    cached = _TOKEN_CACHE.get(id(view))
+    if cached is not None and cached[1] is view:
+        return cached[0]
     form = canonical_form(view)
     token = _CANONICAL_TOKENS.get(form)
     if token is None:
         token = len(_CANONICAL_TOKENS)
         _CANONICAL_TOKENS[form] = token
+    if len(_TOKEN_CACHE) > 500_000:
+        _TOKEN_CACHE.clear()
+    _TOKEN_CACHE[id(view)] = (token, view)
     return token
+
+
+@dataclass(frozen=True, slots=True)
+class StateDelta:
+    """The structural difference one transition makes to a state.
+
+    ``removed``/``added`` are the view objects that left/entered the view
+    set; ``plan_changes`` pairs every rewriting-disjunct plan the symbol
+    substitution rewrote with its replacement (untouched disjuncts are
+    shared by identity and do not appear). This is exactly the
+    information an incremental cost model needs: every component of a
+    state's cost not named here is priced identically in both states.
+    """
+
+    removed: tuple[ConjunctiveQuery, ...]
+    added: tuple[ConjunctiveQuery, ...]
+    plan_changes: tuple[tuple[Plan, Plan], ...]
 
 
 @dataclass(frozen=True, eq=False)
@@ -132,11 +161,15 @@ class State:
     # ------------------------------------------------------------------
 
     def view(self, name: str) -> ConjunctiveQuery:
-        """The view carrying ``name``."""
-        for candidate in self.views:
-            if candidate.name == name:
-                return candidate
-        raise KeyError(f"no view named {name!r}")
+        """The view carrying ``name`` (O(1) after the first lookup)."""
+        by_name = self.__dict__.get("_views_by_name")
+        if by_name is None:
+            by_name = {candidate.name: candidate for candidate in self.views}
+            object.__setattr__(self, "_views_by_name", by_name)
+        try:
+            return by_name[name]
+        except KeyError:
+            raise KeyError(f"no view named {name!r}") from None
 
     def total_atoms(self) -> int:
         """Total number of atoms over all views."""
@@ -147,15 +180,19 @@ class State:
         removed: Sequence[str],
         added: Sequence[ConjunctiveQuery],
         substitute,
-    ) -> "State":
+    ) -> tuple["State", StateDelta]:
         """A new state with ``removed`` views replaced by ``added`` ones.
 
         ``substitute`` is a function Plan -> Plan applied to every
         rewriting disjunct plan (the transition's symbol substitution).
+        Returns the state together with the :class:`StateDelta` recording
+        exactly which views and disjunct plans changed.
         """
         removed_set = set(removed)
+        removed_views = tuple(v for v in self.views if v.name in removed_set)
         views = tuple(v for v in self.views if v.name not in removed_set) + tuple(added)
         rewritings = {}
+        plan_changes: list[tuple[Plan, Plan]] = []
         for query_name, rewriting in self.rewritings.items():
             disjuncts = []
             changed = False
@@ -167,9 +204,11 @@ class State:
                     disjuncts.append(
                         RewritingDisjunct(new_plan, disjunct.head_template)
                     )
+                    plan_changes.append((disjunct.plan, new_plan))
                     changed = True
             rewritings[query_name] = tuple(disjuncts) if changed else rewriting
-        return State(views, rewritings, validate=False)
+        delta = StateDelta(removed_views, tuple(added), tuple(plan_changes))
+        return State(views, rewritings, validate=False), delta
 
     def describe(self) -> str:
         """A readable multi-line rendering (views then rewritings)."""

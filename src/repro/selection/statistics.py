@@ -77,8 +77,19 @@ class ReformulationAwareStatistics:
         self._catalog = store.stats
         self._schema = schema
         self._cache: dict[tuple, int] = {}
+        self._cache_version = self._catalog.version
+
+    @property
+    def version(self) -> int:
+        """The store's mutation counter — lets downstream memos (the
+        shared estimator, the cost model's cross-state price caches)
+        detect staleness exactly like every other provider."""
+        return self._catalog.version
 
     def atom_count(self, atom) -> int:
+        if self._catalog.version != self._cache_version:
+            self._cache.clear()
+            self._cache_version = self._catalog.version
         pattern = _atom_pattern(atom)
         cached = self._cache.get(pattern)
         if cached is not None:

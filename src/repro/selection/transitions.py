@@ -50,7 +50,8 @@ from repro.query.cq import (
 )
 from repro.query.containment import find_isomorphism
 from repro.rdf.terms import Term
-from repro.selection.state import State, ViewNamer
+from repro.selection.state import State, StateDelta, ViewNamer
+from repro.selection.stategraph import view_adjacency
 
 
 class TransitionKind(Enum):
@@ -73,11 +74,17 @@ STRATIFIED_ORDER = (
 
 @dataclass(frozen=True)
 class Transition:
-    """One applied transition: its kind, a label, and the state reached."""
+    """One applied transition: its kind, a label, and the state reached.
+
+    ``delta`` records which views and rewriting plans the transition
+    actually touched (everything else is shared by identity with the
+    source state); the incremental cost model re-prices only the delta.
+    """
 
     kind: TransitionKind
     description: str
     result: State
+    delta: StateDelta | None = None
 
 
 def _scan(view: ConjunctiveQuery) -> Scan:
@@ -127,6 +134,25 @@ class TransitionEnumerator:
         self.namer = namer or ViewNamer()
         self.vb_mode = vb_mode
         self.max_vb_per_view = max_vb_per_view
+        # Per-view-object candidate memos. A view's applicable SC/JC/VB
+        # candidates depend only on the (immutable) view and this
+        # enumerator's configuration, and the same view object survives
+        # into thousands of states during a search — enumerating its
+        # candidates once per search instead of once per state visit is
+        # one of the larger wins of the incremental search core.
+        self._sc_cache: dict[int, tuple[list, ConjunctiveQuery]] = {}
+        self._jc_cache: dict[int, tuple[list, ConjunctiveQuery]] = {}
+        self._vb_cache: dict[int, tuple[list, ConjunctiveQuery]] = {}
+
+    def _memoized(self, cache: dict, view: ConjunctiveQuery, compute) -> list:
+        cached = cache.get(id(view))
+        if cached is not None and cached[1] is view:
+            return cached[0]
+        result = compute(view)
+        if len(cache) > 500_000:
+            cache.clear()
+        cache[id(view)] = (result, view)
+        return result
 
     # ------------------------------------------------------------------
     # Selection Cut
@@ -160,17 +186,19 @@ class TransitionEnumerator:
             query=view,
         )
         replacement: Plan = Project(selection, old_schema, query=view)
-        result = state.replace_views(
+        result, delta = state.replace_views(
             [view_name],
             [new_view],
             lambda plan: replace_scan(plan, view_name, replacement),
         )
         description = f"SC({view_name}.n{atom_index}.{attribute}={constant.n3()})"
-        return Transition(TransitionKind.SC, description, result)
+        return Transition(TransitionKind.SC, description, result, delta)
 
     def sc_candidates(self, view: ConjunctiveQuery) -> list[tuple[int, str, Term]]:
-        """All selection edges of a view."""
-        return view.constant_occurrences()
+        """All selection edges of a view (memoized per view object)."""
+        return self._memoized(
+            self._sc_cache, view, lambda v: v.constant_occurrences()
+        )
 
     # ------------------------------------------------------------------
     # Join Cut
@@ -221,12 +249,12 @@ class TransitionEnumerator:
                 query=view,
             )
             replacement: Plan = Project(selection, old_schema, query=view)
-            result = state.replace_views(
+            result, delta = state.replace_views(
                 [view_name],
                 [new_view],
                 lambda plan: replace_scan(plan, view_name, replacement),
             )
-            return Transition(TransitionKind.JC, description, result)
+            return Transition(TransitionKind.JC, description, result, delta)
         if len(components) != 2:
             raise AssertionError(
                 f"join cut split {view_name} into {len(components)} components"
@@ -261,26 +289,16 @@ class TransitionEnumerator:
             query=view,
         )
         replacement = Project(join, old_schema, query=view)
-        result = state.replace_views(
+        result, delta = state.replace_views(
             [view_name],
             [left_view, right_view],
             lambda plan: replace_scan(plan, view_name, replacement),
         )
-        return Transition(TransitionKind.JC, description, result)
+        return Transition(TransitionKind.JC, description, result, delta)
 
     def jc_candidates(self, view: ConjunctiveQuery) -> list[tuple[int, str]]:
         """All cuttable join-variable occurrences ``(atom index, attribute)``."""
-        counts: dict[Variable, int] = {}
-        for atom in view.atoms:
-            for term in atom:
-                if isinstance(term, Variable):
-                    counts[term] = counts.get(term, 0) + 1
-        candidates = []
-        for index, atom in enumerate(view.atoms):
-            for attribute, term in zip(ATTRIBUTES, atom):
-                if isinstance(term, Variable) and counts[term] >= 2:
-                    candidates.append((index, attribute))
-        return candidates
+        return self._memoized(self._jc_cache, view, _jc_candidates)
 
     # ------------------------------------------------------------------
     # View Break
@@ -330,22 +348,27 @@ class TransitionEnumerator:
         old_schema = tuple(term.name for term in view.head)
         join = Join(_scan(left_view), _scan(right_view), query=view)
         replacement = Project(join, old_schema, query=view)
-        result = state.replace_views(
+        result, delta = state.replace_views(
             [view_name],
             [left_view, right_view],
             lambda plan: replace_scan(plan, view_name, replacement),
         )
         description = f"VB({view_name}:{sorted(set1)}|{sorted(set2)})"
-        return Transition(TransitionKind.VB, description, result)
+        return Transition(TransitionKind.VB, description, result, delta)
 
     def vb_candidates(
         self, view: ConjunctiveQuery
     ) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
-        """Candidate (part1, part2) splits for a view (capped)."""
+        """Candidate (part1, part2) splits for a view (memoized, capped)."""
+        return self._memoized(self._vb_cache, view, self._vb_candidates)
+
+    def _vb_candidates(
+        self, view: ConjunctiveQuery
+    ) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
         n = len(view.atoms)
         if n <= 2:
             return []
-        adjacency = _adjacency(view)
+        adjacency = view_adjacency(view)
         connected = _connected_subsets(n, adjacency)
         candidates: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
         all_atoms = frozenset(range(n))
@@ -412,9 +435,9 @@ class TransitionEnumerator:
             plan = replace_scan(plan, name1, replacement1)
             return replace_scan(plan, name2, replacement2)
 
-        result = state.replace_views([name1, name2], [fused], substitute)
+        result, delta = state.replace_views([name1, name2], [fused], substitute)
         description = f"VF({name1},{name2})"
-        return Transition(TransitionKind.VF, description, result)
+        return Transition(TransitionKind.VF, description, result, delta)
 
     def vf_candidates(self, state: State) -> list[tuple[str, str]]:
         """Pairs of views with isomorphic bodies, cheap filters first."""
@@ -485,12 +508,18 @@ def _body_signature(view: ConjunctiveQuery) -> tuple:
     return signature
 
 
-def _adjacency(view: ConjunctiveQuery) -> dict[int, set[int]]:
-    adjacency: dict[int, set[int]] = {i: set() for i in range(len(view.atoms))}
-    for i, _, j, _ in view.join_graph_edges():
-        adjacency[i].add(j)
-        adjacency[j].add(i)
-    return adjacency
+def _jc_candidates(view: ConjunctiveQuery) -> list[tuple[int, str]]:
+    counts: dict[Variable, int] = {}
+    for atom in view.atoms:
+        for term in atom:
+            if isinstance(term, Variable):
+                counts[term] = counts.get(term, 0) + 1
+    candidates = []
+    for index, atom in enumerate(view.atoms):
+        for attribute, term in zip(ATTRIBUTES, atom):
+            if isinstance(term, Variable) and counts[term] >= 2:
+                candidates.append((index, attribute))
+    return candidates
 
 
 def _connected_subsets(n: int, adjacency: dict[int, set[int]]) -> list[frozenset[int]]:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.query.cq import ATTRIBUTES, Atom, Variable
+from repro.query.cq import ATTRIBUTES, Atom, ConjunctiveQuery, Variable
 from repro.stats.provider import Statistics
 
 
@@ -36,6 +36,7 @@ class CardinalityEstimator:
     def __init__(self, statistics: Statistics) -> None:
         self.statistics = statistics
         self._conjunction_cache: dict[tuple[Atom, ...], float] = {}
+        self._query_cache: dict[int, tuple[float, object]] = {}
         self._cache_version = getattr(statistics, "version", None)
 
     def _fresh_cache(self) -> dict[tuple[Atom, ...], float]:
@@ -43,6 +44,7 @@ class CardinalityEstimator:
         version = getattr(self.statistics, "version", None)
         if version != self._cache_version:
             self._conjunction_cache.clear()
+            self._query_cache.clear()
             self._cache_version = version
         return self._conjunction_cache
 
@@ -75,26 +77,55 @@ class CardinalityEstimator:
         kept by the search always has a witness in satisfiable
         workloads, and the clamp avoids degenerate zero-cost states when
         the independence assumption drives the product below one row.
+
+        The factors are multiplied in sorted order, which makes the
+        estimate *bitwise invariant* under atom reordering and variable
+        renaming — isomorphic view bodies always price to the identical
+        float. The view-selection cost model's cross-state memo (keyed
+        on canonical view signatures) relies on exactly this invariance
+        to stay indistinguishable from a full recompute.
         """
         key = tuple(atoms)
         cache = self._fresh_cache()
         cached = cache.get(key)
         if cached is not None:
             return cached
-        estimate = 1.0
-        for atom in key:
-            estimate *= float(self.statistics.atom_count(atom))
+        counts = sorted(float(self.statistics.atom_count(atom)) for atom in key)
         occurrences: dict[Variable, list[str]] = {}
         for atom in key:
             for attribute, term in zip(ATTRIBUTES, atom):
                 if isinstance(term, Variable):
                     occurrences.setdefault(term, []).append(attribute)
-        for columns in occurrences.values():
-            if len(columns) <= 1:
-                continue
-            estimate *= self.join_selectivity(columns) ** (len(columns) - 1)
+        factors = sorted(
+            self.join_selectivity(columns) ** (len(columns) - 1)
+            for columns in occurrences.values()
+            if len(columns) > 1
+        )
+        estimate = 1.0
+        for count in counts:
+            estimate *= count
+        for factor in factors:
+            estimate *= factor
         estimate = max(estimate, 1.0)
         cache[key] = estimate
+        return estimate
+
+    def query_cardinality(self, query: ConjunctiveQuery) -> float:
+        """``conjunction_cardinality`` of a query's body, memoized per
+        query object.
+
+        Query objects are immutable and shared across thousands of
+        search states; the id-keyed fast path skips even the hashing of
+        the atom tuple that the conjunction memo would pay per call.
+        """
+        self._fresh_cache()  # validates both memos against the version
+        cached = self._query_cache.get(id(query))
+        if cached is not None and cached[1] is query:
+            return cached[0]
+        estimate = self.conjunction_cardinality(query.atoms)
+        if len(self._query_cache) > 500_000:
+            self._query_cache.clear()
+        self._query_cache[id(query)] = (estimate, query)
         return estimate
 
     # ------------------------------------------------------------------

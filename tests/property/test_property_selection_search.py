@@ -1,0 +1,152 @@
+"""Property-based contracts of the incremental search core.
+
+(a) Incremental costing: along any random transition sequence, the
+    :class:`CostDelta` breakdowns produced by
+    :meth:`CostModel.transition_cost` equal a full recompute by a fresh
+    cost model *exactly* (bitwise float equality — the memo layers are
+    designed to be indistinguishable from recomputation).
+(c) Parallel frontier evaluation: a search run with ``workers > 1``
+    returns results identical to the serial run — same best state, same
+    Figure-5 accounting, same cost trace.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.selection import search as search_module
+from repro.selection.costs import CostModel, price_states
+from repro.selection.search import (
+    SearchBudget,
+    exhaustive_stratified_search,
+    greedy_stratified_search,
+)
+from repro.selection.state import ViewNamer, initial_state
+from repro.selection.statistics import StoreStatistics, ZipfStatistics
+from repro.selection.transitions import TransitionEnumerator
+
+from tests.property import strategies as us
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON
+@given(
+    store=us.stores(max_size=20),
+    q1=us.connected_queries(max_atoms=3, allow_property_variable=False),
+    q2=us.connected_queries(max_atoms=2, allow_property_variable=False),
+    picks=st.lists(st.integers(0, 1_000), min_size=1, max_size=5),
+)
+def test_incremental_cost_deltas_match_full_recompute_oracle(store, q1, q2, picks):
+    """(a) Chained incremental breakdowns == fresh-model recompute, exactly."""
+    queries = [q1.with_name("q1"), q2.with_name("q2")]
+    namer = ViewNamer()
+    enumerator = TransitionEnumerator(namer, vb_mode="overlapping")
+    statistics = StoreStatistics(store)
+    model = CostModel(statistics)
+    state = initial_state(queries, namer)
+    breakdown = model.cost(state)
+    assert breakdown == CostModel(statistics, incremental=False).cost(state)
+    for pick in picks:
+        transitions = list(enumerator.transitions(state))
+        if not transitions:
+            break
+        transition = transitions[pick % len(transitions)]
+        delta = model.transition_cost(breakdown, transition)
+        # The full-recompute oracle: a fresh, memo-less model.
+        oracle = CostModel(statistics, incremental=False).cost(transition.result)
+        assert delta.breakdown == oracle  # bitwise — no approx
+        # And a fresh *incremental* model agrees too (cold == warm).
+        assert CostModel(statistics).cost(transition.result) == oracle
+        state, breakdown = transition.result, delta.breakdown
+
+
+@COMMON
+@given(
+    q1=us.connected_queries(max_atoms=3, allow_property_variable=False),
+    picks=st.lists(st.integers(0, 1_000), min_size=1, max_size=4),
+)
+def test_repricing_is_bounded_by_the_state_delta(q1, picks):
+    """(a) The incremental model re-prices at most the touched components."""
+    namer = ViewNamer()
+    enumerator = TransitionEnumerator(namer, vb_mode="overlapping")
+    model = CostModel(ZipfStatistics(seed=11))
+    state = initial_state([q1.with_name("q1")], namer)
+    breakdown = model.cost(state)
+    for pick in picks:
+        transitions = list(enumerator.transitions(state))
+        if not transitions:
+            break
+        transition = transitions[pick % len(transitions)]
+        delta = model.transition_cost(breakdown, transition)
+        assert delta.repriced_views <= len(transition.delta.added)
+        assert delta.repriced_plans <= len(transition.delta.plan_changes)
+        state, breakdown = transition.result, delta.breakdown
+
+
+# ----------------------------------------------------------------------
+# (c) Parallel frontier evaluation is invisible in the results
+# ----------------------------------------------------------------------
+
+PARALLEL_WORKLOAD = [
+    "q1(X) :- t(X, hasPainted, starryNight)",
+    "q2(X, Y) :- t(X, hasPainted, Y), t(X, rdf:type, painter)",
+    "q3(A, B) :- t(A, hasPainted, B), t(B, rdf:type, painting)",
+]
+
+
+def _search_with_workers(museum_store, search, workers):
+    from repro.query.parser import parse_query
+
+    namer = ViewNamer()
+    enumerator = TransitionEnumerator(namer, vb_mode="overlapping")
+    model = CostModel(StoreStatistics(museum_store))
+    state = initial_state([parse_query(q) for q in PARALLEL_WORKLOAD], namer)
+    return search(
+        state, model, enumerator, SearchBudget(max_states=400), workers=workers
+    )
+
+
+def test_parallel_frontier_matches_serial(museum_store, monkeypatch):
+    """(c) workers=2 returns exactly the serial results for the
+    exhaustive and greedy strategies."""
+    monkeypatch.setattr(search_module, "MIN_PARALLEL_FRONTIER", 2)
+    for search in (exhaustive_stratified_search, greedy_stratified_search):
+        serial = _search_with_workers(museum_store, search, workers=1)
+        parallel = _search_with_workers(museum_store, search, workers=2)
+        assert parallel.best_state.key == serial.best_state.key
+        assert parallel.best_cost == serial.best_cost  # bitwise
+        assert (
+            parallel.stats.created,
+            parallel.stats.duplicates,
+            parallel.stats.discarded,
+            parallel.stats.explored,
+            parallel.stats.transitions,
+        ) == (
+            serial.stats.created,
+            serial.stats.duplicates,
+            serial.stats.discarded,
+            serial.stats.explored,
+            serial.stats.transitions,
+        )
+        assert [cost for _, cost in parallel.cost_history] == [
+            cost for _, cost in serial.cost_history
+        ]
+
+
+def test_price_states_matches_in_process_pricing(museum_store):
+    """The worker task prices exactly like the parent's cost model."""
+    from repro.query.parser import parse_query
+
+    namer = ViewNamer()
+    enumerator = TransitionEnumerator(namer, vb_mode="overlapping")
+    model = CostModel(StoreStatistics(museum_store))
+    state = initial_state([parse_query(q) for q in PARALLEL_WORKLOAD], namer)
+    frontier = [t.result for t in enumerator.transitions(state)]
+    import pickle
+
+    shipped = pickle.loads(pickle.dumps(model))  # what a worker receives
+    assert price_states(shipped, frontier) == [model.cost(s) for s in frontier]

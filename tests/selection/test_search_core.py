@@ -1,0 +1,173 @@
+"""Unit tests for the unified search core: the strategy protocol and
+registry, the Figure-5 accounting ownership, and the incremental
+CostDelta contract."""
+
+import pytest
+
+from repro.query.parser import parse_query
+from repro.selection.costs import CostDelta, CostModel
+from repro.selection.search import (
+    STRATEGY_FACTORIES,
+    DfsStrategy,
+    SearchBudget,
+    SearchStrategy,
+    run_search,
+)
+from repro.selection.state import StateDelta, ViewNamer, initial_state
+from repro.selection.statistics import StoreStatistics
+from repro.selection.transitions import TransitionEnumerator
+
+#: Small workloads on which every strategy — greedy ones included —
+#: reaches the global optimum, so their best states must coincide.
+AGREEMENT_WORKLOADS = {
+    "two-query": [
+        "q1(X) :- t(X, hasPainted, starryNight)",
+        "q2(X, Y) :- t(X, hasPainted, Y), t(X, rdf:type, painter)",
+    ],
+    "fusable": [
+        "q1(X) :- t(X, hasPainted, Y)",
+        "q2(Z) :- t(Z, hasPainted, W)",
+    ],
+    "three-atoms": [
+        "q1(X, Y) :- t(X, hasPainted, Y), t(Y, rdf:type, painting), "
+        "t(X, rdf:type, painter)",
+    ],
+}
+
+
+def _run(museum_store, strategy, queries, **options):
+    namer = ViewNamer()
+    enumerator = TransitionEnumerator(namer, vb_mode="overlapping")
+    model = CostModel(StoreStatistics(museum_store))
+    state = initial_state([parse_query(q) for q in queries], namer)
+    return run_search(
+        state,
+        model,
+        strategy,
+        enumerator,
+        SearchBudget(time_limit=10.0),
+        use_avf=True,
+        use_stoptt=True,
+        use_stopvar=True,
+        **options,
+    )
+
+
+class TestStrategyRegistry:
+    def test_factories_cover_the_paper_strategies(self):
+        assert sorted(STRATEGY_FACTORIES) == [
+            "descent", "dfs", "exnaive", "exstr", "gstr",
+        ]
+
+    def test_factories_satisfy_the_protocol(self):
+        for factory in STRATEGY_FACTORIES.values():
+            assert isinstance(factory(), SearchStrategy)
+
+    def test_unknown_strategy_name_raises(self, museum_store):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            _run(museum_store, "simulated-annealing",
+                 AGREEMENT_WORKLOADS["fusable"])
+
+    def test_strategy_objects_are_accepted(self, museum_store):
+        result = _run(museum_store, DfsStrategy(),
+                      AGREEMENT_WORKLOADS["fusable"])
+        assert result.strategy == "dfs"
+        assert result.best_cost <= result.initial_cost
+
+    def test_result_records_the_strategy_name(self, museum_store):
+        for name in STRATEGY_FACTORIES:
+            result = _run(museum_store, name, AGREEMENT_WORKLOADS["fusable"])
+            assert result.strategy == name
+
+
+@pytest.mark.parametrize("label", sorted(AGREEMENT_WORKLOADS))
+def test_all_strategies_agree_on_small_workloads(museum_store, label):
+    """Satellite (b): on workloads small enough for the greedy
+    strategies to reach the optimum, every strategy recommends the same
+    canonical view set at the same cost."""
+    queries = AGREEMENT_WORKLOADS[label]
+    results = {
+        name: _run(museum_store, name, queries) for name in STRATEGY_FACTORIES
+    }
+    assert all(result.completed for result in results.values())
+    keys = {result.best_state.key for result in results.values()}
+    assert len(keys) == 1, {n: r.best_state.key for n, r in results.items()}
+    costs = {result.best_cost for result in results.values()}
+    assert max(costs) == pytest.approx(min(costs))
+
+
+def test_budget_states_stops_every_strategy(museum_store):
+    for name in STRATEGY_FACTORIES:
+        namer = ViewNamer()
+        enumerator = TransitionEnumerator(namer, vb_mode="overlapping")
+        model = CostModel(StoreStatistics(museum_store))
+        state = initial_state(
+            [parse_query(q) for q in AGREEMENT_WORKLOADS["two-query"]], namer
+        )
+        result = run_search(
+            state, model, name, enumerator, SearchBudget(max_states=5)
+        )
+        assert not result.completed
+        assert result.stats.created <= 5 + 10  # small overshoot allowed
+
+
+class TestTransitionCost:
+    @pytest.fixture()
+    def setup(self, museum_store):
+        namer = ViewNamer()
+        enumerator = TransitionEnumerator(namer, vb_mode="overlapping")
+        model = CostModel(StoreStatistics(museum_store))
+        state = initial_state(
+            [parse_query(q) for q in AGREEMENT_WORKLOADS["two-query"]], namer
+        )
+        return state, enumerator, model
+
+    def test_breakdown_matches_full_recompute_exactly(self, setup, museum_store):
+        state, enumerator, model = setup
+        base = model.cost(state)
+        for transition in enumerator.transitions(state):
+            delta = model.transition_cost(base, transition)
+            oracle = CostModel(
+                StoreStatistics(museum_store), incremental=False
+            ).cost(transition.result)
+            assert delta.breakdown == oracle  # bitwise, not approx
+
+    def test_delta_components_are_differences(self, setup):
+        state, enumerator, model = setup
+        base = model.cost(state)
+        transition = next(iter(enumerator.transitions(state)))
+        delta = model.transition_cost(base, transition)
+        assert isinstance(delta, CostDelta)
+        assert delta.total == delta.breakdown.total - base.total
+        assert delta.vso == delta.breakdown.vso - base.vso
+        assert delta.vmc == delta.breakdown.vmc - base.vmc
+
+    def test_only_touched_views_are_repriced(self, setup):
+        state, enumerator, model = setup
+        base = model.cost(state)
+        transition = next(iter(enumerator.transitions(state)))
+        assert isinstance(transition.delta, StateDelta)
+        delta = model.transition_cost(base, transition)
+        assert delta.repriced_views <= len(transition.delta.added)
+        assert delta.repriced_plans <= len(transition.delta.plan_changes)
+        # Pricing the same successor again re-prices nothing at all.
+        again = model.transition_cost(base, transition)
+        assert again.repriced_views == 0
+        assert again.repriced_plans == 0
+        assert again.breakdown == delta.breakdown
+
+    def test_state_delta_names_exactly_the_swapped_views(self, setup):
+        state, enumerator, model = setup
+        transition = next(iter(enumerator.transitions(state)))
+        removed = {view.name for view in transition.delta.removed}
+        added = {view.name for view in transition.delta.added}
+        before = {view.name for view in state.views}
+        after = {view.name for view in transition.result.views}
+        assert removed == before - after
+        assert added == after - before
+        assert transition.delta.plan_changes  # the rewriting was rewritten
+
+    def test_baseline_model_prices_identically(self, setup, museum_store):
+        state, enumerator, model = setup
+        baseline = CostModel(StoreStatistics(museum_store), incremental=False)
+        assert baseline.cost(state) == model.cost(state)

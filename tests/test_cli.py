@@ -246,6 +246,36 @@ def test_uses_partitioned_join_walks_the_plan_tree():
     assert _uses_partitioned_join(nested)
 
 
+def test_search_budget_flags(capsys, data_file, workload_file):
+    out = run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--search-budget-seconds", "2",
+        "--search-budget-states", "50",
+        "--strategy", "exstr",
+    )
+    assert "recommended views:" in out
+    assert "cost reduction" in out
+
+
+def test_explain_prints_search_accounting(capsys, data_file, workload_file):
+    out = run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--time-limit", "2",
+        "--strategy", "gstr",
+        "--explain",
+    )
+    assert "search accounting [strategy=gstr" in out
+    assert "created" in out
+    assert "duplicates" in out
+    assert "discarded" in out
+    assert "explored" in out
+    assert "states/sec" in out
+
+
 def test_explain_reports_workers_and_batch_size(capsys, data_file, workload_file):
     out = run_cli(
         capsys,
