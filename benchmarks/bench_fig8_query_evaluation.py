@@ -14,7 +14,10 @@ Paper setup: the five queries of workload Q1, answered several ways —
   the engine must beat;
 * **engine-***: the unified physical-operator engine on the saturated
   store, one series per join strategy (the RDF-3X role), executing
-  batch-at-a-time (the default since the batched-engine PR);
+  batch-at-a-time (the default since the batched-engine PR); with
+  ``--backend sqlite`` the ``engine-auto`` series takes the whole-plan
+  SQL pushdown route (one statement per query inside the backend) while
+  the fixed-engine series stay interpreted;
 * **engine-auto-tuple**: the same auto-selected plans executed through
   the historical tuple-at-a-time path (``batch_size=None``) — the
   baseline the batched engine is measured against;
@@ -274,7 +277,12 @@ def _storage_payload(setup, repeats: int = 3):
     Per backend: bulk-load time of the saturated store, snapshot save
     time and file size, snapshot reopen time, and per-query engine-auto
     latency — the numbers that justify (or veto) running a workload
-    from disk. Answer parity across backends is asserted on the way.
+    from disk. On SQL-capable backends the auto route is whole-plan SQL
+    pushdown, so each query is additionally measured on the interpreted
+    operator tree (``pushdown=False``) — the per-query ablation behind
+    the ``pushdown_speedup`` figure — and the payload carries the
+    memory-vs-sqlite latency ratio the pushdown PR is gated on. Answer
+    parity across backends and routes is asserted on the way.
     """
     import os
     import tempfile
@@ -306,12 +314,30 @@ def _storage_payload(setup, repeats: int = 3):
         # is the snapshot file served in place, the deployment scenario
         # these figures characterize (not an anonymous warm copy).
         query_ms = {}
+        interpreted_ms = {}
+        pushdown_capable = reopened.backend.supports_sql_plans
         for query in queries:
             assert evaluate(query, reopened, engine="auto") == expected[query.name]
             query_ms[query.name] = round(
                 _time_ms(lambda: evaluate(query, reopened, engine="auto"), repeats),
                 4,
             )
+            if pushdown_capable:
+                # The ablation baseline: same store, same auto plan
+                # selection, interpreted operator tree.
+                assert (
+                    evaluate(query, reopened, engine="auto", pushdown=False)
+                    == expected[query.name]
+                )
+                interpreted_ms[query.name] = round(
+                    _time_ms(
+                        lambda: evaluate(
+                            query, reopened, engine="auto", pushdown=False
+                        ),
+                        repeats,
+                    ),
+                    4,
+                )
         reopened.close()
         converted.close()
         os.unlink(path)
@@ -323,12 +349,29 @@ def _storage_payload(setup, repeats: int = 3):
             "query_ms": query_ms,
             "total_query_ms": round(sum(query_ms.values()), 4),
         }
-    return {
+        if pushdown_capable:
+            pushdown_total = sum(query_ms.values())
+            interpreted_total = sum(interpreted_ms.values())
+            backends[name]["query_interpreted_ms"] = interpreted_ms
+            backends[name]["total_query_interpreted_ms"] = round(
+                interpreted_total, 4
+            )
+            backends[name]["pushdown_speedup"] = (
+                round(interpreted_total / pushdown_total, 2)
+                if pushdown_total
+                else None
+            )
+    payload = {
         "experiment": "storage_backends",
         "scale": "full" if full_scale() else "quick",
         "database_triples": len(saturated),
         "backends": backends,
     }
+    memory_total = backends.get("memory", {}).get("total_query_ms")
+    sqlite_total = backends.get("sqlite", {}).get("total_query_ms")
+    if memory_total and sqlite_total:
+        payload["memory_vs_sqlite_ratio"] = round(sqlite_total / memory_total, 2)
+    return payload
 
 
 def main(argv=None) -> int:
@@ -368,12 +411,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     setup = _setup()
+    storage_payload = None
     if args.storage_json:
         import json
         from pathlib import Path
 
+        storage_payload = _storage_payload(setup)
         Path(args.storage_json).write_text(
-            json.dumps(_storage_payload(setup), indent=2)
+            json.dumps(storage_payload, indent=2)
         )
         print(f"wrote {args.storage_json}")
     if args.backend != "memory":
@@ -422,6 +467,26 @@ def main(argv=None) -> int:
             return 1
         print(f"SMOKE OK: {engine_key} {total_engine:.2f} ms <= "
               f"seed-greedy {total_seed:.2f} ms * 1.75")
+        if storage_payload is not None:
+            # Pushdown gate: on the SQLite backend, the pushed-down auto
+            # route must not fall behind its own interpreted operator
+            # tree (answer parity is asserted inside _storage_payload).
+            # The 1.25x margin absorbs timer noise on sub-millisecond
+            # per-query latencies.
+            sqlite_series = storage_payload["backends"].get("sqlite", {})
+            pushdown_total = sqlite_series.get("total_query_ms")
+            interpreted_total = sqlite_series.get("total_query_interpreted_ms")
+            if pushdown_total and interpreted_total:
+                if pushdown_total > interpreted_total * 1.25:
+                    print(
+                        f"SMOKE FAIL: sqlite pushdown ({pushdown_total:.2f} ms) "
+                        f"slower than interpreted ({interpreted_total:.2f} ms)"
+                    )
+                    return 1
+                print(
+                    f"SMOKE OK: sqlite pushdown {pushdown_total:.2f} ms <= "
+                    f"interpreted {interpreted_total:.2f} ms * 1.25"
+                )
     return 0
 
 

@@ -32,6 +32,7 @@ from repro.engine import (
     ENGINES,
     PartitionedHashJoin,
     choose_engine,
+    plan_pushdown,
     plan_query,
 )
 from repro.query.parser import parse_queries
@@ -101,8 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print each workload query's physical plan on "
                         "the store (engine chosen by the cost-based "
                         "selection, batch size, worker count, parallel "
-                        "partitioned join), plus the search's Figure-5 "
-                        "state accounting after the recommendation")
+                        "partitioned join, whole-plan SQL pushdown with the "
+                        "generated SQL on SQL-capable backends), plus the "
+                        "search's Figure-5 state accounting after the "
+                        "recommendation")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker processes for the parallel partitioned "
                         "hash join and for the search's parallel frontier "
@@ -207,17 +210,30 @@ def main(argv: list[str] | None = None) -> int:
         print("physical plans on the store "
               f"[batch-size={batch} workers={args.workers}]:")
         for query in queries:
+            # The pushdown route only runs under engine=auto on a batch
+            # path; --batch-size 0 (tuple-at-a-time) stays interpreted.
+            pushdown_route = args.engine == "auto" and args.batch_size != 0
             chosen = (
-                choose_engine(query, store)
+                choose_engine(query, store, pushdown=pushdown_route)
                 if args.engine == "auto"
                 else args.engine
             )
+            compiled = (
+                plan_pushdown(query, store, args.workers)
+                if pushdown_route
+                else None
+            )
+            if compiled is not None:
+                print(f"  {query.name} [engine={chosen} pushdown=yes]:")
+                for line in compiled.describe().splitlines():
+                    print(f"    {line}")
+                continue
             root = plan_query(
                 query, store, engine=args.engine, workers=args.workers
             )
             partitioned = "yes" if _uses_partitioned_join(root) else "no"
             print(f"  {query.name} [engine={chosen} "
-                  f"partitioned-join={partitioned}]:")
+                  f"partitioned-join={partitioned} pushdown=no]:")
             for line in root.explain().splitlines():
                 print(f"    {line}")
         print()

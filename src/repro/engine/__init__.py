@@ -15,14 +15,19 @@ Public surface::
     run_plan(plan, extents, engine="auto",
              batch_size=DEFAULT_BATCH_SIZE)               # Plan -> rows
     plan_query / plan_rewriting                 # operator trees (explain)
+    plan_pushdown(query, store)                 # whole-plan SQL route
     choose_engine(query, store)                 # cost-based auto choice
-    ENGINES / FIXED_ENGINES                     # selectable strategies
+    ENGINES / FIXED_ENGINES / SQL_PUSHDOWN      # strategies & routes
     DEFAULT_BATCH_SIZE / PARALLEL_ROW_THRESHOLD # batch/parallel knobs
 
 ``engine="auto"`` is cost-based: the shared cardinality estimator
 (:mod:`repro.stats`) prices every fixed strategy per query and the
 cheapest is compiled, with the choice cached in the prepared-plan
-cache until the store mutates.
+cache until the store mutates. On a backend that executes SQL itself
+(SQLite), ``auto`` first tries **whole-plan SQL pushdown**: the entire
+conjunctive query compiles to one SQL statement
+(:mod:`repro.engine.sqlcompile`) evaluated inside the backend, and the
+operator tree is the fallback for shapes SQL cannot express.
 
 Execution is batch-at-a-time by default: operators exchange row-list
 batches (``list`` of row tuples, at most ``batch_size`` per hand-off —
@@ -55,12 +60,15 @@ from repro.engine.planner import (
     FIXED_ENGINES,
     HYBRID,
     PARALLEL_ROW_THRESHOLD,
+    SQL_PUSHDOWN,
     choose_engine,
+    plan_pushdown,
     plan_query,
     plan_rewriting,
     run_plan,
     run_query,
 )
+from repro.engine.sqlcompile import CompiledQuery, compile_query
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -68,7 +76,11 @@ __all__ = [
     "FIXED_ENGINES",
     "HYBRID",
     "PARALLEL_ROW_THRESHOLD",
+    "SQL_PUSHDOWN",
+    "CompiledQuery",
     "choose_engine",
+    "compile_query",
+    "plan_pushdown",
     "Distinct",
     "Empty",
     "ExtentScan",

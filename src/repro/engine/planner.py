@@ -30,10 +30,25 @@ The ``engine`` knob selects the join algorithm:
   is cached in the prepared-plan cache alongside the plan, so repeated
   workloads pay the selection once per store version.
 
+On storage backends that are SQL engines themselves (the SQLite
+backend), ``auto`` gains a third physical route next to the operator
+tree: **whole-plan SQL pushdown**. :func:`plan_pushdown` compiles the
+entire conjunctive query — self-joins, constant selections, head
+projection, DISTINCT — into one SQL statement
+(:mod:`repro.engine.sqlcompile`) executed inside the backend, and
+:func:`run_query` prefers it whenever the query is expressible; shapes
+SQL cannot express (and every explicit fixed engine, kept as the
+interpreted baseline) fall back to the operator tree. Compiled
+statements live in the same prepared-plan cache as operator trees,
+under the ``(query, engine, workers)`` keying scheme with
+:data:`SQL_PUSHDOWN` in the engine slot, and are flushed with it when
+the store mutates.
+
 Over extents the store-specific strategies degrade gracefully: ``auto``
 and ``index-nested-loop`` resolve to hash joins (there is no triple
 index to probe), ``merge`` sorts decoded terms by their N-Triples
-rendering.
+rendering; extent rows live in Python lists, so the rewriting route
+never pushes down.
 
 Execution is batch-at-a-time by default (see
 :mod:`repro.engine.operators` for the batch contract); with
@@ -62,6 +77,7 @@ from repro.engine.operators import (
     Selection,
     _projector,
 )
+from repro.engine.sqlcompile import CompiledQuery, compile_query
 from repro.query import algebra
 from repro.query.cq import ConjunctiveQuery, Variable
 from repro.rdf.store import TripleStore
@@ -80,6 +96,14 @@ FIXED_ENGINES = ("index-nested-loop", "hash", "merge")
 #: Not user-selectable (``engine=`` rejects it); ``choose_engine`` may
 #: return it when it prices below every pure strategy.
 HYBRID = "hybrid"
+
+#: The whole-plan SQL pushdown route: the entire conjunctive query runs
+#: as one SQL statement inside the storage backend. Not user-selectable
+#: (``engine=`` rejects it — the fixed engines stay the interpreted
+#: baseline); ``choose_engine`` returns it when ``auto`` resolves to a
+#: pushdown-eligible plan on a SQL-capable backend, and it is the
+#: engine-slot token under which compiled statements are cached.
+SQL_PUSHDOWN = "sql-pushdown"
 
 
 #: Estimated rows (join input + build side) a hash-join step must reach
@@ -207,14 +231,58 @@ def _select_engine(query: ConjunctiveQuery, estimator: CardinalityEstimator) -> 
     return min(costs, key=costs.__getitem__)
 
 
+#: Cache marker for "compiled before, not expressible as one statement"
+#: — distinguishes a cached negative from a cache miss.
+_PUSHDOWN_INELIGIBLE = object()
+
+
+def plan_pushdown(
+    query: ConjunctiveQuery, store: TripleStore, workers: int = 1
+) -> CompiledQuery | None:
+    """The whole-plan SQL pushdown route for this query, if it exists.
+
+    Returns the compiled single-statement form
+    (:class:`~repro.engine.sqlcompile.CompiledQuery`) when the store's
+    backend can execute SQL plans (``supports_sql_plans``) and the
+    query is expressible as one statement; ``None`` otherwise — the
+    caller falls back to the interpreted operator tree. Compilation
+    results (including the negative) are cached in the store's
+    prepared-plan cache under the ``(query, engine, workers)`` scheme
+    with :data:`SQL_PUSHDOWN` in the engine slot, so repeated workloads
+    pay SQL generation once per store version; any mutation flushes the
+    entry, which also re-validates provably-empty compilations whose
+    missing constants may have appeared.
+    """
+    if not getattr(store.backend, "supports_sql_plans", False):
+        return None
+    entry = _plan_cache_entry(store)
+    plans = entry["plans"]
+    key = (query, SQL_PUSHDOWN, workers)
+    cached = plans.get(key)
+    if cached is not None:
+        return None if cached is _PUSHDOWN_INELIGIBLE else cached
+    compiled = compile_query(query, store)
+    if len(plans) >= _PLAN_CACHE_LIMIT:
+        plans.clear()
+    plans[key] = _PUSHDOWN_INELIGIBLE if compiled is None else compiled
+    return compiled
+
+
 def choose_engine(
     query: ConjunctiveQuery,
     store: TripleStore,
     statistics=None,
+    pushdown: bool = True,
 ) -> str:
     """The strategy ``engine="auto"`` resolves to for this query.
 
-    Cost-based: each candidate — the pure strategies of
+    On a backend that executes SQL plans itself, a pushdown-eligible
+    query resolves to :data:`SQL_PUSHDOWN` — the whole plan runs as one
+    statement inside the backend, which beats any interpreted join
+    strategy on a driver-crossing backend. ``pushdown=False`` reports
+    the interpreted choice instead (what the operator-tree fallback and
+    the tuple-at-a-time path compile). Otherwise the choice is
+    cost-based: each candidate — the pure strategies of
     :data:`FIXED_ENGINES` plus, on queries mixing connected and
     Cartesian join steps, the :data:`HYBRID` plan — is priced from the
     estimated input and output cardinality of every join step (see
@@ -236,6 +304,8 @@ def choose_engine(
     True
     """
     if statistics is None:
+        if pushdown and plan_pushdown(query, store) is not None:
+            return SQL_PUSHDOWN
         return _cached_choice(
             _plan_cache_entry(store), query, _estimator(store, None)
         )
@@ -424,15 +494,25 @@ def run_query(
     statistics=None,
     batch_size: int | None = DEFAULT_BATCH_SIZE,
     workers: int = 1,
+    pushdown: bool = True,
 ) -> set[tuple[Term, ...]]:
     """All answers of the query on the store (set semantics, decoded).
 
-    Executes batch-at-a-time by default (``batch_size`` rows per
-    operator hand-off); ``batch_size=None`` selects the tuple-at-a-time
-    path, kept as the measured baseline of the batched engine. The
-    answer set is identical either way. ``workers`` enables the
-    parallel partitioned hash join on plans the cost model deems big
-    enough (see :func:`plan_query`).
+    With ``engine="auto"`` on a SQL-capable backend, an eligible query
+    runs as **one pushed-down SQL statement** inside the backend
+    (:func:`plan_pushdown`) — the whole join pipeline evaluates next to
+    the data and Python decodes one row per distinct head image.
+    ``pushdown=False`` forces the interpreted operator tree (the
+    measured ablation baseline), as do explicit fixed engines, an
+    explicit ``statistics`` provider, and the tuple-at-a-time path
+    (``batch_size=None``) — both baselines stay observable.
+
+    Otherwise execution is batch-at-a-time by default (``batch_size``
+    rows per operator hand-off); ``batch_size=None`` selects the
+    tuple-at-a-time path, kept as the measured baseline of the batched
+    engine. The answer set is identical on every route. ``workers``
+    enables the parallel partitioned hash join on plans the cost model
+    deems big enough (see :func:`plan_query`).
 
     >>> from repro.query.parser import parse_query
     >>> from repro.rdf.ntriples import parse_ntriples
@@ -451,6 +531,15 @@ def run_query(
     True
     """
     batch_size = _check_batch_size(batch_size)
+    if (
+        pushdown
+        and engine == "auto"
+        and statistics is None
+        and batch_size is not None
+    ):
+        compiled = plan_pushdown(query, store, workers)
+        if compiled is not None:
+            return compiled.execute(store)
     root = plan_query(
         query, store, engine=engine, statistics=statistics, workers=workers
     )

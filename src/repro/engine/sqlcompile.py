@@ -1,0 +1,283 @@
+"""Whole-plan SQL pushdown: compile a conjunctive query to one statement.
+
+The interpreted operator tree executes joins in Python above per-probe /
+per-batch SELECTs, which on the SQLite backend pays one driver crossing
+per batch *per join step*. For a conjunctive query every step is a
+self-join of the one ``triples`` table, so the entire plan — joins,
+constant selections, head projection, DISTINCT — is expressible as a
+single SQL statement:
+
+.. code-block:: sql
+
+    SELECT DISTINCT t0.s, t1.o
+    FROM triples t0, triples t1
+    WHERE t0.p = ? AND t1.s = t0.o AND t1.p = ?
+
+Executed inside the backend, SQLite evaluates the whole join pipeline in
+its VM against the SPO/POS/OSP covering indexes (every constant binding
+is an index-prefix predicate; ``ANALYZE`` keeps its join-order choice
+honest), and Python touches exactly one row per *distinct head image* —
+"move the computation to the data".
+
+Compilation is pure text generation over dictionary codes:
+
+* each atom becomes one alias of the ``triples`` table, in body order
+  (SQLite's own planner reorders comma joins freely, so the emitted
+  order carries no cost information and the text is deterministic);
+* a constant becomes ``tN.col = ?`` with its dictionary code as a bound
+  parameter — an index-prefix range predicate on SPO/POS/OSP;
+* a repeated variable becomes an equality against its first occurrence
+  (across atoms: the join condition; within an atom: the self-join
+  filter of ``t(X, p, X)``);
+* head variables become the ``SELECT DISTINCT`` projection; constant
+  head terms are re-attached per answer after decoding.
+
+The rule-4 ``non_literal`` restriction needs the dictionary (only
+Python knows which codes encode literals), so it cannot run inside
+SQLite. Two cases:
+
+* a restricted variable that occurs in some subject or predicate
+  position is *implied* non-literal — stored triples are well-formed
+  RDF, so those columns never hold literal codes — and compiles to
+  nothing;
+* a restricted variable confined to object positions is appended to the
+  projection and every fetched row binding it to a literal code is
+  dropped before decoding (answers are re-deduplicated by the result
+  set, so the widened DISTINCT stays invisible).
+
+:func:`compile_query` returns ``None`` for the shapes one statement
+cannot (or should not) express — more joined tables than SQLite's
+64-way limit, more constants than the bound-parameter budget — and the
+caller falls back to the interpreted operator tree. Plans over
+materialized view extents never reach this module: extents live in
+Python lists, not in the backend, so the rewriting route
+(:func:`repro.engine.planner.run_plan`) is interpreted by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.cq import ConjunctiveQuery, Variable
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Term
+
+__all__ = ["CompiledQuery", "compile_query", "MAX_PUSHDOWN_TABLES"]
+
+#: Most atoms one pushed-down statement may join. SQLite refuses joins
+#: of more than 64 tables; staying a little below leaves headroom for
+#: SQLite-internal rewrites that add tables (flattening, stat4 probes).
+MAX_PUSHDOWN_TABLES = 60
+
+#: Bound-parameter budget per statement — one parameter per constant
+#: occurrence. Matches the backend's probe budget: below 999, the
+#: SQLITE_MAX_VARIABLE_NUMBER default of the oldest supported builds.
+MAX_PUSHDOWN_PARAMS = 900
+
+#: Column names of the triple table, in atom-position order.
+_COLUMNS = ("s", "p", "o")
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """One conjunctive query compiled to a single SQL statement.
+
+    ``sql is None`` marks a query that is *provably empty* on the store
+    it was compiled against (a constant the dictionary has never seen):
+    execution returns no answers without touching the backend. The
+    compiled form is only valid for the store version it was compiled
+    on — the prepared-plan cache it lives in is flushed on mutation.
+    """
+
+    #: The statement text, or None when the query is provably empty.
+    sql: str | None
+    #: Dictionary codes bound to the statement's ``?`` placeholders.
+    params: tuple[int, ...]
+    #: Per head position: index into the fetched row, or None for a
+    #: constant head term (re-attached from ``head_constants``).
+    head_slots: tuple[int | None, ...]
+    #: Per head position: the constant term, or None for a variable.
+    head_constants: tuple[Term | None, ...]
+    #: Fetched-row indexes that must not hold literal codes (the rule-4
+    #: residue SQL cannot check); rows violating any are dropped.
+    restricted_slots: tuple[int, ...]
+
+    def describe(self) -> str:
+        """The statement with its bound parameters, for ``--explain``.
+
+        Parameters are dictionary codes (plain integers), so inlining
+        them for display is unambiguous; the executed statement always
+        binds them as parameters.
+        """
+        if self.sql is None:
+            return "EMPTY (a query constant never occurs in the store)"
+        text = self.sql
+        for code in self.params:
+            text = text.replace("?", str(code), 1)
+        return text
+
+    def execute(self, store: TripleStore) -> set[tuple[Term, ...]]:
+        """Run the statement in the backend and decode the answers.
+
+        One backend call evaluates the whole plan; Python work is one
+        pass over the distinct result rows — a literal-code filter for
+        the restricted slots, then decoding with each code decoded once.
+        """
+        if self.sql is None:
+            return set()
+        rows = store.backend.execute_sql_plan(self.sql, self.params)
+        decode = store.dictionary.decode
+        restricted = self.restricted_slots
+        if restricted:
+            is_literal = store.dictionary.is_literal_code
+            rows = (
+                row
+                for row in rows
+                if not any(is_literal(row[slot]) for slot in restricted)
+            )
+        answers: set[tuple[Term, ...]] = set()
+        cache: dict[int, Term] = {}
+        slots = self.head_slots
+        constants = self.head_constants
+        for row in rows:
+            answer = []
+            for slot, constant in zip(slots, constants):
+                if slot is None:
+                    answer.append(constant)
+                else:
+                    code = row[slot]
+                    term = cache.get(code)
+                    if term is None:
+                        term = decode(code)
+                        cache[code] = term
+                    answer.append(term)
+            answers.add(tuple(answer))
+        return answers
+
+
+def _implied_non_literal(query: ConjunctiveQuery, variable: Variable) -> bool:
+    """True when well-formedness alone keeps ``variable`` off literals.
+
+    Stored triples are well-formed RDF (enforced by
+    :class:`~repro.rdf.triples.Triple`): subjects and predicates are
+    never literals. A restricted variable occurring in any subject or
+    predicate position therefore only ever binds non-literal codes.
+    """
+    for atom in query.atoms:
+        if atom.s == variable or atom.p == variable:
+            return True
+    return False
+
+
+def compile_query(
+    query: ConjunctiveQuery, store: TripleStore
+) -> CompiledQuery | None:
+    """Compile ``query`` into one SQL statement over the triple table.
+
+    Returns ``None`` when the query is not expressible within the
+    pushdown limits (see the module docstring for the eligibility
+    rules); the caller then falls back to the interpreted operator
+    tree. Constants are encoded against ``store``'s dictionary — a
+    constant the store has never seen yields the provably-empty
+    compiled form.
+
+    >>> from repro.query.parser import parse_query
+    >>> from repro.rdf.ntriples import parse_ntriples
+    >>> from repro.rdf.store import TripleStore
+    >>> store = TripleStore(backend="sqlite")
+    >>> _ = store.add_all(parse_ntriples('''
+    ... <http://e/a> <http://e/knows> <http://e/b> .
+    ... <http://e/b> <http://e/knows> <http://e/c> .
+    ... '''))
+    >>> query = parse_query(
+    ...     "q(X, Z) :- t(X, <http://e/knows>, Y), t(Y, <http://e/knows>, Z)")
+    >>> compiled = compile_query(query, store)
+    >>> print(compiled.sql)
+    SELECT DISTINCT t0.s, t1.o
+    FROM triples t0, triples t1
+    WHERE t0.p = ? AND t1.s = t0.o AND t1.p = ?
+    >>> sorted((s.n3(), o.n3()) for s, o in compiled.execute(store))
+    [('<http://e/a>', '<http://e/c>')]
+    >>> store.close()
+    """
+    atoms = query.atoms
+    if len(atoms) > MAX_PUSHDOWN_TABLES:
+        return None
+    conditions: list[str] = []
+    params: list[int] = []
+    first_occurrence: dict[Variable, str] = {}
+    empty = False
+    for index, atom in enumerate(atoms):
+        alias = f"t{index}"
+        for column, term in zip(_COLUMNS, atom):
+            expression = f"{alias}.{column}"
+            if isinstance(term, Variable):
+                known = first_occurrence.get(term)
+                if known is None:
+                    first_occurrence[term] = expression
+                else:
+                    conditions.append(f"{expression} = {known}")
+            else:
+                code = store.encode_term(term)
+                if code is None:
+                    # A constant the data never mentions: provably empty
+                    # (until the store mutates, which flushes the cache).
+                    empty = True
+                else:
+                    conditions.append(f"{expression} = ?")
+                    params.append(code)
+    if len(params) > MAX_PUSHDOWN_PARAMS:
+        return None
+
+    # Projection: one column per distinct head variable, plus the
+    # restricted variables SQL cannot check (object-only occurrences).
+    select: list[str] = []
+    slot_of: dict[Variable, int] = {}
+    head_slots: list[int | None] = []
+    head_constants: list[Term | None] = []
+    for term in query.head:
+        if isinstance(term, Variable):
+            slot = slot_of.get(term)
+            if slot is None:
+                slot = len(select)
+                select.append(first_occurrence[term])
+                slot_of[term] = slot
+            head_slots.append(slot)
+            head_constants.append(None)
+        else:
+            head_slots.append(None)
+            head_constants.append(term)
+    restricted_slots: list[int] = []
+    for variable in sorted(query.non_literal, key=lambda v: v.name):
+        if _implied_non_literal(query, variable):
+            continue
+        slot = slot_of.get(variable)
+        if slot is None:
+            slot = len(select)
+            select.append(first_occurrence[variable])
+            slot_of[variable] = slot
+        restricted_slots.append(slot)
+
+    if empty:
+        return CompiledQuery(
+            sql=None,
+            params=(),
+            head_slots=tuple(head_slots),
+            head_constants=tuple(head_constants),
+            restricted_slots=(),
+        )
+
+    tables = ", ".join(f"triples t{index}" for index in range(len(atoms)))
+    where = f"\nWHERE {' AND '.join(conditions)}" if conditions else ""
+    if select:
+        sql = f"SELECT DISTINCT {', '.join(select)}\nFROM {tables}{where}"
+    else:
+        # No variable to project (an all-constant head): existence test.
+        sql = f"SELECT 1\nFROM {tables}{where}\nLIMIT 1"
+    return CompiledQuery(
+        sql=sql,
+        params=tuple(params),
+        head_slots=tuple(head_slots),
+        head_constants=tuple(head_constants),
+        restricted_slots=tuple(restricted_slots),
+    )

@@ -133,15 +133,20 @@ def evaluate(
     statistics=None,
     batch_size: int | None = DEFAULT_BATCH_SIZE,
     workers: int = 1,
+    pushdown: bool = True,
 ) -> set[Answer]:
     """All answers of a conjunctive query on the store (set semantics).
 
     Delegates to the physical-operator engine; ``engine`` picks the join
     strategy (see :data:`repro.engine.ENGINES`) and ``statistics`` may
-    supply precomputed atom cardinalities for join ordering. Execution
-    is batch-at-a-time (``batch_size`` rows per operator hand-off;
-    ``None`` restores the tuple-at-a-time path) and ``workers`` enables
-    the parallel partitioned hash join on big-enough plans.
+    supply precomputed atom cardinalities for join ordering. With
+    ``engine="auto"`` on a SQL-capable backend (SQLite), an eligible
+    query runs as one pushed-down SQL statement inside the backend;
+    ``pushdown=False`` keeps the interpreted operator tree (the
+    ablation baseline). Execution is otherwise batch-at-a-time
+    (``batch_size`` rows per operator hand-off; ``None`` restores the
+    tuple-at-a-time path) and ``workers`` enables the parallel
+    partitioned hash join on big-enough plans.
     """
     return run_query(
         query,
@@ -150,6 +155,7 @@ def evaluate(
         statistics=statistics,
         batch_size=batch_size,
         workers=workers,
+        pushdown=pushdown,
     )
 
 
@@ -173,13 +179,19 @@ def evaluate_union(
     engine: str = "auto",
     batch_size: int | None = DEFAULT_BATCH_SIZE,
     workers: int = 1,
+    pushdown: bool = True,
 ) -> set[Answer]:
     """All answers of a union of conjunctive queries (duplicates removed)."""
     disjuncts = union.disjuncts if isinstance(union, UnionQuery) else tuple(union)
     results: set[Answer] = set()
     for disjunct in disjuncts:
         results |= evaluate(
-            disjunct, store, engine=engine, batch_size=batch_size, workers=workers
+            disjunct,
+            store,
+            engine=engine,
+            batch_size=batch_size,
+            workers=workers,
+            pushdown=pushdown,
         )
     return results
 

@@ -27,6 +27,7 @@ def materialize_views(
     engine: str = "auto",
     batch_size: int | None = DEFAULT_BATCH_SIZE,
     workers: int = 1,
+    pushdown: bool = True,
 ) -> dict[str, ViewExtent]:
     """Compute the extent of every view of ``state`` on ``store``.
 
@@ -51,6 +52,7 @@ def materialize_views(
                         engine=engine,
                         batch_size=batch_size,
                         workers=workers,
+                        pushdown=pushdown,
                     )
                 )
             )
@@ -67,6 +69,7 @@ def materialize_views(
                     engine=engine,
                     batch_size=batch_size,
                     workers=workers,
+                    pushdown=pushdown,
                 )
             )
         )

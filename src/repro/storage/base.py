@@ -181,6 +181,32 @@ class StorageBackend(ABC):
         """
         return [list(self.match(pattern)) for pattern in patterns]
 
+    # -- whole-plan SQL pushdown (optional capability) -----------------
+
+    #: True when :meth:`execute_sql_plan` is implemented — i.e. the
+    #: backend can evaluate a whole compiled query plan itself. The
+    #: engine checks this flag before choosing the pushdown route.
+    supports_sql_plans: bool = False
+
+    def execute_sql_plan(
+        self, sql: str, params: Sequence[int] = ()
+    ) -> Iterable[tuple]:
+        """Execute one compiled SQL plan over the triple table.
+
+        The pushdown contract: ``sql`` only references the ``triples``
+        table (self-joined under aliases) and its three code columns,
+        ``params`` are dictionary codes bound to its placeholders, and
+        the result rows are tuples of codes (or the literal ``1`` for
+        existence tests). Only backends that *are* SQL engines implement
+        this — :class:`~repro.storage.sqlite.SqliteBackend` runs the
+        statement on its connection; everything else (the memory
+        backend included) refuses, and the execution engine falls back
+        to the interpreted operator tree.
+        """
+        raise NotImplementedError(
+            f"the {self.name!r} backend cannot execute SQL plans"
+        )
+
     # -- column statistics (ground truth for the stats catalog) --------
 
     @abstractmethod

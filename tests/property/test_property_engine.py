@@ -16,7 +16,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import ENGINES, FIXED_ENGINES, HYBRID, choose_engine
+from repro.engine import (
+    ENGINES,
+    FIXED_ENGINES,
+    HYBRID,
+    SQL_PUSHDOWN,
+    choose_engine,
+)
 from repro.query.cq import Atom, ConjunctiveQuery, Variable
 from repro.query.evaluation import (
     evaluate,
@@ -51,11 +57,18 @@ def test_all_engines_match_reference_evaluators(backend, data):
 @settings(max_examples=60, deadline=None)
 @given(data=st.data())
 def test_cost_based_auto_matches_every_fixed_engine(backend, data):
-    """The cost-based choice only moves speed, never the answer set."""
+    """The cost-based choice only moves speed, never the answer set.
+
+    On a SQL-capable backend the auto route may be whole-plan SQL
+    pushdown instead of a fixed join strategy; either way the answer
+    set must match every interpreted engine.
+    """
     store = data.draw(stores(backend=backend), label="store")
     query = data.draw(queries(), label="query")
     chosen = choose_engine(query, store)
-    assert chosen in FIXED_ENGINES + (HYBRID,)
+    assert chosen in FIXED_ENGINES + (HYBRID, SQL_PUSHDOWN)
+    if chosen == SQL_PUSHDOWN:
+        assert store.backend.supports_sql_plans
     auto_answers = evaluate(query, store, engine="auto")
     for engine in FIXED_ENGINES:
         assert evaluate(query, store, engine=engine) == auto_answers, engine

@@ -100,7 +100,7 @@ def test_explain_honors_fixed_engine(capsys, data_file, workload_file):
         "--explain",
         "--engine", "hash",
     )
-    assert "q2 [engine=hash partitioned-join=no]" in out
+    assert "q2 [engine=hash partitioned-join=no pushdown=no]" in out
 
 
 def test_empty_workload_errors(capsys, data_file, tmp_path):

@@ -13,12 +13,14 @@ import doctest
 import pytest
 
 import repro.engine.planner
+import repro.engine.sqlcompile
 import repro.query.algebra
 import repro.rdf.store
 import repro.storage.base
 
 DOCUMENTED_MODULES = [
     repro.engine.planner,
+    repro.engine.sqlcompile,
     repro.query.algebra,
     repro.rdf.store,
     repro.storage.base,
