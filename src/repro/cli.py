@@ -32,6 +32,8 @@ from repro.engine import (
     ENGINES,
     PartitionedHashJoin,
     choose_engine,
+    describe_union_sharing,
+    plan_batch,
     plan_pushdown,
     plan_query,
 )
@@ -103,9 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "the store (engine chosen by the cost-based "
                         "selection, batch size, worker count, parallel "
                         "partitioned join, whole-plan SQL pushdown with the "
-                        "generated SQL on SQL-capable backends), plus the "
-                        "search's Figure-5 state accounting after the "
-                        "recommendation")
+                        "generated SQL on SQL-capable backends), the "
+                        "multi-query optimizer's shared-subplan counts per "
+                        "reformulation union (with --schema) and across the "
+                        "workload batch, plus the search's Figure-5 state "
+                        "accounting after the recommendation")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker processes for the parallel partitioned "
                         "hash join and for the search's parallel frontier "
@@ -236,6 +240,22 @@ def main(argv: list[str] | None = None) -> int:
                   f"partitioned-join={partitioned} pushdown=no]:")
             for line in root.explain().splitlines():
                 print(f"    {line}")
+        # Shared-subplan accounting (multi-query optimization): per
+        # reformulation union when a schema is present, and across the
+        # workload batch. Both only apply on the batched auto route.
+        if args.engine == "auto" and args.batch_size != 0:
+            if schema is not None:
+                from repro.reformulation.reformulate import reformulate
+
+                print("  shared subplans per reformulation union:")
+                for query in queries:
+                    union = reformulate(query, schema)
+                    line = describe_union_sharing(union.disjuncts, store)
+                    print(f"    {query.name}: {line}")
+            if len(queries) > 1:
+                nodes, consuming = plan_batch(queries, store).sharing_summary()
+                print(f"  workload batch: {nodes} shared subplans "
+                      f"covering {consuming} of {len(queries)} queries")
         print()
 
     time_limit = (

@@ -12,13 +12,22 @@ Public surface::
 
     run_query(query, store, engine="auto",
               batch_size=DEFAULT_BATCH_SIZE, workers=1)   # CQ -> answers
+    run_query_batch(queries, store, shared=True)   # MQO: batch -> answers
     run_plan(plan, extents, engine="auto",
              batch_size=DEFAULT_BATCH_SIZE)               # Plan -> rows
     plan_query / plan_rewriting                 # operator trees (explain)
     plan_pushdown(query, store)                 # whole-plan SQL route
+    plan_batch / plan_union_pushdown            # shared-subplan DAG / UNION
     choose_engine(query, store)                 # cost-based auto choice
     ENGINES / FIXED_ENGINES / SQL_PUSHDOWN      # strategies & routes
     DEFAULT_BATCH_SIZE / PARALLEL_ROW_THRESHOLD # batch/parallel knobs
+
+Batches of queries — reformulation unions and independent workloads
+alike — run through the multi-query optimizer (:mod:`repro.engine.mqo`):
+shared join subtrees across the batch are fingerprinted by canonical
+form, cost-gated, executed once, and fanned out to every consumer; on a
+SQL-capable backend an eligible union compiles into one
+``SELECT ... UNION`` statement whose shared subtrees are CTEs.
 
 ``engine="auto"`` is cost-based: the shared cardinality estimator
 (:mod:`repro.stats`) prices every fixed strategy per query and the
@@ -40,6 +49,20 @@ partitioned joins over a cached process pool
 """
 
 from repro.engine.extents import ViewExtent
+from repro.engine.mqo import (
+    MATERIALIZE_COST_FACTOR,
+    MQO_DAG,
+    UNION_PUSHDOWN,
+    BatchPlan,
+    SharedNode,
+    decode_images,
+    describe_union_sharing,
+    evaluate_union_shared,
+    plan_batch,
+    plan_union_pushdown,
+    run_query_batch,
+    union_signature,
+)
 from repro.engine.operators import (
     DEFAULT_BATCH_SIZE,
     Distinct,
@@ -68,19 +91,38 @@ from repro.engine.planner import (
     run_plan,
     run_query,
 )
-from repro.engine.sqlcompile import CompiledQuery, compile_query
+from repro.engine.sqlcompile import (
+    CompiledQuery,
+    CompiledUnion,
+    compile_query,
+    compile_union,
+)
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "ENGINES",
     "FIXED_ENGINES",
     "HYBRID",
+    "MATERIALIZE_COST_FACTOR",
+    "MQO_DAG",
     "PARALLEL_ROW_THRESHOLD",
     "SQL_PUSHDOWN",
+    "UNION_PUSHDOWN",
+    "BatchPlan",
     "CompiledQuery",
+    "CompiledUnion",
+    "SharedNode",
     "choose_engine",
     "compile_query",
+    "compile_union",
+    "decode_images",
+    "describe_union_sharing",
+    "evaluate_union_shared",
+    "plan_batch",
     "plan_pushdown",
+    "plan_union_pushdown",
+    "run_query_batch",
+    "union_signature",
     "Distinct",
     "Empty",
     "ExtentScan",

@@ -1,0 +1,965 @@
+"""Multi-query optimization: shared-subplan execution across batches.
+
+Reformulation turns one query into a union of conjunctive queries whose
+bodies overlap heavily (Section 4.2: every rule rewrites one atom and
+keeps the rest), and a served workload is many simultaneous,
+highly-overlapping queries. Evaluating each one independently re-runs
+identical scans and join subtrees dozens of times. Following the GLADE
+MQO design — detect shared work across a batch, execute each shared
+subplan once, fan results out — this module:
+
+1. **fingerprints join-tree prefixes**: each query's atoms are put in
+   the estimator's join order once (exactly what :func:`plan_query`
+   compiles), and every prefix of that order becomes a headless
+   subquery whose canonical form
+   (:func:`repro.query.containment.canonical_labeling`) is its
+   fingerprint. Two prefixes share a fingerprint iff they are
+   isomorphic *including* constants and rule-4 restrictions, so
+   isomorphic-looking-but-distinct subtrees never unify;
+2. **assembles a shared-subplan DAG**: a fingerprint consumed by ≥ 2
+   queries becomes a :class:`SharedNode`, cost-gated — re-executing the
+   subtree ``n`` times must be priced above materializing its rows once
+   (:data:`MATERIALIZE_COST_FACTOR`). Longer nodes start from shorter
+   materialized nodes, so sharing nests;
+3. **executes each node once** and fans out: node rows are materialized
+   as encoded row batches behind an
+   :class:`~repro.engine.operators.ExtentScan` (the ordinary batch
+   contract), relabeled per consumer through the canonical-index
+   correspondence, and each consumer joins only its remaining atoms;
+4. **merges encoded answers**: consumers produce *images* (dictionary
+   codes, with constant head terms attached) that are deduplicated
+   across the whole batch/union before :func:`decode_images` decodes
+   each distinct answer once.
+
+Three consumers sit on top: :func:`run_query_batch` (independent
+queries, the server-mode hook), ``evaluate_union`` in
+:mod:`repro.query.evaluation` (reformulation unions — and through it
+``ReformulationAwareStatistics``), and :func:`plan_union_pushdown`,
+which on a SQL-capable backend compiles an eligible union into **one**
+``SELECT ... UNION`` statement whose shared subtrees are CTEs
+(:func:`repro.engine.sqlcompile.compile_union`). The compound executes
+only when the estimator prices the shared-prefix recompute it avoids
+above its measured per-arm overhead (:data:`STATEMENT_OVERHEAD_ROWS`);
+otherwise the same branches run as per-branch prepared statements with
+encoded answers merged union-wide. Union-level artifacts are cached in
+the store's prepared-plan cache under the union's canonical signature
+and flushed on mutation, like every other prepared plan.
+
+Sharing applies on the cost-based batched route only (``engine="auto"``
+with a batch size); fixed engines, the tuple-at-a-time path, explicit
+statistics providers, and ``shared=False`` stay fully independent — the
+measured ablation baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.engine.operators import (
+    DEFAULT_BATCH_SIZE,
+    ExtentScan,
+    HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
+    Operator,
+    _projector,
+)
+from repro.engine.planner import (
+    _PLAN_CACHE_LIMIT,
+    _PUSHDOWN_INELIGIBLE,
+    _check_batch_size,
+    _estimator,
+    _natural_pairs,
+    _plan_cache_entry,
+    plan_pushdown,
+    plan_query,
+    run_query,
+)
+from repro.engine.sqlcompile import (
+    CompiledUnion,
+    UnionBranch,
+    UnionCTE,
+    compile_union,
+)
+from repro.query.cq import Atom, ConjunctiveQuery, Variable
+from repro.query.containment import canonical_form, canonical_labeling
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Term
+
+__all__ = [
+    "BatchPlan",
+    "SharedNode",
+    "MATERIALIZE_COST_FACTOR",
+    "MQO_DAG",
+    "UNION_PUSHDOWN",
+    "decode_images",
+    "evaluate_union_shared",
+    "plan_batch",
+    "plan_union_pushdown",
+    "run_query_batch",
+    "union_signature",
+]
+
+#: Engine-slot token under which shared-subplan DAGs live in the
+#: prepared-plan cache (keyed by the tuple of distinct batch queries).
+MQO_DAG = "mqo-dag"
+
+#: Engine-slot token for compiled ``SELECT ... UNION`` statements
+#: (keyed by the union's canonical signature).
+UNION_PUSHDOWN = "sql-union-pushdown"
+
+#: Engine-slot token for the per-union routing decision
+#: (keyed by the raw disjunct tuple, so repeated evaluations of the
+#: same union — the statistics collector's access pattern — skip
+#: deduplication, signature lookup, and per-disjunct plan lookups).
+_UNION_ROUTE = "mqo-union-route"
+
+#: Cost gate: a subtree consumed by ``n`` plans is shared only when
+#: ``(n - 1) * exec_cost > MATERIALIZE_COST_FACTOR * rows_out`` — the
+#: estimator must price the *avoided* re-executions above the overhead
+#: of materializing (building + re-scanning) its output rows. A cheap,
+#: wide subtree (one full scan feeding two consumers) stays unshared;
+#: the same scan feeding many consumers, or any subtree whose joins do
+#: real work, crosses the gate.
+MATERIALIZE_COST_FACTOR = 2.0
+
+#: Per-row factor of an index-nested-loop probe in the gate's cost walk
+#: (same scale as the planner's ``_INL_PROBE_COST``).
+_PROBE_COST = 2.0
+
+#: Profit gate for executing a compiled union as ONE compound
+#: statement instead of per-branch prepared statements. On the
+#: embedded SQLite backend a compound arm costs roughly this many
+#: indexed row-probes *more* than the identical statement run alone
+#: (SQLite builds per-arm bloom filters and compound machinery on
+#: every execution, which dwarfs the few-microsecond dispatch a
+#: separate cached statement costs). The compound only runs when the
+#: shared-prefix recompute it avoids is estimated to save more rows
+#: per arm than this overhead; selective reformulation unions land far
+#: below it, unions whose shared prefixes are wide cross it.
+STATEMENT_OVERHEAD_ROWS = 16.0
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting and the shared-subplan DAG
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _PrefixInfo:
+    """Fingerprint of one join-order prefix of one query.
+
+    ``key`` is the canonical form of the prefix as a headless subquery
+    (atoms + the rule-4 restrictions it binds), ``assignment`` maps the
+    query's prefix variables to their canonical indices — the column
+    correspondence consumers relabel materialized node rows through.
+    """
+
+    key: tuple
+    assignment: tuple[tuple[Variable, int], ...]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """One query's sharing-relevant shape inside a batch plan."""
+
+    query: ConjunctiveQuery
+    #: Body atoms in the estimator's join order.
+    ordered_atoms: tuple[Atom, ...]
+    #: ``prefixes[k - 1]`` fingerprints ``ordered_atoms[:k]``.
+    prefixes: tuple[_PrefixInfo, ...]
+
+
+@dataclass(frozen=True)
+class SharedNode:
+    """One shared join subtree, executed once per batch run."""
+
+    key: tuple
+    #: Representative prefix (the first consumer's atoms, in order).
+    atoms: tuple[Atom, ...]
+    #: Rule-4 restriction of the representative prefix.
+    non_literal: frozenset[Variable]
+    #: Representative variable -> canonical column index.
+    assignment: tuple[tuple[Variable, int], ...]
+    #: The representative's shorter prefixes — a longer node starts
+    #: from the longest already-materialized one (DAG nesting).
+    prefixes: tuple[_PrefixInfo, ...]
+    #: Number of batch queries whose longest gated prefix this is.
+    consumers: int
+    #: Estimated execution cost / output rows behind the gate decision.
+    est_cost: float
+    est_rows: float
+
+    @property
+    def length(self) -> int:
+        return len(self.atoms)
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """The shared-subplan DAG for one batch of distinct queries."""
+
+    queries: tuple[ConjunctiveQuery, ...]
+    plans: tuple[QueryPlan, ...]
+    #: Executed nodes, shortest first (so nesting finds its leaves).
+    nodes: tuple[SharedNode, ...]
+
+    def sharing_summary(self) -> tuple[int, int]:
+        """``(shared nodes, queries consuming one)`` — for explain."""
+        keys = {node.key for node in self.nodes}
+        consuming = sum(
+            1
+            for plan in self.plans
+            if any(info.key in keys for info in plan.prefixes)
+        )
+        return len(self.nodes), consuming
+
+
+def _dedupe(queries: Iterable[ConjunctiveQuery]) -> tuple[ConjunctiveQuery, ...]:
+    """Distinct queries, first occurrence order (equality ignores names)."""
+    seen: dict[ConjunctiveQuery, None] = {}
+    for query in queries:
+        seen.setdefault(query)
+    return tuple(seen)
+
+
+def _prefix_query(
+    atoms: tuple[Atom, ...], non_literal: frozenset[Variable]
+) -> ConjunctiveQuery:
+    """A prefix as a headless subquery (restrictions auto-restricted to
+    the prefix's own variables by the query constructor)."""
+    return ConjunctiveQuery((), atoms, name="mqo-prefix", non_literal=non_literal)
+
+
+def _prefix_cost(estimator, atoms: tuple[Atom, ...]) -> tuple[float, float]:
+    """``(estimated execution cost, estimated output rows)`` of a prefix.
+
+    An index-nested-loop walk over the already-ordered atoms — the same
+    shape the hybrid compiler builds — priced from the estimator's
+    prefix cardinalities. Only the ratio against materialization
+    matters, so the absolute scale is the planner's.
+    """
+    order = list(range(len(atoms)))
+    counts = [float(estimator.atom_cardinality(atom)) for atom in atoms]
+    prefix = estimator.prefix_cardinalities(atoms, order)
+    cost = counts[0]
+    bound = set(atoms[0].variables())
+    for step in range(1, len(atoms)):
+        rows_in, rows_out = prefix[step - 1], prefix[step]
+        if atoms[step].variables() & bound:
+            cost += rows_in * _PROBE_COST + rows_out
+        else:
+            cost += rows_in * max(counts[step], 1.0) + rows_out
+        bound |= atoms[step].variables()
+    return cost, max(prefix[-1], 1.0)
+
+
+def _build_batch_plan(
+    queries: tuple[ConjunctiveQuery, ...], estimator
+) -> BatchPlan:
+    plans: list[QueryPlan] = []
+    for query in queries:
+        order = estimator.join_order(query.atoms)
+        ordered = tuple(query.atoms[index] for index in order)
+        prefixes: list[_PrefixInfo] = []
+        for k in range(1, len(ordered) + 1):
+            sub = _prefix_query(ordered[:k], query.non_literal)
+            form, assignment = canonical_labeling(sub, include_head=False)
+            prefixes.append(
+                _PrefixInfo(form, tuple(sorted(assignment.items(), key=lambda kv: kv[1])))
+            )
+        plans.append(QueryPlan(query, ordered, tuple(prefixes)))
+
+    # Count potential consumers per fingerprint (prefixes of one query
+    # all have distinct lengths, hence distinct keys — at most one vote
+    # per query per key) and keep the first consumer as representative.
+    consumers: dict[tuple, int] = {}
+    representative: dict[tuple, tuple[QueryPlan, int]] = {}
+    for plan in plans:
+        for k, info in enumerate(plan.prefixes, start=1):
+            consumers[info.key] = consumers.get(info.key, 0) + 1
+            representative.setdefault(info.key, (plan, k))
+
+    # Cost gate: sharing must be priced cheaper than re-execution.
+    candidates: dict[tuple, tuple[QueryPlan, int, int, float, float]] = {}
+    for key, count in consumers.items():
+        if count < 2:
+            continue
+        plan, k = representative[key]
+        cost, rows = _prefix_cost(estimator, plan.ordered_atoms[:k])
+        if (count - 1) * cost > MATERIALIZE_COST_FACTOR * rows:
+            candidates[key] = (plan, k, count, cost, rows)
+
+    # Each query consumes its longest gated prefix; only chosen nodes
+    # execute (a gated key no query picks would materialize for nobody).
+    chosen: set[tuple] = set()
+    for plan in plans:
+        for k in range(len(plan.prefixes), 0, -1):
+            if plan.prefixes[k - 1].key in candidates:
+                chosen.add(plan.prefixes[k - 1].key)
+                break
+    nodes: list[SharedNode] = []
+    for key in chosen:
+        plan, k, count, cost, rows = candidates[key]
+        sub = _prefix_query(plan.ordered_atoms[:k], plan.query.non_literal)
+        nodes.append(
+            SharedNode(
+                key=key,
+                atoms=plan.ordered_atoms[:k],
+                non_literal=sub.non_literal,
+                assignment=plan.prefixes[k - 1].assignment,
+                prefixes=plan.prefixes[: k - 1],
+                consumers=count,
+                est_cost=cost,
+                est_rows=rows,
+            )
+        )
+    nodes.sort(key=lambda node: (node.length, node.key))
+    return BatchPlan(tuple(queries), tuple(plans), tuple(nodes))
+
+
+def plan_batch(
+    queries: Sequence[ConjunctiveQuery],
+    store: TripleStore,
+    statistics=None,
+) -> BatchPlan:
+    """The shared-subplan DAG for a batch of queries on a store.
+
+    Pure structure — fingerprints, chosen nodes, column correspondences
+    — with no materialized rows, so it is cached in the store's
+    prepared-plan cache (keyed by the tuple of distinct queries under
+    the :data:`MQO_DAG` engine slot) and flushed on mutation like every
+    other prepared plan: join orders and the cost gate both derive from
+    the store's statistics.
+    """
+    distinct = _dedupe(queries)
+    if statistics is not None:
+        return _build_batch_plan(distinct, _estimator(store, statistics))
+    entry = _plan_cache_entry(store)
+    plans = entry["plans"]
+    key = (distinct, MQO_DAG)
+    cached = plans.get(key)
+    if cached is not None:
+        return cached
+    built = _build_batch_plan(distinct, _estimator(store, None))
+    if len(plans) >= _PLAN_CACHE_LIMIT:
+        plans.clear()
+    plans[key] = built
+    return built
+
+
+# ----------------------------------------------------------------------
+# Shared execution: materialize nodes once, fan out images
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _CompiledNode:
+    """One shared node's reusable operator tree.
+
+    ``leaf`` is the swappable :class:`ExtentScan` the tree starts from
+    when the node nests on a shorter one (``leaf_key`` names it);
+    ``columns`` maps canonical column index -> output row position.
+    """
+
+    key: tuple
+    root: Operator
+    leaf: ExtentScan | None
+    leaf_key: tuple | None
+    columns: dict[int, int]
+
+
+@dataclass
+class _CompiledConsumer:
+    """One query's reusable tree over its longest applicable node.
+
+    ``root is None`` means no node applies — the query runs its
+    ordinary (itself cached) :func:`plan_query` plan.
+    """
+
+    query: ConjunctiveQuery
+    root: Operator | None
+    leaf: ExtentScan | None
+    leaf_key: tuple | None
+
+
+@dataclass
+class _CompiledBatch:
+    """The batch plan compiled to operator trees, cached per store.
+
+    Trees are built once and re-executed by swapping each run's
+    materialized node rows into the leaf scans — the shared-execution
+    analogue of the prepared-plan cache, flushed with it on mutation.
+    """
+
+    nodes: list[_CompiledNode]
+    consumers: list[_CompiledConsumer]
+
+
+def _compile_leaf(
+    prefixes: Sequence[_PrefixInfo],
+    compiled: dict[tuple, _CompiledNode],
+) -> tuple[ExtentScan | None, int, tuple | None]:
+    """A scan over the longest compiled node covering a prefix chain.
+
+    The scan's schema is relabeled to the consumer's variable names
+    through the canonical-index correspondence; its rows are swapped in
+    per execution. Returns ``(None, 0, None)`` when no node applies.
+    """
+    for k in range(len(prefixes), 0, -1):
+        info = prefixes[k - 1]
+        node = compiled.get(info.key)
+        if node is None:
+            continue
+        index_to_name = {index: variable.name for variable, index in info.assignment}
+        schema: list[str] = [""] * len(node.columns)
+        for index, position in node.columns.items():
+            schema[position] = index_to_name[index]
+        return ExtentScan(f"mqo-node[{k}]", (), tuple(schema)), k, info.key
+    return None, 0, None
+
+
+def _compile_batch(plan: BatchPlan, store: TripleStore) -> _CompiledBatch:
+    """Compile the DAG's nodes and consumers to reusable operator trees."""
+    compiled: dict[tuple, _CompiledNode] = {}
+    nodes: list[_CompiledNode] = []
+    for node in plan.nodes:
+        leaf, covered, leaf_key = _compile_leaf(node.prefixes, compiled)
+        root = _join_from(store, leaf, node.atoms[covered:], node.non_literal)
+        by_name = {variable.name: index for variable, index in node.assignment}
+        columns = {
+            by_name[name]: position for position, name in enumerate(root.schema)
+        }
+        entry = _CompiledNode(node.key, root, leaf, leaf_key, columns)
+        compiled[node.key] = entry
+        nodes.append(entry)
+    consumers: list[_CompiledConsumer] = []
+    for qplan in plan.plans:
+        leaf, covered, leaf_key = _compile_leaf(qplan.prefixes, compiled)
+        root = None
+        if leaf is not None:
+            root = _join_from(
+                store, leaf, qplan.ordered_atoms[covered:], qplan.query.non_literal
+            )
+        consumers.append(_CompiledConsumer(qplan.query, root, leaf, leaf_key))
+    return _CompiledBatch(nodes, consumers)
+
+
+def _compiled_batch(plan: BatchPlan, store: TripleStore) -> _CompiledBatch:
+    """The compiled trees for ``plan``, cached in the prepared-plan
+    cache (so repeated shared evaluation pays operator construction
+    once, exactly like :func:`plan_query` does for single plans)."""
+    entry = _plan_cache_entry(store)
+    plans = entry["plans"]
+    key = (plan.queries, MQO_DAG, "compiled")
+    cached = plans.get(key)
+    if cached is not None:
+        return cached
+    built = _compile_batch(plan, store)
+    if len(plans) >= _PLAN_CACHE_LIMIT:
+        plans.clear()
+    plans[key] = built
+    return built
+
+
+def _join_from(
+    store: TripleStore,
+    leaf: Operator | None,
+    atoms: Sequence[Atom],
+    non_literal: frozenset[Variable],
+) -> Operator:
+    """Left-deep join of ``atoms`` on top of ``leaf`` (or from scratch).
+
+    Hybrid-shaped: index-nested-loop probes for connected steps, hash
+    joins for Cartesian ones — any strategy yields the same answer set,
+    and probing keeps the fan-out from a materialized leaf cheap.
+    """
+    root = leaf
+    remaining = list(atoms)
+    if root is None:
+        root = IndexScan(store, remaining.pop(0), non_literal)
+    for atom in remaining:
+        connected = any(
+            isinstance(term, Variable) and term.name in root.schema
+            for term in atom
+        )
+        if connected:
+            root = IndexNestedLoopJoin(root, store, atom, non_literal)
+        else:
+            right = IndexScan(store, atom, non_literal)
+            pairs, keep_right = _natural_pairs(root.schema, right.schema)
+            root = HashJoin(root, right, pairs, keep_right)
+    return root
+
+
+def _images_from_root(
+    query: ConjunctiveQuery, root: Operator, batch_size: int
+) -> set[tuple]:
+    """Distinct encoded head images of ``query`` from a compiled root."""
+    schema = root.schema
+    slots: list[int | None] = []
+    constants: list[Term | None] = []
+    for term in query.head:
+        if isinstance(term, Variable):
+            slots.append(schema.index(term.name))
+            constants.append(None)
+        else:
+            slots.append(None)
+            constants.append(term)
+    images: set[tuple] = set()
+    if all(slot is not None for slot in slots):
+        project = _projector(tuple(slots))
+        for batch in root.batches(batch_size):
+            images.update([project(row) for row in batch])
+        return images
+    for batch in root.batches(batch_size):
+        for row in batch:
+            images.add(
+                tuple(
+                    constant if slot is None else row[slot]
+                    for slot, constant in zip(slots, constants)
+                )
+            )
+    return images
+
+
+def _batch_images(
+    plan: BatchPlan,
+    store: TripleStore,
+    batch_size: int,
+    workers: int = 1,
+) -> list[set[tuple]]:
+    """Encoded head images per distinct query, via the shared DAG.
+
+    Nodes materialize shortest-first, each starting from the longest
+    already-materialized node among its own prefixes; consumers then
+    scan the longest applicable node and join only their remaining
+    atoms. Queries touching no node run their ordinary cached plan.
+    The operator trees themselves come from the compiled-batch cache —
+    each execution only swaps the freshly materialized rows into the
+    leaf scans.
+    """
+    compiled = _compiled_batch(plan, store)
+    materialized: dict[tuple, list] = {}
+    for node in compiled.nodes:
+        if node.leaf is not None:
+            node.leaf._rows = materialized[node.leaf_key]
+        materialized[node.key] = node.root.rows_batched(batch_size)
+    out: list[set[tuple]] = []
+    for consumer in compiled.consumers:
+        if consumer.root is None:
+            root = plan_query(
+                consumer.query, store, engine="auto", workers=workers
+            )
+        else:
+            consumer.leaf._rows = materialized[consumer.leaf_key]
+            root = consumer.root
+        out.append(_images_from_root(consumer.query, root, batch_size))
+    # Drop row references so cached trees don't pin this run's
+    # materialized batches in memory.
+    for node in compiled.nodes:
+        if node.leaf is not None:
+            node.leaf._rows = ()
+    for consumer in compiled.consumers:
+        if consumer.leaf is not None:
+            consumer.leaf._rows = ()
+    return out
+
+
+def decode_images(images: Iterable[tuple], store: TripleStore) -> set[tuple[Term, ...]]:
+    """Decode encoded head images, each distinct code exactly once.
+
+    Image positions are dictionary codes (``int``) or already-decoded
+    constant head terms; both may mix within one union's image set.
+    """
+    decode = store.dictionary.decode
+    cache: dict[int, Term] = {}
+    answers: set[tuple[Term, ...]] = set()
+    for image in images:
+        answer = []
+        for part in image:
+            if isinstance(part, int):
+                term = cache.get(part)
+                if term is None:
+                    term = decode(part)
+                    cache[part] = term
+                answer.append(term)
+            else:
+                answer.append(part)
+        answers.add(tuple(answer))
+    return answers
+
+
+# ----------------------------------------------------------------------
+# Union pushdown: one SELECT ... UNION statement with shared CTEs
+# ----------------------------------------------------------------------
+
+
+#: ``distinct disjunct tuple -> signature`` memo: reformulation unions
+#: are evaluated repeatedly (statistics re-counts them per search
+#: step), and re-sorting hundreds of canonical forms per evaluation
+#: costs more than executing the union.
+_SIGNATURE_CACHE: dict[tuple[ConjunctiveQuery, ...], tuple] = {}
+
+
+def union_signature(disjuncts: Iterable[ConjunctiveQuery]) -> tuple:
+    """The union's canonical signature: sorted distinct canonical forms.
+
+    Two unions share a signature iff their disjunct sets are pairwise
+    isomorphic with head correspondence — such unions have identical
+    answer sets on every store, so compiled union artifacts cached
+    under the signature are shared across variable renamings.
+    """
+    key = _dedupe(disjuncts)
+    signature = _SIGNATURE_CACHE.get(key)
+    if signature is None:
+        if len(_SIGNATURE_CACHE) >= _PLAN_CACHE_LIMIT:
+            _SIGNATURE_CACHE.clear()
+        signature = tuple(sorted({canonical_form(d) for d in key}))
+        _SIGNATURE_CACHE[key] = signature
+    return signature
+
+
+def plan_union_pushdown(
+    disjuncts: Sequence[ConjunctiveQuery], store: TripleStore
+) -> CompiledUnion | None:
+    """The single-statement pushdown route for a union, if it exists.
+
+    On a SQL-capable backend, compiles the whole union — shared
+    subtrees as CTEs, one SELECT arm per non-empty disjunct — into one
+    ``SELECT ... UNION`` statement
+    (:func:`repro.engine.sqlcompile.compile_union`); returns ``None``
+    when the backend cannot execute SQL plans or the union exceeds the
+    pushdown limits, and the caller falls back to the interpreted
+    shared DAG. Results (including the negative) are cached in the
+    store's prepared-plan cache under the union's canonical signature
+    (:func:`union_signature`, engine slot :data:`UNION_PUSHDOWN`) and
+    flushed when the store mutates.
+    """
+    if not getattr(store.backend, "supports_sql_plans", False):
+        return None
+    distinct = _dedupe(disjuncts)
+    entry = _plan_cache_entry(store)
+    plans = entry["plans"]
+    key = (union_signature(distinct), UNION_PUSHDOWN)
+    cached = plans.get(key)
+    if cached is not None:
+        return None if cached is _PUSHDOWN_INELIGIBLE else cached
+    batch = plan_batch(distinct, store)
+    node_index = {node.key: position for position, node in enumerate(batch.nodes)}
+    ctes = tuple(
+        UnionCTE(atoms=node.atoms, columns=node.assignment)
+        for node in batch.nodes
+    )
+    branches = []
+    for qplan in batch.plans:
+        cte_id: int | None = None
+        covered = 0
+        columns: tuple[tuple[Variable, int], ...] = ()
+        for k in range(len(qplan.prefixes), 0, -1):
+            info = qplan.prefixes[k - 1]
+            position = node_index.get(info.key)
+            if position is not None:
+                cte_id, covered, columns = position, k, info.assignment
+                break
+        branches.append(
+            UnionBranch(
+                query=qplan.query,
+                atoms=qplan.ordered_atoms,
+                cte=cte_id,
+                covered=covered,
+                columns=columns,
+            )
+        )
+    compiled = compile_union(branches, ctes, store)
+    if len(plans) >= _PLAN_CACHE_LIMIT:
+        plans.clear()
+    plans[key] = _PUSHDOWN_INELIGIBLE if compiled is None else compiled
+    return compiled
+
+
+def _statement_profitable(batch: BatchPlan) -> bool:
+    """Whether the compound statement should beat per-branch statements.
+
+    Per-branch prepared statements recompute each shared prefix with
+    indexed probes — roughly ``est_rows`` extra row-touches per extra
+    consumer — while the compound pays
+    :data:`STATEMENT_OVERHEAD_ROWS` of per-arm execution overhead.
+    """
+    savings = sum(
+        (node.consumers - 1) * node.est_rows for node in batch.nodes
+    )
+    return savings > STATEMENT_OVERHEAD_ROWS * len(batch.plans)
+
+
+#: Sentinel marking a union branch whose shared prefix was probed
+#: empty at route-build time: the branch provably has no answers on
+#: this store version and its statement is never executed.
+_EMPTY_BRANCH = object()
+
+
+def _empty_node_keys(batch: BatchPlan, store: TripleStore) -> frozenset:
+    """Keys of shared nodes whose prefixes have no matches right now.
+
+    Each node's prefix runs once as a ``SELECT EXISTS`` probe — the
+    shared subplan executed exactly once, its (empty) result fanned out
+    to every consumer. The probe ignores the rule-4 residue filter, so
+    it checks a *superset* of the filtered prefix: ``EXISTS`` false is
+    therefore a sound proof that every consuming branch is empty. A
+    node extending an already-empty shorter node inherits emptiness
+    without a probe.
+    """
+    empty: set = set()
+    for node in batch.nodes:
+        if any(info.key in empty for info in node.prefixes[:-1]):
+            empty.add(node.key)
+            continue
+        prefix = _prefix_query(node.atoms, node.non_literal)
+        head = sorted(prefix.variables(), key=lambda v: v.name)[:1]
+        if not head:
+            continue
+        probe = ConjunctiveQuery(
+            tuple(head),
+            node.atoms,
+            name="mqo-probe",
+            non_literal=node.non_literal,
+        )
+        compiled = plan_pushdown(probe, store, 1)
+        if compiled is None:
+            continue
+        if compiled.sql is None:
+            empty.add(node.key)
+            continue
+        rows = store.backend.execute_sql_plan(
+            f"SELECT EXISTS ({compiled.sql})", compiled.params
+        )
+        if not next(iter(rows))[0]:
+            empty.add(node.key)
+    return frozenset(empty)
+
+
+def _union_route(
+    disjuncts: tuple[ConjunctiveQuery, ...], store: TripleStore, workers: int
+):
+    """The cached routing decision for one union's pushdown evaluation.
+
+    Returns ``(distinct, compound, singles)``: the deduplicated
+    disjuncts, the compiled compound statement when it exists *and*
+    crosses the profit gate (else ``None``), and one entry per
+    disjunct — its compiled statement, ``None`` for the interpreted
+    fallback, or :data:`_EMPTY_BRANCH` when one of its shared prefixes
+    probed empty (the branch is skipped outright). Cached in the
+    prepared-plan cache under the raw disjunct tuple so re-evaluating
+    the same union is a single dictionary hit; flushed on store
+    mutation with every other prepared plan.
+    """
+    entry = _plan_cache_entry(store)
+    plans = entry["plans"]
+    key = (disjuncts, _UNION_ROUTE, workers)
+    cached = plans.get(key)
+    if cached is None:
+        distinct = _dedupe(disjuncts)
+        compound = plan_union_pushdown(distinct, store)
+        if compound is not None and compound.sql is not None:
+            if not _statement_profitable(plan_batch(distinct, store)):
+                compound = None
+        singles = None
+        if compound is None:
+            singles = [plan_pushdown(d, store, workers) for d in distinct]
+            if getattr(store.backend, "supports_sql_plans", False):
+                batch = plan_batch(distinct, store)
+                empty = _empty_node_keys(batch, store)
+                if empty:
+                    dead = {
+                        plan.query
+                        for plan in batch.plans
+                        if any(info.key in empty for info in plan.prefixes)
+                    }
+                    singles = [
+                        _EMPTY_BRANCH if disjunct in dead else single
+                        for single, disjunct in zip(singles, distinct)
+                    ]
+            singles = tuple(singles)
+        cached = (distinct, compound, singles)
+        if len(plans) >= _PLAN_CACHE_LIMIT:
+            plans.clear()
+        plans[key] = cached
+    return cached
+
+
+# ----------------------------------------------------------------------
+# Public consumers
+# ----------------------------------------------------------------------
+
+
+def evaluate_union_shared(
+    disjuncts: Sequence[ConjunctiveQuery],
+    store: TripleStore,
+    *,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    workers: int = 1,
+    pushdown: bool = True,
+) -> set[tuple[Term, ...]]:
+    """All answers of a union, evaluated as one shared batch.
+
+    On a SQL-capable backend the union compiles to a single
+    ``SELECT ... UNION`` statement (:func:`plan_union_pushdown`), but
+    the compound only *executes* when the estimator prices the shared
+    prefixes it avoids recomputing above its per-arm overhead
+    (:func:`_statement_profitable`) — for selective unions, per-branch
+    prepared statements from the same plan cache win. On the per-branch
+    route, shared DAG prefixes are probed once with ``SELECT EXISTS``
+    at route-build time and every branch over an empty prefix is
+    skipped outright (:func:`_empty_node_keys`). When the union is
+    not expressible (or the backend is not SQL), disjuncts that push
+    down individually run their compiled statements and the rest share
+    the interpreted DAG. Every route merges encoded answer images
+    across the *whole* union and decodes each distinct answer exactly
+    once.
+    """
+    batch_size = _check_batch_size(batch_size) or DEFAULT_BATCH_SIZE
+    images: set[tuple] = set()
+    interpreted: list[ConjunctiveQuery] = []
+    if pushdown:
+        distinct, compound, singles = _union_route(
+            tuple(disjuncts), store, workers
+        )
+        if compound is not None:
+            return compound.execute(store)
+        for single, disjunct in zip(singles, distinct):
+            if single is _EMPTY_BRANCH:
+                continue
+            if single is not None:
+                images |= single.images(store)
+            else:
+                interpreted.append(disjunct)
+    else:
+        interpreted.extend(_dedupe(disjuncts))
+    if interpreted:
+        batch = plan_batch(interpreted, store)
+        for image_set in _batch_images(batch, store, batch_size, workers):
+            images |= image_set
+    return decode_images(images, store)
+
+
+def run_query_batch(
+    queries: Sequence[ConjunctiveQuery],
+    store: TripleStore,
+    *,
+    engine: str = "auto",
+    statistics=None,
+    batch_size: int | None = DEFAULT_BATCH_SIZE,
+    workers: int = 1,
+    pushdown: bool = True,
+    shared: bool = True,
+) -> list[set[tuple[Term, ...]]]:
+    """Answer a batch of independent queries, sharing work across them.
+
+    Returns one answer set per input query, in input order — exactly
+    what ``[run_query(q, store, ...) for q in queries]`` returns, but
+    common join subtrees across the batch execute once
+    (:func:`plan_batch`) and duplicate queries are answered once. This
+    is the cross-client batching hook for server mode.
+
+    Sharing needs the cost-based batched route: with a fixed ``engine``,
+    an explicit ``statistics`` provider, the tuple-at-a-time path, or
+    ``shared=False`` (the measured ablation baseline), every query runs
+    independently through :func:`run_query`. On a SQL-capable backend,
+    pushdown-eligible queries keep their single-statement route — it
+    beats interpreted sharing — and the DAG shares work among the rest.
+
+    >>> from repro.query.parser import parse_query
+    >>> from repro.rdf.ntriples import parse_ntriples
+    >>> from repro.rdf.store import TripleStore
+    >>> store = TripleStore()
+    >>> _ = store.add_all(parse_ntriples('''
+    ... <http://e/a> <http://e/knows> <http://e/b> .
+    ... <http://e/b> <http://e/knows> <http://e/c> .
+    ... '''))
+    >>> batch = [
+    ...     parse_query("q1(X, Z) :- t(X, <http://e/knows>, Y), "
+    ...                 "t(Y, <http://e/knows>, Z)"),
+    ...     parse_query("q2(Y) :- t(<http://e/a>, <http://e/knows>, Y)"),
+    ... ]
+    >>> [len(answers) for answers in run_query_batch(batch, store)]
+    [1, 1]
+    >>> run_query_batch(batch, store, shared=False) == run_query_batch(
+    ...     batch, store)
+    True
+    """
+    queries = list(queries)
+    if not queries:
+        return []
+    checked = _check_batch_size(batch_size)
+    sharing = (
+        shared
+        and engine == "auto"
+        and statistics is None
+        and checked is not None
+    )
+    answers: dict[ConjunctiveQuery, set[tuple[Term, ...]]] = {}
+    if not sharing:
+        for query in _dedupe(queries):
+            answers[query] = run_query(
+                query,
+                store,
+                engine=engine,
+                statistics=statistics,
+                batch_size=batch_size,
+                workers=workers,
+                pushdown=pushdown,
+            )
+        return [answers[query] for query in queries]
+    interpreted: list[ConjunctiveQuery] = []
+    for query in _dedupe(queries):
+        compiled = plan_pushdown(query, store, workers) if pushdown else None
+        if compiled is not None:
+            answers[query] = compiled.execute(store)
+        else:
+            interpreted.append(query)
+    if interpreted:
+        batch = plan_batch(interpreted, store)
+        images = _batch_images(batch, store, checked, workers)
+        for query, image_set in zip(batch.queries, images):
+            answers[query] = decode_images(image_set, store)
+    return [answers[query] for query in queries]
+
+
+def describe_union_sharing(
+    disjuncts: Sequence[ConjunctiveQuery], store: TripleStore
+) -> str:
+    """One-line shared-subplan accounting for ``--explain``."""
+    distinct = _dedupe(disjuncts)
+    batch = plan_batch(distinct, store)
+    nodes, consuming = batch.sharing_summary()
+    line = (
+        f"{len(tuple(disjuncts))} disjuncts ({len(distinct)} distinct), "
+        f"{nodes} shared subplans covering {consuming} disjuncts"
+    )
+    compiled = plan_union_pushdown(distinct, store)
+    if compiled is not None:
+        if compiled.sql is None:
+            line += "; pushdown union: EMPTY"
+        else:
+            route = (
+                "compound statement"
+                if _statement_profitable(batch)
+                else "per-branch statements"
+            )
+            line += (
+                f"; pushdown union: {compiled.branches} branches, "
+                f"{compiled.shared_ctes} shared CTEs, route: {route}"
+            )
+            if route == "per-branch statements" and getattr(
+                store.backend, "supports_sql_plans", False
+            ):
+                empty = _empty_node_keys(batch, store)
+                pruned = sum(
+                    1
+                    for plan in batch.plans
+                    if any(info.key in empty for info in plan.prefixes)
+                )
+                if pruned:
+                    line += f", {pruned} branches pruned empty"
+    return line

@@ -62,7 +62,16 @@ from repro.query.cq import ConjunctiveQuery, Variable
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import Term
 
-__all__ = ["CompiledQuery", "compile_query", "MAX_PUSHDOWN_TABLES"]
+__all__ = [
+    "CompiledQuery",
+    "CompiledUnion",
+    "UnionBranch",
+    "UnionCTE",
+    "compile_query",
+    "compile_union",
+    "MAX_PUSHDOWN_TABLES",
+    "MAX_UNION_BRANCHES",
+]
 
 #: Most atoms one pushed-down statement may join. SQLite refuses joins
 #: of more than 64 tables; staying a little below leaves headroom for
@@ -73,6 +82,12 @@ MAX_PUSHDOWN_TABLES = 60
 #: occurrence. Matches the backend's probe budget: below 999, the
 #: SQLITE_MAX_VARIABLE_NUMBER default of the oldest supported builds.
 MAX_PUSHDOWN_PARAMS = 900
+
+#: Most branches one pushed-down UNION statement may hold. SQLite's
+#: compound-select term limit defaults to 500; staying below leaves
+#: headroom, and unions beyond it fall back to the interpreted shared
+#: DAG (which has no size ceiling).
+MAX_UNION_BRANCHES = 400
 
 #: Column names of the triple table, in atom-position order.
 _COLUMNS = ("s", "p", "o")
@@ -116,6 +131,38 @@ class CompiledQuery:
             text = text.replace("?", str(code), 1)
         return text
 
+    def images(self, store: TripleStore) -> set[tuple]:
+        """Distinct *encoded* head images: codes for variable positions,
+        the constant term for constant positions.
+
+        The multi-query optimizer merges images across a whole union of
+        disjuncts before decoding, so each distinct answer is decoded
+        once per union instead of once per disjunct
+        (:func:`repro.engine.mqo.decode_images` is the inverse).
+        """
+        if self.sql is None:
+            return set()
+        rows = store.backend.execute_sql_plan(self.sql, self.params)
+        restricted = self.restricted_slots
+        if restricted:
+            is_literal = store.dictionary.is_literal_code
+            rows = (
+                row
+                for row in rows
+                if not any(is_literal(row[slot]) for slot in restricted)
+            )
+        slots = self.head_slots
+        if all(slot is not None for slot in slots):
+            return {tuple(row[slot] for slot in slots) for row in rows}
+        constants = self.head_constants
+        return {
+            tuple(
+                constant if slot is None else row[slot]
+                for slot, constant in zip(slots, constants)
+            )
+            for row in rows
+        }
+
     def execute(self, store: TripleStore) -> set[tuple[Term, ...]]:
         """Run the statement in the backend and decode the answers.
 
@@ -125,32 +172,20 @@ class CompiledQuery:
         """
         if self.sql is None:
             return set()
-        rows = store.backend.execute_sql_plan(self.sql, self.params)
         decode = store.dictionary.decode
-        restricted = self.restricted_slots
-        if restricted:
-            is_literal = store.dictionary.is_literal_code
-            rows = (
-                row
-                for row in rows
-                if not any(is_literal(row[slot]) for slot in restricted)
-            )
         answers: set[tuple[Term, ...]] = set()
         cache: dict[int, Term] = {}
-        slots = self.head_slots
-        constants = self.head_constants
-        for row in rows:
+        for image in self.images(store):
             answer = []
-            for slot, constant in zip(slots, constants):
-                if slot is None:
-                    answer.append(constant)
-                else:
-                    code = row[slot]
-                    term = cache.get(code)
+            for part in image:
+                if isinstance(part, int):
+                    term = cache.get(part)
                     if term is None:
-                        term = decode(code)
-                        cache[code] = term
+                        term = decode(part)
+                        cache[part] = term
                     answer.append(term)
+                else:
+                    answer.append(part)
             answers.add(tuple(answer))
         return answers
 
@@ -280,4 +315,323 @@ def compile_query(
         head_slots=tuple(head_slots),
         head_constants=tuple(head_constants),
         restricted_slots=tuple(restricted_slots),
+    )
+
+
+# ----------------------------------------------------------------------
+# Union pushdown: one SELECT ... UNION statement with shared CTEs
+# ----------------------------------------------------------------------
+#
+# Reformulation turns one query into a union of conjunctive queries
+# whose bodies overlap heavily. On a SQL-capable backend the whole
+# union — every branch *and* the work they share — is expressible as a
+# single compound statement: each shared join-subtree the multi-query
+# optimizer (:mod:`repro.engine.mqo`) detects becomes one non-recursive
+# CTE, each disjunct becomes one SELECT arm reading its covered prefix
+# from the CTE, and UNION deduplicates the merged head images inside
+# the backend. The sharing decisions (which prefixes, which disjuncts
+# consume them) are made upstream and arrive here as plain data
+# (:class:`UnionCTE` / :class:`UnionBranch`); this module stays pure
+# text generation over dictionary codes.
+#
+# Two encodings keep the compound statement uniform across branches:
+#
+# * a *constant head term* is projected as its dictionary code (an
+#   integer literal in the SELECT list). A constant the store has never
+#   seen still names a valid answer — reformulation binds head
+#   variables to schema constants that may be absent from the data —
+#   so it gets a fresh *negative* placeholder code (real codes are
+#   dense non-negative) recorded in the ``overlay`` decode map;
+# * the rule-4 residue (restricted variables confined to object
+#   positions) is appended per branch as extra columns, NULL-padded to
+#   a uniform width. Rows whose non-NULL extras decode to literals are
+#   dropped in Python; head images are then re-deduplicated, so the
+#   widened UNION stays invisible.
+
+
+@dataclass(frozen=True)
+class UnionCTE:
+    """One shared join subtree, compiled as a CTE of the union statement.
+
+    ``columns`` maps each variable of the representative subtree to its
+    canonical column id — branch arms address CTE output as ``sN.c<id>``
+    through their own variables' ids, so isomorphic prefixes from
+    different disjuncts meet on the same columns.
+    """
+
+    #: The representative prefix body, in its join order.
+    atoms: tuple[Atom, ...]
+    #: ``(variable, canonical column id)`` for every prefix variable.
+    columns: tuple[tuple[Variable, int], ...]
+
+
+@dataclass(frozen=True)
+class UnionBranch:
+    """One disjunct of the union, as a SELECT arm of the statement."""
+
+    #: The disjunct (head, ``non_literal`` restriction).
+    query: ConjunctiveQuery
+    #: The disjunct's body in its join order.
+    atoms: tuple[Atom, ...]
+    #: Index into the CTE list, or None when nothing is shared.
+    cte: int | None
+    #: Number of leading ``atoms`` served by the CTE.
+    covered: int
+    #: ``(variable, canonical column id)`` for the covered prefix.
+    columns: tuple[tuple[Variable, int], ...]
+
+
+@dataclass(frozen=True)
+class CompiledUnion:
+    """A union of conjunctive queries compiled to one SQL statement.
+
+    ``sql is None`` marks a union that is provably empty on the store it
+    was compiled against (every branch mentions a body constant the
+    dictionary has never seen). Like :class:`CompiledQuery`, the
+    compiled form is only valid for the store version it was compiled
+    on; the prepared-plan cache it lives in is flushed on mutation.
+    """
+
+    #: The compound statement, or None when provably empty.
+    sql: str | None
+    #: Dictionary codes bound to ``?`` placeholders, in textual order
+    #: (CTEs first, then branch arms).
+    params: tuple[int, ...]
+    #: Head width — fetched rows are ``arity`` head codes followed by
+    #: ``extra`` rule-4 residue columns.
+    arity: int
+    #: Number of NULL-padded residue columns per row.
+    extra: int
+    #: ``(negative placeholder code, term)`` for head constants absent
+    #: from the dictionary.
+    overlay: tuple[tuple[int, Term], ...]
+    #: Number of SELECT arms (non-empty disjuncts).
+    branches: int
+    #: Number of shared-subtree CTEs the arms read from.
+    shared_ctes: int
+
+    def describe(self) -> str:
+        """The statement with its bound parameters, for ``--explain``."""
+        if self.sql is None:
+            return (
+                "EMPTY (every union branch mentions a constant "
+                "absent from the store)"
+            )
+        text = self.sql
+        for code in self.params:
+            text = text.replace("?", str(code), 1)
+        return text
+
+    def images(self, store: TripleStore) -> set[tuple]:
+        """Distinct encoded head images across the whole union.
+
+        One backend call evaluates every branch and the shared CTEs;
+        Python drops rows whose rule-4 residue binds a literal, strips
+        the residue columns, and re-deduplicates the head images.
+        """
+        if self.sql is None:
+            return set()
+        rows = store.backend.execute_sql_plan(self.sql, self.params)
+        arity = self.arity
+        if self.extra:
+            is_literal = store.dictionary.is_literal_code
+            rows = (
+                row
+                for row in rows
+                if not any(
+                    code is not None and is_literal(code)
+                    for code in row[arity:]
+                )
+            )
+            return {tuple(row[:arity]) for row in rows}
+        return {tuple(row) for row in rows}
+
+    def execute(self, store: TripleStore) -> set[tuple[Term, ...]]:
+        """Run the statement and decode each distinct answer once."""
+        decode = store.dictionary.decode
+        overlay = dict(self.overlay)
+        cache: dict[int, Term] = dict(overlay)
+        answers: set[tuple[Term, ...]] = set()
+        for image in self.images(store):
+            answer = []
+            for code in image:
+                term = cache.get(code)
+                if term is None:
+                    term = decode(code)
+                    cache[code] = term
+                answer.append(term)
+            answers.add(tuple(answer))
+        return answers
+
+
+def _cte_select(cte: UnionCTE, store: TripleStore):
+    """``(select text, params, empty)`` for one shared-subtree CTE.
+
+    ``empty`` flags a prefix constant the dictionary has never seen:
+    the CTE (and every branch reading it) is provably empty.
+    """
+    first: dict[Variable, str] = {}
+    conditions: list[str] = []
+    params: list[int] = []
+    empty = False
+    for index, atom in enumerate(cte.atoms):
+        alias = f"t{index}"
+        for column, term in zip(_COLUMNS, atom):
+            expression = f"{alias}.{column}"
+            if isinstance(term, Variable):
+                known = first.get(term)
+                if known is None:
+                    first[term] = expression
+                else:
+                    conditions.append(f"{expression} = {known}")
+            else:
+                code = store.encode_term(term)
+                if code is None:
+                    empty = True
+                else:
+                    conditions.append(f"{expression} = ?")
+                    params.append(code)
+    select = ", ".join(
+        f"{first[variable]} AS c{column}"
+        for variable, column in sorted(cte.columns, key=lambda vc: vc[1])
+    )
+    tables = ", ".join(f"triples t{index}" for index in range(len(cte.atoms)))
+    where = f"\nWHERE {' AND '.join(conditions)}" if conditions else ""
+    return f"SELECT {select}\nFROM {tables}{where}", params, empty
+
+
+def compile_union(
+    branches: "list[UnionBranch] | tuple[UnionBranch, ...]",
+    ctes: "list[UnionCTE] | tuple[UnionCTE, ...]",
+    store: TripleStore,
+) -> CompiledUnion | None:
+    """Compile a union of conjunctive queries into one SQL statement.
+
+    ``branches`` carry the disjuncts (with their join order and shared-
+    prefix coverage) and ``ctes`` the shared subtrees, both produced by
+    the multi-query optimizer (:func:`repro.engine.mqo.plan_union_pushdown`
+    is the cached entry point). Returns ``None`` when the union is not
+    expressible within the pushdown limits — a 0-arity (boolean) head,
+    more branches than :data:`MAX_UNION_BRANCHES`, a branch beyond the
+    table or parameter budgets — and the caller falls back to the
+    interpreted shared-DAG route, which has no such ceilings.
+    """
+    if not branches:
+        return None
+    arity = len(branches[0].query.head)
+    if arity == 0:
+        # A boolean union projects no column; SELECT needs at least one
+        # and the interpreted route answers it with an early exit anyway.
+        return None
+    if len(branches) > MAX_UNION_BRANCHES:
+        return None
+
+    cte_texts: list[str | None] = []
+    cte_params: list[list[int]] = []
+    for cte in ctes:
+        if len(cte.atoms) > MAX_PUSHDOWN_TABLES:
+            return None
+        text, params, empty = _cte_select(cte, store)
+        cte_texts.append(None if empty else text)
+        cte_params.append(params)
+
+    overlay: dict[Term, int] = {}
+    compiled_arms: list[tuple[str, list[int], int | None]] = []
+    widths: list[int] = []
+    arms: list[tuple[list[str], list[str], list[str], list[str], list[int], int | None]] = []
+    for branch in branches:
+        if any(
+            store.encode_term(constant) is None
+            for atom in branch.atoms
+            for constant in atom.constants()
+        ):
+            continue  # provably empty disjunct: contribute no arm
+        cte_id = branch.cte
+        if cte_id is not None and cte_texts[cte_id] is None:
+            continue
+        first: dict[Variable, str] = {}
+        tables: list[str] = []
+        conditions: list[str] = []
+        params: list[int] = []
+        remaining = branch.atoms
+        if cte_id is not None:
+            name = f"s{cte_id}"
+            tables.append(name)
+            for variable, column in branch.columns:
+                first[variable] = f"{name}.c{column}"
+            remaining = branch.atoms[branch.covered:]
+        if len(remaining) + len(tables) > MAX_PUSHDOWN_TABLES:
+            return None
+        for index, atom in enumerate(remaining):
+            alias = f"t{index}"
+            tables.append(f"triples {alias}")
+            for column, term in zip(_COLUMNS, atom):
+                expression = f"{alias}.{column}"
+                if isinstance(term, Variable):
+                    known = first.get(term)
+                    if known is None:
+                        first[term] = expression
+                    else:
+                        conditions.append(f"{expression} = {known}")
+                else:
+                    conditions.append(f"{expression} = ?")
+                    params.append(store.encode_term(term))
+        select: list[str] = []
+        for term in branch.query.head:
+            if isinstance(term, Variable):
+                select.append(first[term])
+            else:
+                code = store.encode_term(term)
+                if code is None:
+                    code = overlay.get(term)
+                    if code is None:
+                        # Real codes are dense non-negative; a negative
+                        # placeholder can never collide with one.
+                        code = -(len(overlay) + 1)
+                        overlay[term] = code
+                select.append(str(code))
+        extras: list[str] = []
+        for variable in sorted(branch.query.non_literal, key=lambda v: v.name):
+            if _implied_non_literal(branch.query, variable):
+                continue
+            extras.append(first[variable])
+        widths.append(len(extras))
+        arms.append((select, extras, tables, conditions, params, cte_id))
+
+    if not arms:
+        return CompiledUnion(
+            sql=None, params=(), arity=arity, extra=0, overlay=(),
+            branches=0, shared_ctes=0,
+        )
+
+    extra = max(widths)
+    used_ctes = sorted({cte_id for *_, cte_id in arms if cte_id is not None})
+    all_params: list[int] = []
+    with_clauses: list[str] = []
+    for cte_id in used_ctes:
+        body = "\n".join(f"  {line}" for line in cte_texts[cte_id].splitlines())
+        with_clauses.append(f"s{cte_id} AS (\n{body}\n)")
+        all_params.extend(cte_params[cte_id])
+    parts: list[str] = []
+    for select, extras, tables, conditions, params, _ in arms:
+        padded = select + extras + ["NULL"] * (extra - len(extras))
+        where = f"\nWHERE {' AND '.join(conditions)}" if conditions else ""
+        parts.append(
+            f"SELECT DISTINCT {', '.join(padded)}"
+            f"\nFROM {', '.join(tables)}{where}"
+        )
+        all_params.extend(params)
+    if len(all_params) > MAX_PUSHDOWN_PARAMS:
+        return None
+    sql = "\nUNION\n".join(parts)
+    if with_clauses:
+        sql = "WITH " + ",\n".join(with_clauses) + "\n" + sql
+    return CompiledUnion(
+        sql=sql,
+        params=tuple(all_params),
+        arity=arity,
+        extra=extra,
+        overlay=tuple((code, term) for term, code in overlay.items()),
+        branches=len(arms),
+        shared_ctes=len(used_ctes),
     )

@@ -141,6 +141,16 @@ class ConjunctiveQuery:
                 self, "non_literal", frozenset(self.non_literal & body_vars)
             )
 
+    def __hash__(self) -> int:
+        # Queries key every prepared-plan cache and get re-hashed on
+        # each lookup; memoizing keeps batch-sized cache keys O(1).
+        # Mirrors the generated dataclass hash (``name`` compares False).
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.head, self.atoms, self.non_literal))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.engine import DEFAULT_BATCH_SIZE, run_query
+from repro.engine import DEFAULT_BATCH_SIZE, evaluate_union_shared, run_query
 from repro.query.cq import Atom, ConjunctiveQuery, UnionQuery, Variable
 from repro.rdf.store import EncodedPattern, TripleStore
 from repro.rdf.terms import Term
@@ -180,9 +180,33 @@ def evaluate_union(
     batch_size: int | None = DEFAULT_BATCH_SIZE,
     workers: int = 1,
     pushdown: bool = True,
+    shared: bool = True,
 ) -> set[Answer]:
-    """All answers of a union of conjunctive queries (duplicates removed)."""
+    """All answers of a union of conjunctive queries (duplicates removed).
+
+    Reformulation unions overlap heavily — every rule rewrites one atom
+    and keeps the rest — so on the default route (``engine="auto"`` with
+    a batch size) the disjuncts are evaluated as **one shared batch**
+    through the multi-query optimizer (:mod:`repro.engine.mqo`): common
+    join subtrees execute once and fan out, encoded answer images are
+    deduplicated across the whole union, and each distinct answer is
+    decoded exactly once. On a SQL-capable backend an eligible union
+    runs as a single pushed-down ``SELECT ... UNION`` statement whose
+    shared subtrees are CTEs.
+
+    ``shared=False`` restores fully independent per-disjunct evaluation
+    (the measured ablation baseline), as do fixed engines and the
+    tuple-at-a-time path.
+    """
     disjuncts = union.disjuncts if isinstance(union, UnionQuery) else tuple(union)
+    if shared and engine == "auto" and batch_size:
+        return evaluate_union_shared(
+            disjuncts,
+            store,
+            batch_size=batch_size,
+            workers=workers,
+            pushdown=pushdown,
+        )
     results: set[Answer] = set()
     for disjunct in disjuncts:
         results |= evaluate(

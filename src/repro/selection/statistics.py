@@ -70,6 +70,13 @@ class ReformulationAwareStatistics:
     distinct matches is cached. Theorem 4.2 guarantees this equals the
     atom's count on the saturated store. Column distincts, totals and
     term sizes come from the store's catalog like everywhere else.
+
+    Reformulation unions overlap heavily, so ``evaluate_union`` runs
+    them through the engine's multi-query optimizer
+    (:mod:`repro.engine.mqo`): shared join subtrees across the
+    disjuncts execute once (one pushed-down ``SELECT ... UNION``
+    statement on SQL-capable backends) — this provider inherits that
+    speedup without holding any MQO state of its own.
     """
 
     def __init__(self, store: TripleStore, schema: RDFSchema) -> None:

@@ -1,0 +1,502 @@
+"""Unit tests for the multi-query optimizer (repro.engine.mqo).
+
+Covers subtree fingerprinting (isomorphic prefixes unify, distinct ones
+never collide), the materialization cost gate, shared execution parity
+with independent evaluation, the whole-union ``SELECT ... UNION``
+pushdown (statement text, shared CTEs, NULL padding, the head-constant
+overlay), and the union-level prepared-plan cache lifecycle — identity,
+negative caching and mutation invalidation mirroring the single-query
+pushdown cache tests.
+"""
+
+import pytest
+
+from repro.engine import (
+    MATERIALIZE_COST_FACTOR,
+    describe_union_sharing,
+    evaluate_union_shared,
+    plan_batch,
+    plan_union_pushdown,
+    run_query,
+    run_query_batch,
+    union_signature,
+)
+from repro.engine.mqo import decode_images
+from repro.query.containment import canonical_form, canonical_labeling
+from repro.query.cq import Atom, ConjunctiveQuery, Variable
+from repro.query.evaluation import evaluate_greedy, evaluate_union
+from repro.query.parser import parse_query
+from repro.rdf.store import TripleStore
+from repro.rdf.triples import Triple
+
+from tests.conftest import ex
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+@pytest.fixture
+def sqlite_museum(museum_store):
+    store = museum_store.copy(backend="sqlite")
+    yield store
+    store.backend.close()
+
+
+def _chain():
+    return parse_query("qa(X, Z) :- t(X, isParentOf, Y), t(Y, hasPainted, Z)")
+
+
+def _chain_renamed():
+    return parse_query("qr(A, C) :- t(A, isParentOf, B), t(B, hasPainted, C)")
+
+
+def _chain_typed():
+    return parse_query(
+        "qb(X, Z) :- t(X, isParentOf, Y), t(Y, hasPainted, Z), "
+        "t(Z, rdf:type, painting)"
+    )
+
+
+def _headless_key(body, non_literal=frozenset()):
+    sub = ConjunctiveQuery((), tuple(body), name="k", non_literal=non_literal)
+    return canonical_labeling(sub, include_head=False)[0]
+
+
+def _union_reference(disjuncts, store):
+    answers = set()
+    for disjunct in disjuncts:
+        answers |= evaluate_greedy(disjunct, store)
+    return answers
+
+
+class TestFingerprints:
+    def test_isomorphic_prefixes_unify(self, museum_store):
+        batch = plan_batch([_chain(), _chain_renamed()], museum_store)
+        assert len(batch.plans) == 2
+        first, second = batch.plans
+        assert first.prefixes[-1].key == second.prefixes[-1].key
+        assert len(batch.nodes) == 1
+        assert batch.nodes[0].consumers == 2
+        assert batch.nodes[0].length == 2
+
+    def test_different_constants_do_not_collide(self):
+        a = _headless_key([Atom(X, ex("hasPainted"), ex("starryNight"))])
+        b = _headless_key([Atom(X, ex("hasPainted"), ex("sunflowers"))])
+        assert a != b
+
+    def test_different_restrictions_do_not_collide(self):
+        body = [Atom(X, ex("isParentOf"), Y), Atom(Y, ex("hasPainted"), Z)]
+        assert _headless_key(body) != _headless_key(
+            body, non_literal=frozenset({Z})
+        )
+
+    def test_different_structure_does_not_collide(self):
+        path = [Atom(X, ex("isParentOf"), Y), Atom(Y, ex("isParentOf"), Z)]
+        fork = [Atom(X, ex("isParentOf"), Y), Atom(X, ex("isParentOf"), Z)]
+        assert _headless_key(path) != _headless_key(fork)
+
+    def test_isomorphic_bodies_collide_regardless_of_names(self):
+        a = [Atom(X, ex("isParentOf"), Y), Atom(Y, ex("hasPainted"), Z)]
+        b = [
+            Atom(Variable("P"), ex("isParentOf"), Variable("Q")),
+            Atom(Variable("Q"), ex("hasPainted"), Variable("R")),
+        ]
+        assert _headless_key(a) == _headless_key(b)
+
+    def test_labeling_form_matches_canonical_form(self):
+        query = _chain_typed()
+        form, assignment = canonical_labeling(query)
+        assert form == canonical_form(query)
+        indices = sorted(assignment.values())
+        assert set(assignment) == query.variables()
+        assert indices == list(range(len(indices)))
+
+
+class TestCostGate:
+    def test_cheap_scan_with_two_consumers_stays_unshared(self, museum_store):
+        body = (Atom(X, ex("isParentOf"), Y),)
+        queries = [
+            ConjunctiveQuery((X,), body, name="qc"),
+            ConjunctiveQuery((Y,), body, name="qd"),
+        ]
+        assert plan_batch(queries, museum_store).nodes == ()
+
+    def test_same_scan_with_many_consumers_crosses_gate(self, museum_store):
+        body = (Atom(X, ex("isParentOf"), Y),)
+        heads = [(X,), (Y,), (X, Y), (Y, X)]
+        queries = [
+            ConjunctiveQuery(head, body, name=f"q{i}")
+            for i, head in enumerate(heads)
+        ]
+        batch = plan_batch(queries, museum_store)
+        assert len(batch.nodes) == 1
+        node = batch.nodes[0]
+        assert node.length == 1
+        assert node.consumers == 4
+
+    def test_chosen_nodes_satisfy_the_gate_inequality(self, museum_store):
+        batch = plan_batch([_chain(), _chain_typed()], museum_store)
+        assert batch.nodes
+        for node in batch.nodes:
+            assert (node.consumers - 1) * node.est_cost > (
+                MATERIALIZE_COST_FACTOR * node.est_rows
+            )
+
+    def test_sharing_summary_counts_consuming_queries(self, museum_store):
+        batch = plan_batch([_chain(), _chain_typed()], museum_store)
+        nodes, consuming = batch.sharing_summary()
+        assert nodes == 1
+        assert consuming == 2
+
+
+class TestDagCache:
+    def test_batch_plan_is_cached(self, sqlite_museum):
+        queries = [_chain(), _chain_typed()]
+        first = plan_batch(queries, sqlite_museum)
+        assert plan_batch(queries, sqlite_museum) is first
+
+    def test_explicit_statistics_bypass_the_cache(self, museum_store):
+        from repro.selection.statistics import StoreStatistics
+
+        queries = [_chain(), _chain_typed()]
+        cached = plan_batch(queries, museum_store)
+        fresh = plan_batch(
+            queries, museum_store, statistics=StoreStatistics(museum_store)
+        )
+        assert fresh is not cached
+
+    def test_mutation_invalidates_batch_plans(self, sqlite_museum):
+        queries = [_chain(), _chain_typed()]
+        first = plan_batch(queries, sqlite_museum)
+        sqlite_museum.add(Triple(ex("x"), ex("isParentOf"), ex("y")))
+        second = plan_batch(queries, sqlite_museum)
+        assert second is not first
+
+
+class TestSharedExecution:
+    def test_union_parity_on_memory(self, museum_store):
+        disjuncts = [_chain(), _chain_typed(), _chain_renamed()]
+        expected = _union_reference(disjuncts, museum_store)
+        assert evaluate_union(disjuncts, museum_store) == expected
+        assert evaluate_union(disjuncts, museum_store, shared=False) == expected
+
+    def test_union_parity_on_sqlite(self, sqlite_museum):
+        disjuncts = [_chain(), _chain_typed()]
+        expected = _union_reference(disjuncts, sqlite_museum)
+        assert evaluate_union(disjuncts, sqlite_museum) == expected
+        assert (
+            evaluate_union(disjuncts, sqlite_museum, pushdown=False) == expected
+        )
+        assert (
+            evaluate_union(disjuncts, sqlite_museum, shared=False) == expected
+        )
+
+    def test_batch_matches_individual_runs(self, museum_store):
+        queries = [
+            _chain(),
+            _chain_typed(),
+            parse_query("qs(X) :- t(X, rdf:type, painter)"),
+        ]
+        expected = [run_query(query, museum_store) for query in queries]
+        assert run_query_batch(queries, museum_store) == expected
+        assert run_query_batch(queries, museum_store, shared=False) == expected
+        assert (
+            run_query_batch(queries, museum_store, engine="hash") == expected
+        )
+
+    def test_batch_matches_individual_runs_on_sqlite(self, sqlite_museum):
+        queries = [_chain(), _chain_typed()]
+        expected = [run_query(query, sqlite_museum) for query in queries]
+        assert run_query_batch(queries, sqlite_museum) == expected
+        assert (
+            run_query_batch(queries, sqlite_museum, pushdown=False) == expected
+        )
+
+    def test_duplicate_queries_are_answered_once(self, museum_store):
+        query = _chain()
+        results = run_query_batch([query, _chain_typed(), query], museum_store)
+        assert results[0] is results[2]
+        assert results[0] == run_query(query, museum_store)
+
+    def test_empty_batch(self, museum_store):
+        assert run_query_batch([], museum_store) == []
+
+    def test_tuple_at_a_time_stays_independent_but_agrees(self, museum_store):
+        queries = [_chain(), _chain_typed()]
+        expected = [run_query(query, museum_store) for query in queries]
+        assert (
+            run_query_batch(queries, museum_store, batch_size=None) == expected
+        )
+
+    def test_decode_images_mixes_codes_and_constants(self, museum_store):
+        code = museum_store.encode_term(ex("vanGogh"))
+        images = {(code, ex("moma"))}
+        assert decode_images(images, museum_store) == {
+            (ex("vanGogh"), ex("moma"))
+        }
+
+    def test_each_distinct_code_decoded_once(self, museum_store, monkeypatch):
+        disjuncts = [_chain(), _chain_renamed()]
+        expected = _union_reference(disjuncts, museum_store)
+        calls = []
+        original = museum_store.dictionary.decode
+
+        def counting(code):
+            calls.append(code)
+            return original(code)
+
+        monkeypatch.setattr(museum_store.dictionary, "decode", counting)
+        assert evaluate_union_shared(disjuncts, museum_store) == expected
+        assert len(calls) == len(set(calls))
+
+
+class TestUnionPushdown:
+    def test_single_statement_with_shared_cte(self, sqlite_museum):
+        disjuncts = [_chain(), _chain_typed()]
+        compiled = plan_union_pushdown(disjuncts, sqlite_museum)
+        assert compiled is not None
+        assert compiled.sql.startswith("WITH s0 AS (")
+        assert "\nUNION\n" in compiled.sql
+        assert compiled.branches == 2
+        assert compiled.shared_ctes == 1
+        assert compiled.execute(sqlite_museum) == _union_reference(
+            disjuncts, sqlite_museum
+        )
+
+    def test_describe_inlines_the_codes(self, sqlite_museum):
+        compiled = plan_union_pushdown(
+            [_chain(), _chain_typed()], sqlite_museum
+        )
+        assert "?" not in compiled.describe()
+
+    def test_memory_backend_has_no_union_pushdown(self, museum_store):
+        assert plan_union_pushdown([_chain(), _chain_typed()], museum_store) is None
+
+    def test_union_plan_is_cached(self, sqlite_museum):
+        disjuncts = [_chain(), _chain_typed()]
+        first = plan_union_pushdown(disjuncts, sqlite_museum)
+        assert first is not None
+        assert plan_union_pushdown(disjuncts, sqlite_museum) is first
+
+    def test_cache_is_shared_across_variable_renamings(self, sqlite_museum):
+        first = plan_union_pushdown([_chain()], sqlite_museum)
+        assert first is not None
+        assert plan_union_pushdown([_chain_renamed()], sqlite_museum) is first
+
+    def test_signature_ignores_order_and_duplicates(self):
+        a = union_signature([_chain(), _chain_typed()])
+        b = union_signature([_chain_typed(), _chain_renamed(), _chain()])
+        assert a == b
+        assert union_signature([_chain()]) != union_signature([_chain_typed()])
+
+    def test_mutation_invalidates_union_plans(self, sqlite_museum):
+        disjuncts = [_chain(), _chain_typed()]
+        first = plan_union_pushdown(disjuncts, sqlite_museum)
+        sqlite_museum.add(Triple(ex("x"), ex("isParentOf"), ex("y")))
+        second = plan_union_pushdown(disjuncts, sqlite_museum)
+        assert second is not None and second is not first
+        assert second.execute(sqlite_museum) == _union_reference(
+            disjuncts, sqlite_museum
+        )
+
+    def test_zero_arity_union_is_cached_ineligible(self, sqlite_museum):
+        disjuncts = [
+            ConjunctiveQuery((), (Atom(X, ex("hasPainted"), Y),), name="ask")
+        ]
+        assert plan_union_pushdown(disjuncts, sqlite_museum) is None
+        assert plan_union_pushdown(disjuncts, sqlite_museum) is None
+        # The union still answers through the per-disjunct route.
+        assert evaluate_union(disjuncts, sqlite_museum) == {()}
+
+    def test_absent_constant_branch_is_skipped(self, sqlite_museum):
+        bad = ConjunctiveQuery(
+            (X, Y), (Atom(X, ex("neverSeen"), Y),), name="bad"
+        )
+        compiled = plan_union_pushdown([_chain(), bad], sqlite_museum)
+        assert compiled is not None
+        assert compiled.branches == 1
+        assert compiled.execute(sqlite_museum) == evaluate_greedy(
+            _chain(), sqlite_museum
+        )
+
+    def test_all_branches_empty_compiles_to_the_empty_union(self, sqlite_museum):
+        bad = ConjunctiveQuery(
+            (X, Y), (Atom(X, ex("neverSeen"), Y),), name="bad"
+        )
+        compiled = plan_union_pushdown([bad], sqlite_museum)
+        assert compiled is not None
+        assert compiled.sql is None
+        assert "EMPTY" in compiled.describe()
+        assert compiled.execute(sqlite_museum) == set()
+
+    def test_head_constant_absent_from_store_uses_the_overlay(
+        self, sqlite_museum
+    ):
+        tag = ex("freshTag")
+        query = ConjunctiveQuery(
+            (X, tag), (Atom(X, ex("hasPainted"), ex("starryNight")),), name="qt"
+        )
+        compiled = plan_union_pushdown([query], sqlite_museum)
+        assert compiled is not None
+        assert compiled.overlay  # the tag got a placeholder code
+        assert compiled.execute(sqlite_museum) == {(ex("vanGogh"), tag)}
+
+    def test_restricted_variables_pad_with_null(self, sqlite_museum):
+        titled = parse_query(
+            "qt(X, T) :- t(X, title, T)"
+        ).with_non_literal({Variable("T")})
+        painted = parse_query("qp(X, Y) :- t(X, hasPainted, Y)")
+        compiled = plan_union_pushdown([titled, painted], sqlite_museum)
+        assert compiled is not None
+        assert "NULL" in compiled.sql
+        expected = _union_reference([titled, painted], sqlite_museum)
+        assert compiled.execute(sqlite_museum) == expected
+        # The restriction really drops the literal title binding.
+        assert evaluate_greedy(titled, sqlite_museum) == set()
+
+
+class TestStatementGate:
+    """The profit gate choosing compound vs per-branch execution."""
+
+    def _clear_plans(self, store):
+        from repro.engine.planner import _plan_cache_entry
+
+        _plan_cache_entry(store)["plans"].clear()
+
+    def test_selective_union_routes_to_per_branch_statements(
+        self, sqlite_museum
+    ):
+        from repro.engine.mqo import _union_route
+
+        disjuncts = (_chain(), _chain_typed())
+        distinct, compound, singles = _union_route(disjuncts, sqlite_museum, 1)
+        assert compound is None
+        assert singles is not None and all(s is not None for s in singles)
+        assert evaluate_union(disjuncts, sqlite_museum) == _union_reference(
+            disjuncts, sqlite_museum
+        )
+
+    def test_route_decision_is_cached(self, sqlite_museum):
+        from repro.engine.mqo import _union_route
+
+        disjuncts = (_chain(), _chain_typed())
+        first = _union_route(disjuncts, sqlite_museum, 1)
+        assert _union_route(disjuncts, sqlite_museum, 1) is first
+        sqlite_museum.add(Triple(ex("x"), ex("isParentOf"), ex("y")))
+        assert _union_route(disjuncts, sqlite_museum, 1) is not first
+
+    def test_forced_compound_statement_agrees(self, sqlite_museum, monkeypatch):
+        import repro.engine.mqo as mqo
+
+        disjuncts = (_chain(), _chain_typed())
+        expected = _union_reference(disjuncts, sqlite_museum)
+        monkeypatch.setattr(mqo, "STATEMENT_OVERHEAD_ROWS", 0.0)
+        self._clear_plans(sqlite_museum)
+        distinct, compound, singles = mqo._union_route(
+            disjuncts, sqlite_museum, 1
+        )
+        assert compound is not None and singles is None
+        assert evaluate_union(disjuncts, sqlite_museum) == expected
+
+    def test_gate_inequality_drives_the_decision(self, sqlite_museum):
+        from repro.engine.mqo import (
+            STATEMENT_OVERHEAD_ROWS,
+            _statement_profitable,
+        )
+
+        batch = plan_batch((_chain(), _chain_typed()), sqlite_museum)
+        savings = sum(
+            (node.consumers - 1) * node.est_rows for node in batch.nodes
+        )
+        assert _statement_profitable(batch) == (
+            savings > STATEMENT_OVERHEAD_ROWS * len(batch.plans)
+        )
+
+
+def _empty_prefix_union():
+    """Two queries sharing a gated 2-atom prefix with no matches: the
+    museum's located-in targets (moma, vienna) are nobody's parent, yet
+    both predicates are individually present — the estimator prices the
+    node, the ``SELECT EXISTS`` probe finds it empty."""
+    return (
+        parse_query(
+            "q1(X, A) :- t(X, isLocatedIn, Y), t(Y, isParentOf, Z), "
+            "t(Z, hasPainted, A)"
+        ),
+        parse_query(
+            "q2(X, Z) :- t(X, isLocatedIn, Y), t(Y, isParentOf, Z), "
+            "t(Z, rdf:type, painter)"
+        ),
+    )
+
+
+class TestEmptyPrefixPruning:
+    """Branches over a probed-empty shared prefix are skipped outright."""
+
+    def test_empty_shared_prefix_prunes_every_consumer(self, sqlite_museum):
+        from repro.engine.mqo import _EMPTY_BRANCH, _union_route
+
+        disjuncts = _empty_prefix_union()
+        batch = plan_batch(disjuncts, sqlite_museum)
+        assert batch.nodes, "the shared prefix must form a gated node"
+        _, compound, singles = _union_route(disjuncts, sqlite_museum, 1)
+        assert compound is None
+        assert all(single is _EMPTY_BRANCH for single in singles)
+        assert evaluate_union(disjuncts, sqlite_museum) == set()
+        assert evaluate_union(disjuncts, sqlite_museum) == _union_reference(
+            disjuncts, sqlite_museum
+        )
+
+    def test_nonempty_prefixes_are_never_pruned(self, sqlite_museum):
+        from repro.engine.mqo import _EMPTY_BRANCH, _union_route
+
+        disjuncts = (_chain(), _chain_typed())
+        _, _, singles = _union_route(disjuncts, sqlite_museum, 1)
+        assert all(single is not _EMPTY_BRANCH for single in singles)
+
+    def test_pruning_decision_invalidates_on_mutation(self, sqlite_museum):
+        from repro.engine.mqo import _EMPTY_BRANCH, _union_route
+
+        disjuncts = _empty_prefix_union()
+        assert evaluate_union(disjuncts, sqlite_museum) == set()
+        # Making vienna a parent of a painter fills the probed prefix:
+        # the flushed route must re-probe and execute the branches.
+        sqlite_museum.add(Triple(ex("vienna"), ex("isParentOf"), ex("bruegelJr")))
+        _, _, singles = _union_route(disjuncts, sqlite_museum, 1)
+        assert all(single is not _EMPTY_BRANCH for single in singles)
+        expected = _union_reference(disjuncts, sqlite_museum)
+        assert expected
+        assert evaluate_union(disjuncts, sqlite_museum) == expected
+
+    def test_describe_reports_pruned_branches(self, sqlite_museum):
+        line = describe_union_sharing(_empty_prefix_union(), sqlite_museum)
+        assert "2 branches pruned empty" in line
+
+
+class TestDescribeUnionSharing:
+    def test_interpreted_summary(self, museum_store):
+        line = describe_union_sharing(
+            [_chain(), _chain_renamed(), _chain()], museum_store
+        )
+        assert "3 disjuncts (2 distinct)" in line
+        assert "1 shared subplans covering 2 disjuncts" in line
+        assert "pushdown union" not in line
+
+    def test_pushdown_summary(self, sqlite_museum):
+        line = describe_union_sharing(
+            [_chain(), _chain_typed()], sqlite_museum
+        )
+        assert "pushdown union: 2 branches, 1 shared CTEs" in line
+        assert "route: per-branch statements" in line
+
+    def test_describe_reports_compound_route_when_gated_on(
+        self, sqlite_museum, monkeypatch
+    ):
+        import repro.engine.mqo as mqo
+        from repro.engine.planner import _plan_cache_entry
+
+        monkeypatch.setattr(mqo, "STATEMENT_OVERHEAD_ROWS", 0.0)
+        _plan_cache_entry(sqlite_museum)["plans"].clear()
+        line = describe_union_sharing(
+            [_chain(), _chain_typed()], sqlite_museum
+        )
+        assert "route: compound statement" in line

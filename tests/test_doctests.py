@@ -12,6 +12,7 @@ import doctest
 
 import pytest
 
+import repro.engine.mqo
 import repro.engine.planner
 import repro.engine.sqlcompile
 import repro.query.algebra
@@ -19,6 +20,7 @@ import repro.rdf.store
 import repro.storage.base
 
 DOCUMENTED_MODULES = [
+    repro.engine.mqo,
     repro.engine.planner,
     repro.engine.sqlcompile,
     repro.query.algebra,
