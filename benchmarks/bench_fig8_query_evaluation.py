@@ -60,6 +60,8 @@ except ImportError:  # pragma: no cover - smoke mode without pytest
 from benchmarks.bench_table3_reformulation_workloads import reformulation_workloads
 from benchmarks.support import barton, budget, full_scale, report
 from repro.engine import choose_engine
+from repro.obs import metrics
+from repro.obs.analyze import analyze_query
 from repro.query.evaluation import (
     evaluate,
     evaluate_greedy,
@@ -79,6 +81,13 @@ from repro.selection.transitions import TransitionEnumerator
 from repro.storage import BACKENDS
 
 EXPERIMENT = "Figure 8: execution times for queries with RDFS (ms per query)"
+
+# Disabled-instrumentation guards a single engine query crosses on its
+# hot path (run_query wrapper, plan-cache lookup + insert + size gauge,
+# route counter, slow-query check, pushdown compile + execute on SQL
+# backends) — counted generously so the smoke gate overestimates the
+# projected disabled overhead rather than undercounting it.
+OBS_TOUCHPOINTS_PER_QUERY = 16
 
 
 def _recommend(initial_builder, statistics):
@@ -275,6 +284,35 @@ def test_fig8_execution_times(benchmark, setup):
     _report_rows(setup, rows)
 
 
+def _observability_payload(setup, workers: int = 1):
+    """One instrumented workload pass, rendered for ``BENCH_fig8.json``.
+
+    Runs every query (engine-auto on the saturated store) and its
+    reformulation union (MQO route on the plain store) once under
+    ``metrics.enabled_registry()`` and embeds the registry snapshot —
+    plan-cache behaviour, route counters, query-latency histograms —
+    next to the timings they explain, plus the measured cost of one
+    *disabled* touchpoint (the figure the smoke overhead gate projects
+    from). See ``docs/observability.md`` for the metric catalog.
+    """
+    queries = setup["queries"]
+    saturated = setup["saturated"]
+    plain, schema = setup["plain"], setup["schema"]
+    metrics.reset()
+    with metrics.enabled_registry():
+        for query in queries:
+            evaluate(query, saturated, engine="auto", workers=workers)
+            evaluate_union(reformulate(query, schema), plain, workers=workers)
+    registry = metrics.snapshot()
+    metrics.reset()
+    return {
+        "disabled_overhead_ns_per_touchpoint": round(
+            metrics.disabled_overhead_ns(), 1
+        ),
+        "workload_pass": registry,
+    }
+
+
 def _json_payload(setup, rows, workers: int = 1):
     """Machine-readable Figure 8 results (written to ``BENCH_fig8.json``).
 
@@ -322,6 +360,9 @@ def _json_payload(setup, rows, workers: int = 1):
             for name, times in rows
         ],
         "totals_ms": {series: round(value, 4) for series, value in totals.items()},
+        # The registry snapshot of one instrumented workload pass plus
+        # the measured disabled-touchpoint cost (observability PR).
+        "observability": _observability_payload(setup, workers=workers),
     }
 
 
@@ -562,6 +603,70 @@ def main(argv=None) -> int:
                     f"SMOKE OK: sqlite pushdown {pushdown_total:.2f} ms <= "
                     f"interpreted {interpreted_total:.2f} ms * 1.25"
                 )
+        # Observability overhead gate: disabled instrumentation is a
+        # module attribute load plus a branch per touchpoint, far below
+        # wall-clock A/B resolution on this workload — so measure one
+        # touchpoint directly, project it across the (generous)
+        # per-query touchpoint count, and fail when the projection
+        # exceeds 5% of the measured per-query engine time.
+        overhead_ns = metrics.disabled_overhead_ns()
+        per_query_ms = total_engine / max(len(rows), 1)
+        projected_ms = overhead_ns * OBS_TOUCHPOINTS_PER_QUERY / 1e6
+        if projected_ms > per_query_ms * 0.05:
+            print(
+                f"SMOKE FAIL: disabled instrumentation projects to "
+                f"{projected_ms * 1000:.2f} us/query ({overhead_ns:.0f} ns "
+                f"x {OBS_TOUCHPOINTS_PER_QUERY} touchpoints), more than "
+                f"5% of per-query engine time ({per_query_ms:.3f} ms)"
+            )
+            return 1
+        print(
+            f"SMOKE OK: disabled instrumentation {projected_ms * 1000:.2f} "
+            f"us/query ({overhead_ns:.0f} ns x {OBS_TOUCHPOINTS_PER_QUERY} "
+            f"touchpoints) <= 5% of {per_query_ms:.3f} ms/query"
+        )
+        # EXPLAIN ANALYZE gate: run every query once instrumented (the
+        # pushdown route on SQL backends, interpreted elsewhere) and
+        # check the analyzed actuals against the reference evaluator —
+        # the probed answer count must equal the real one, the distinct
+        # encoded images must equal the decoded answers 1:1, and the
+        # probed root cannot report fewer rows than the answers it
+        # produced.
+        analyzed_rows = 0
+        for query in setup["queries"]:
+            expected = evaluate(query, setup["saturated"], engine="auto")
+            analysis = analyze_query(
+                query, setup["saturated"], engine="auto", workers=args.workers
+            )
+            if analysis.answers != expected:
+                print(
+                    f"SMOKE FAIL: EXPLAIN ANALYZE answers for {query.name} "
+                    f"({analysis.answer_count}) disagree with the engine "
+                    f"({len(expected)})"
+                )
+                return 1
+            if analysis.distinct_images != analysis.answer_count:
+                print(
+                    f"SMOKE FAIL: {query.name} recorded "
+                    f"{analysis.distinct_images} distinct images for "
+                    f"{analysis.answer_count} answers"
+                )
+                return 1
+            if analysis.root_rows < analysis.answer_count:
+                print(
+                    f"SMOKE FAIL: {query.name}'s probed root reported "
+                    f"{analysis.root_rows} rows for "
+                    f"{analysis.answer_count} answers"
+                )
+                return 1
+            analyzed_rows += sum(
+                stats.rows_out for _, stats in analysis.operators
+            )
+        print(
+            f"SMOKE OK: EXPLAIN ANALYZE matches the engine on "
+            f"{len(setup['queries'])} queries "
+            f"({analyzed_rows} operator rows recorded)"
+        )
     return 0
 
 

@@ -18,11 +18,21 @@ the syntax of :mod:`repro.query.parser`::
 With ``--schema`` pointing at an N-Triples file of RDFS statements (or
 when the data file itself contains ``rdfs:subClassOf`` & co.), the
 entailment modes of Section 4.3 become available.
+
+Status chatter routes through stdlib :mod:`logging` (logger ``repro``,
+INFO to stdout, WARNING and above to stderr): ``-q`` silences it,
+``--log-level debug`` raises it, and ``--slow-query-ms`` makes the
+engine warn on every query slower than the threshold. Observability
+flags: ``--explain`` prints physical plans, ``--analyze`` executes them
+instrumented (per-operator rows/batches/time and actual-vs-estimated
+cardinalities), ``--metrics-json`` dumps the metrics registry and
+``--trace`` writes structured tracing spans as JSONL.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sqlite3
 import sys
 from pathlib import Path
@@ -37,6 +47,9 @@ from repro.engine import (
     plan_pushdown,
     plan_query,
 )
+from repro.obs import metrics, tracing
+from repro.obs.analyze import analyze_batch, analyze_query, analyze_union
+from repro.obs.render import PlanNode, operator_tree, query_header, render, sql_tree
 from repro.query.parser import parse_queries
 from repro.rdf.ntriples import NTriplesParseError, parse_ntriples
 from repro.rdf.schema import RDFSchema
@@ -44,6 +57,35 @@ from repro.rdf.store import TripleStore
 from repro.selection.recommender import ENTAILMENT_MODES, ViewSelector
 from repro.selection.search import STRATEGY_FACTORIES, SearchBudget
 from repro.storage import BACKENDS, SnapshotError, SqliteBackend
+
+_LOG = logging.getLogger("repro.cli")
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _setup_logging(level_name: str) -> None:
+    """Fresh handlers on the ``repro`` logger for this ``main()`` run.
+
+    INFO and below go to stdout (they are the CLI's status narration),
+    WARNING and above to stderr — so piping stdout captures results
+    while slow-query warnings and errors still reach the terminal.
+    Handlers are replaced, not appended: tests call ``main()`` many
+    times in one process.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level_name.upper()))
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    formatter = logging.Formatter("%(message)s")
+    out = logging.StreamHandler(sys.stdout)
+    out.addFilter(lambda record: record.levelno < logging.WARNING)
+    out.setFormatter(formatter)
+    err = logging.StreamHandler(sys.stderr)
+    err.setLevel(logging.WARNING)
+    err.setFormatter(formatter)
+    logger.addHandler(out)
+    logger.addHandler(err)
 
 
 def _non_negative_int(value: str) -> int:
@@ -110,6 +152,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "reformulation union (with --schema) and across the "
                         "workload batch, plus the search's Figure-5 state "
                         "accounting after the recommendation")
+    parser.add_argument("--analyze", action="store_true",
+                        help="EXPLAIN ANALYZE: execute each workload query "
+                        "instrumented and print the annotated plan tree — "
+                        "per-operator rows in/out, batches, wall time, and "
+                        "actual-vs-estimated cardinalities per join step; "
+                        "covers the SQL pushdown route (with the backend's "
+                        "EXPLAIN QUERY PLAN and an answer-parity check), the "
+                        "MQO shared-node fan-out per reformulation union "
+                        "(with --schema) and the workload batch")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker processes for the parallel partitioned "
                         "hash join and for the search's parallel frontier "
@@ -122,6 +173,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rows per operator batch in the execution "
                         f"engine (default {DEFAULT_BATCH_SIZE}; 0 selects "
                         "the tuple-at-a-time path)")
+    parser.add_argument("--log-level", choices=_LOG_LEVELS, default="info",
+                        help="verbosity of the status narration on the "
+                        "'repro' logger (default info)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress status narration (same as "
+                        "--log-level warning); results still print")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        metavar="MS",
+                        help="warn (on stderr) about every engine query "
+                        "slower than this many milliseconds")
+    parser.add_argument("--metrics-json", type=Path, default=None,
+                        metavar="PATH",
+                        help="enable the metrics registry and write its "
+                        "JSON snapshot to PATH on exit")
+    parser.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                        help="write structured tracing spans (JSON lines) "
+                        "to PATH")
     return parser
 
 
@@ -136,27 +204,25 @@ def _load_store(args) -> TripleStore | None:
     """Build the store from --data / --db; None (and a message) on misuse."""
     if args.data is None:
         if args.db is None or not args.db.is_file():
-            print(
+            _LOG.error(
                 "either --data or --db pointing at an existing snapshot "
-                "is required",
-                file=sys.stderr,
+                "is required"
             )
             return None
         try:
             store = TripleStore.open(args.db, backend=args.backend)
         except SnapshotError as exc:
-            print(f"cannot open {args.db}: {exc}", file=sys.stderr)
+            _LOG.error(f"cannot open {args.db}: {exc}")
             return None
-        print(
+        _LOG.info(
             f"opened {len(store)} triples from {args.db} "
             f"[{store.backend_name} backend]"
         )
         return store
     if args.db is not None and args.db.exists():
-        print(
+        _LOG.error(
             f"refusing to overwrite existing {args.db}; "
-            "drop --data to open it, or pick a fresh --db path",
-            file=sys.stderr,
+            "drop --data to open it, or pick a fresh --db path"
         )
         return None
     if args.backend == "sqlite":
@@ -165,31 +231,155 @@ def _load_store(args) -> TripleStore | None:
                 backend=SqliteBackend(args.db) if args.db is not None else "sqlite"
             )
         except sqlite3.Error as exc:
-            print(f"cannot create database {args.db}: {exc}", file=sys.stderr)
+            _LOG.error(f"cannot create database {args.db}: {exc}")
             return None
     else:
         store = TripleStore()
     try:
         store.add_all(parse_ntriples(args.data.read_text()))
     except (OSError, NTriplesParseError) as exc:
-        print(f"cannot load {args.data}: {exc}", file=sys.stderr)
+        _LOG.error(f"cannot load {args.data}: {exc}")
         store.backend.close()
         if args.db is not None:
             # Don't leave a half-loaded stub blocking the next attempt.
             args.db.unlink(missing_ok=True)
         return None
-    print(
+    _LOG.info(
         f"loaded {len(store)} triples from {args.data} "
         f"[{store.backend_name} backend]"
     )
     if args.db is not None:
         store.save(args.db)
-        print(f"saved store snapshot to {args.db}")
+        _LOG.info(f"saved store snapshot to {args.db}")
     return store
+
+
+def _explain_plan(query, store, args) -> PlanNode:
+    """The ``--explain`` plan tree for one query (no execution)."""
+    # The pushdown route only runs under engine=auto on a batch
+    # path; --batch-size 0 (tuple-at-a-time) stays interpreted.
+    pushdown_route = args.engine == "auto" and args.batch_size != 0
+    chosen = (
+        choose_engine(query, store, pushdown=pushdown_route)
+        if args.engine == "auto"
+        else args.engine
+    )
+    compiled = (
+        plan_pushdown(query, store, args.workers) if pushdown_route else None
+    )
+    if compiled is not None:
+        header = query_header(query.name, engine=chosen, pushdown=True)
+        header.children.append(sql_tree(compiled))
+        return header
+    root = plan_query(query, store, engine=args.engine, workers=args.workers)
+    header = query_header(
+        query.name,
+        engine=chosen,
+        **{"partitioned-join": _uses_partitioned_join(root)},
+        pushdown=False,
+    )
+    header.children.append(operator_tree(root))
+    return header
+
+
+def _print_explain(queries, store, schema, args) -> None:
+    batch = "tuple-at-a-time" if args.batch_size == 0 else str(args.batch_size)
+    title = query_header(
+        "physical plans on the store",
+        **{"batch-size": batch, "workers": args.workers},
+    )
+    print(title.line())
+    for query in queries:
+        print(render(_explain_plan(query, store, args), indent=2))
+    # Shared-subplan accounting (multi-query optimization): per
+    # reformulation union when a schema is present, and across the
+    # workload batch. Both only apply on the batched auto route.
+    if args.engine == "auto" and args.batch_size != 0:
+        if schema is not None:
+            from repro.reformulation.reformulate import reformulate
+
+            sharing = PlanNode(
+                "shared subplans per reformulation union", header=True
+            )
+            for query in queries:
+                union = reformulate(query, schema)
+                line = describe_union_sharing(union.disjuncts, store)
+                sharing.children.append(PlanNode(f"{query.name}: {line}"))
+            print(render(sharing, indent=2))
+        if len(queries) > 1:
+            nodes, consuming = plan_batch(queries, store).sharing_summary()
+            print(f"  workload batch: {nodes} shared subplans "
+                  f"covering {consuming} of {len(queries)} queries")
+    print()
+
+
+def _print_analyze(queries, store, schema, args) -> None:
+    batch = "tuple-at-a-time" if args.batch_size == 0 else str(args.batch_size)
+    batch_size = None if args.batch_size == 0 else args.batch_size
+    title = query_header(
+        "explain analyze on the store",
+        **{"batch-size": batch, "workers": args.workers},
+    )
+    print(title.line())
+    pushdown_route = args.engine == "auto" and args.batch_size != 0
+    for query in queries:
+        report = analyze_query(
+            query,
+            store,
+            engine=args.engine,
+            batch_size=batch_size,
+            workers=args.workers,
+            pushdown=pushdown_route,
+        )
+        print(report.text(indent=2))
+    if args.engine == "auto" and args.batch_size != 0:
+        if schema is not None:
+            from repro.reformulation.reformulate import reformulate
+
+            print("  analyzed reformulation unions:")
+            for query in queries:
+                union = reformulate(query, schema)
+                report = analyze_union(
+                    union.disjuncts,
+                    store,
+                    batch_size=batch_size,
+                    workers=args.workers,
+                )
+                report.tree.label = f"{query.name} {report.tree.label}"
+                print(report.text(indent=4))
+        if len(queries) > 1:
+            tree, _answers = analyze_batch(
+                queries, store, batch_size=batch_size, workers=args.workers
+            )
+            print(render(tree, indent=2))
+    print()
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _setup_logging("warning" if args.quiet else args.log_level)
+    if args.trace is not None:
+        tracing.configure(args.trace)
+    if args.metrics_json is not None:
+        metrics.reset()
+        metrics.enable()
+    if args.slow_query_ms is not None:
+        metrics.slow_query_ms = args.slow_query_ms
+    try:
+        return _run(args)
+    finally:
+        if args.slow_query_ms is not None:
+            metrics.slow_query_ms = None
+        if args.metrics_json is not None:
+            metrics.export_json(args.metrics_json)
+            metrics.disable()
+            _LOG.info(f"wrote metrics registry to {args.metrics_json}")
+        if args.trace is not None:
+            tracing.configure(None)
+            _LOG.info(f"wrote tracing spans to {args.trace}")
+
+
+def _run(args) -> int:
     store = _load_store(args)
     if store is None:
         return 2
@@ -200,63 +390,19 @@ def main(argv: list[str] | None = None) -> int:
     elif args.entailment != "none":
         schema = RDFSchema.from_triples(iter(store))
     if schema is not None:
-        print(f"schema: {len(schema)} RDFS statements")
+        _LOG.info(f"schema: {len(schema)} RDFS statements")
 
     queries = parse_queries(args.queries.read_text(), namespace=args.namespace)
     if not queries:
-        print("the workload file contains no queries", file=sys.stderr)
+        _LOG.error("the workload file contains no queries")
         return 2
-    print(f"workload: {len(queries)} queries, "
-          f"{sum(len(q) for q in queries)} atoms\n")
+    _LOG.info(f"workload: {len(queries)} queries, "
+              f"{sum(len(q) for q in queries)} atoms\n")
 
     if args.explain:
-        batch = "tuple-at-a-time" if args.batch_size == 0 else str(args.batch_size)
-        print("physical plans on the store "
-              f"[batch-size={batch} workers={args.workers}]:")
-        for query in queries:
-            # The pushdown route only runs under engine=auto on a batch
-            # path; --batch-size 0 (tuple-at-a-time) stays interpreted.
-            pushdown_route = args.engine == "auto" and args.batch_size != 0
-            chosen = (
-                choose_engine(query, store, pushdown=pushdown_route)
-                if args.engine == "auto"
-                else args.engine
-            )
-            compiled = (
-                plan_pushdown(query, store, args.workers)
-                if pushdown_route
-                else None
-            )
-            if compiled is not None:
-                print(f"  {query.name} [engine={chosen} pushdown=yes]:")
-                for line in compiled.describe().splitlines():
-                    print(f"    {line}")
-                continue
-            root = plan_query(
-                query, store, engine=args.engine, workers=args.workers
-            )
-            partitioned = "yes" if _uses_partitioned_join(root) else "no"
-            print(f"  {query.name} [engine={chosen} "
-                  f"partitioned-join={partitioned} pushdown=no]:")
-            for line in root.explain().splitlines():
-                print(f"    {line}")
-        # Shared-subplan accounting (multi-query optimization): per
-        # reformulation union when a schema is present, and across the
-        # workload batch. Both only apply on the batched auto route.
-        if args.engine == "auto" and args.batch_size != 0:
-            if schema is not None:
-                from repro.reformulation.reformulate import reformulate
-
-                print("  shared subplans per reformulation union:")
-                for query in queries:
-                    union = reformulate(query, schema)
-                    line = describe_union_sharing(union.disjuncts, store)
-                    print(f"    {query.name}: {line}")
-            if len(queries) > 1:
-                nodes, consuming = plan_batch(queries, store).sharing_summary()
-                print(f"  workload batch: {nodes} shared subplans "
-                      f"covering {consuming} of {len(queries)} queries")
-        print()
+        _print_explain(queries, store, schema, args)
+    if args.analyze:
+        _print_analyze(queries, store, schema, args)
 
     time_limit = (
         args.search_budget_seconds

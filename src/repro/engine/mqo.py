@@ -82,6 +82,7 @@ from repro.engine.sqlcompile import (
     UnionCTE,
     compile_union,
 )
+from repro.obs import metrics, tracing
 from repro.query.cq import Atom, ConjunctiveQuery, Variable
 from repro.query.containment import canonical_form, canonical_labeling
 from repro.rdf.store import TripleStore
@@ -341,7 +342,11 @@ def plan_batch(
     key = (distinct, MQO_DAG)
     cached = plans.get(key)
     if cached is not None:
+        if metrics.enabled:
+            metrics.inc("engine.plan_cache.hit")
         return cached
+    if metrics.enabled:
+        metrics.inc("engine.plan_cache.miss")
     built = _build_batch_plan(distinct, _estimator(store, None))
     if len(plans) >= _PLAN_CACHE_LIMIT:
         plans.clear()
@@ -546,6 +551,12 @@ def _batch_images(
         if node.leaf is not None:
             node.leaf._rows = materialized[node.leaf_key]
         materialized[node.key] = node.root.rows_batched(batch_size)
+    if metrics.enabled and compiled.nodes:
+        metrics.inc("mqo.shared_nodes.materialized", len(compiled.nodes))
+        metrics.inc(
+            "mqo.shared_nodes.rows",
+            sum(len(rows) for rows in materialized.values()),
+        )
     out: list[set[tuple]] = []
     for consumer in compiled.consumers:
         if consumer.root is None:
@@ -759,6 +770,8 @@ def _union_route(
     key = (disjuncts, _UNION_ROUTE, workers)
     cached = plans.get(key)
     if cached is None:
+        if metrics.enabled:
+            metrics.inc("mqo.route.miss")
         distinct = _dedupe(disjuncts)
         compound = plan_union_pushdown(distinct, store)
         if compound is not None and compound.sql is not None:
@@ -776,6 +789,8 @@ def _union_route(
                         for plan in batch.plans
                         if any(info.key in empty for info in plan.prefixes)
                     }
+                    if metrics.enabled:
+                        metrics.inc("mqo.route.pruned_empty", len(dead))
                     singles = [
                         _EMPTY_BRANCH if disjunct in dead else single
                         for single, disjunct in zip(singles, distinct)
@@ -785,6 +800,8 @@ def _union_route(
         if len(plans) >= _PLAN_CACHE_LIMIT:
             plans.clear()
         plans[key] = cached
+    elif metrics.enabled:
+        metrics.inc("mqo.route.hit")
     return cached
 
 
@@ -818,6 +835,21 @@ def evaluate_union_shared(
     across the *whole* union and decodes each distinct answer exactly
     once.
     """
+    if tracing.sink is not None:
+        with tracing.span("mqo.evaluate_union", disjuncts=len(disjuncts)):
+            return _evaluate_union_impl(
+                disjuncts, store, batch_size, workers, pushdown
+            )
+    return _evaluate_union_impl(disjuncts, store, batch_size, workers, pushdown)
+
+
+def _evaluate_union_impl(
+    disjuncts: Sequence[ConjunctiveQuery],
+    store: TripleStore,
+    batch_size: int | None,
+    workers: int,
+    pushdown: bool,
+) -> set[tuple[Term, ...]]:
     batch_size = _check_batch_size(batch_size) or DEFAULT_BATCH_SIZE
     images: set[tuple] = set()
     interpreted: list[ConjunctiveQuery] = []
@@ -826,17 +858,29 @@ def evaluate_union_shared(
             tuple(disjuncts), store, workers
         )
         if compound is not None:
+            if metrics.enabled:
+                metrics.inc("mqo.route.compound")
             return compound.execute(store)
+        executed = pruned = 0
         for single, disjunct in zip(singles, distinct):
             if single is _EMPTY_BRANCH:
+                pruned += 1
                 continue
             if single is not None:
                 images |= single.images(store)
+                executed += 1
             else:
                 interpreted.append(disjunct)
+        if metrics.enabled:
+            if executed:
+                metrics.inc("mqo.route.per_branch")
+            if pruned:
+                metrics.inc("mqo.route.branch_pruned", pruned)
     else:
         interpreted.extend(_dedupe(disjuncts))
     if interpreted:
+        if metrics.enabled:
+            metrics.inc("mqo.route.shared")
         batch = plan_batch(interpreted, store)
         for image_set in _batch_images(batch, store, batch_size, workers):
             images |= image_set
@@ -891,6 +935,28 @@ def run_query_batch(
     queries = list(queries)
     if not queries:
         return []
+    if tracing.sink is not None:
+        with tracing.span("engine.run_query_batch", queries=len(queries)):
+            return _run_query_batch_impl(
+                queries, store, engine, statistics, batch_size, workers,
+                pushdown, shared,
+            )
+    return _run_query_batch_impl(
+        queries, store, engine, statistics, batch_size, workers, pushdown,
+        shared,
+    )
+
+
+def _run_query_batch_impl(
+    queries: list[ConjunctiveQuery],
+    store: TripleStore,
+    engine: str,
+    statistics,
+    batch_size: int | None,
+    workers: int,
+    pushdown: bool,
+    shared: bool,
+) -> list[set[tuple[Term, ...]]]:
     checked = _check_batch_size(batch_size)
     sharing = (
         shared

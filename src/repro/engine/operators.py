@@ -641,8 +641,10 @@ class PartitionedHashJoin(Operator):
         from repro.engine.parallel import (
             BrokenProcessPool,
             get_executor,
+            instrumented_call,
             join_partition,
         )
+        from repro.obs import metrics
 
         left_key_of = _projector(self._left_keys)
         right_key_of = _projector(self._right_keys)
@@ -659,10 +661,21 @@ class PartitionedHashJoin(Operator):
             if left_part and right_part
         ]
         arguments = (self._left_keys, self._right_keys, self._keep_right)
+        # With metrics enabled, workers run under a fresh registry and
+        # ship their counts back for merging (see parallel.py); the
+        # disabled submission path is byte-identical to before.
+        instrumented = metrics.enabled
         try:
             executor = get_executor(self.workers)
             futures = [
-                executor.submit(join_partition, left_part, right_part, *arguments)
+                executor.submit(
+                    instrumented_call, join_partition, left_part, right_part,
+                    *arguments,
+                )
+                if instrumented
+                else executor.submit(
+                    join_partition, left_part, right_part, *arguments
+                )
                 for left_part, right_part in pairs
             ]
         except BrokenProcessPool:
@@ -671,7 +684,13 @@ class PartitionedHashJoin(Operator):
         # deterministic partitioning function.
         for index, future in enumerate(futures):
             try:
-                yield future.result()
+                result = future.result()
+                if instrumented:
+                    rows, dump = result
+                    metrics.merge(dump)
+                    yield rows
+                else:
+                    yield result
             except BrokenProcessPool:
                 for left_part, right_part in pairs[index:]:
                     yield join_partition(left_part, right_part, *arguments)

@@ -24,6 +24,8 @@ import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+from repro.obs import metrics
+
 #: Live executors, keyed by worker count.
 _executors: dict[int, ProcessPoolExecutor] = {}
 
@@ -77,8 +79,34 @@ def map_chunks(function, common, chunks, workers: int) -> list:
     back to serial evaluation).
     """
     executor = get_executor(workers)
+    if metrics.enabled:
+        metrics.inc("engine.parallel.tasks", len(chunks))
+        futures = [
+            executor.submit(instrumented_call, function, common, chunk)
+            for chunk in chunks
+        ]
+        results = []
+        for future in futures:
+            result, dump = future.result()
+            metrics.merge(dump)
+            results.append(result)
+        return results
     futures = [executor.submit(function, common, chunk) for chunk in chunks]
     return [future.result() for future in futures]
+
+
+def instrumented_call(function, /, *args):
+    """Pool-task wrapper when metrics are enabled: run ``function``
+    against a fresh worker-local registry and return ``(result, dump)``.
+
+    Fork-pool workers inherit whatever registry state the parent had at
+    fork time; :func:`repro.obs.metrics.collect` sets it aside for the
+    task's duration, so the dump the parent merges holds exactly the
+    counts this one task produced — serial totals equal merged worker
+    totals. Submitted only when ``metrics.enabled``; the disabled path
+    is byte-identical to the uninstrumented one.
+    """
+    return metrics.collect(function, *args)
 
 
 def join_partition(
@@ -95,6 +123,11 @@ def join_partition(
     in left-row order then right build order per key, matching the
     serial hash join's output order partition-locally.
     """
+    if metrics.enabled:
+        metrics.inc(
+            "engine.parallel.join.rows_in", len(left_rows) + len(right_rows)
+        )
+        metrics.inc("engine.parallel.join.partitions")
     table: dict[tuple, list] = {}
     get = table.get
     for row in right_rows:
@@ -111,4 +144,6 @@ def join_partition(
         tails = get(tuple(row[position] for position in left_positions))
         if tails:
             extend([row + tail for tail in tails])
+    if metrics.enabled:
+        metrics.inc("engine.parallel.join.rows_out", len(joined))
     return joined

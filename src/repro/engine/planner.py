@@ -59,7 +59,9 @@ over a cached process pool.
 
 from __future__ import annotations
 
+import logging
 import math
+import time
 from typing import Iterable, Mapping, Sequence
 
 from repro.engine.operators import (
@@ -78,12 +80,15 @@ from repro.engine.operators import (
     _projector,
 )
 from repro.engine.sqlcompile import CompiledQuery, compile_query
+from repro.obs import metrics, tracing
 from repro.query import algebra
 from repro.query.cq import ConjunctiveQuery, Variable
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import Term
 from repro.stats.estimator import CardinalityEstimator
 from repro.stats.provider import CatalogStatistics
+
+_LOG = logging.getLogger("repro.engine")
 
 #: The selectable join strategies.
 ENGINES = ("auto", "index-nested-loop", "hash", "merge")
@@ -260,7 +265,11 @@ def plan_pushdown(
     key = (query, SQL_PUSHDOWN, workers)
     cached = plans.get(key)
     if cached is not None:
+        if metrics.enabled:
+            metrics.inc("engine.plan_cache.hit")
         return None if cached is _PUSHDOWN_INELIGIBLE else cached
+    if metrics.enabled:
+        metrics.inc("engine.plan_cache.miss")
     compiled = compile_query(query, store)
     if len(plans) >= _PLAN_CACHE_LIMIT:
         plans.clear()
@@ -368,6 +377,8 @@ def _plan_cache_entry(store: TripleStore) -> dict:
     entry = getattr(store, "_engine_plan_cache", None)
     version = store.version
     if entry is None or entry["version"] != version:
+        if metrics.enabled and entry is not None:
+            metrics.inc("engine.plan_cache.flush")
         entry = {"version": version, "plans": {}, "choices": {}}
         store._engine_plan_cache = entry
     return entry
@@ -405,15 +416,22 @@ def plan_query(
         key = (query, engine, workers)
         cached = plans.get(key)
         if cached is not None:
+            if metrics.enabled:
+                metrics.inc("engine.plan_cache.hit")
             return cached
-        estimator = _estimator(store, None)
-        resolved = engine
-        if engine == "auto":
-            resolved = _cached_choice(entry, query, estimator)
-        root = _compile_query(query, store, resolved, estimator, workers)
+        if metrics.enabled:
+            metrics.inc("engine.plan_cache.miss")
+        with tracing.span("engine.plan_query", query=query.name, engine=engine):
+            estimator = _estimator(store, None)
+            resolved = engine
+            if engine == "auto":
+                resolved = _cached_choice(entry, query, estimator)
+            root = _compile_query(query, store, resolved, estimator, workers)
         if len(plans) >= _PLAN_CACHE_LIMIT:
             plans.clear()
         plans[key] = root
+        if metrics.enabled:
+            metrics.gauge("engine.plan_cache.size", len(plans))
         return root
     estimator = _estimator(store, statistics)
     resolved = _select_engine(query, estimator) if engine == "auto" else engine
@@ -530,6 +548,43 @@ def run_query(
     >>> run_query(query, store, batch_size=None) == answers  # tuple path
     True
     """
+    # Observability detour, costing one flag check per query when off:
+    # a span, a latency histogram sample, and the slow-query warning.
+    if (
+        metrics.enabled
+        or metrics.slow_query_ms is not None
+        or tracing.sink is not None
+    ):
+        started = time.perf_counter()
+        with tracing.span("engine.run_query", query=query.name, engine=engine):
+            answers = _run_query(
+                query, store, engine, statistics, batch_size, workers, pushdown
+            )
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        if metrics.enabled:
+            metrics.inc("engine.queries")
+            metrics.observe("engine.query_ms", elapsed_ms)
+        threshold = metrics.slow_query_ms
+        if threshold is not None and elapsed_ms > threshold:
+            _LOG.warning(
+                "slow query %s: %.1f ms (threshold %.0f ms)",
+                query.name, elapsed_ms, threshold,
+            )
+        return answers
+    return _run_query(
+        query, store, engine, statistics, batch_size, workers, pushdown
+    )
+
+
+def _run_query(
+    query: ConjunctiveQuery,
+    store: TripleStore,
+    engine: str,
+    statistics,
+    batch_size: int | None,
+    workers: int,
+    pushdown: bool,
+) -> set[tuple[Term, ...]]:
     batch_size = _check_batch_size(batch_size)
     if (
         pushdown
@@ -539,7 +594,11 @@ def run_query(
     ):
         compiled = plan_pushdown(query, store, workers)
         if compiled is not None:
+            if metrics.enabled:
+                metrics.inc("engine.route.pushdown")
             return compiled.execute(store)
+    if metrics.enabled:
+        metrics.inc("engine.route.interpreted")
     root = plan_query(
         query, store, engine=engine, statistics=statistics, workers=workers
     )

@@ -58,6 +58,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import metrics
 from repro.query.cq import ConjunctiveQuery, Variable
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import Term
@@ -235,6 +236,22 @@ def compile_query(
     [('<http://e/a>', '<http://e/c>')]
     >>> store.close()
     """
+    if not metrics.enabled:
+        return _compile_query_statement(query, store)
+    with metrics.timer("storage.sqlite.pushdown.compile_ms"):
+        compiled = _compile_query_statement(query, store)
+    metrics.inc(
+        "storage.sqlite.pushdown.compiled"
+        if compiled is not None
+        else "storage.sqlite.pushdown.ineligible"
+    )
+    return compiled
+
+
+def _compile_query_statement(
+    query: ConjunctiveQuery, store: TripleStore
+) -> CompiledQuery | None:
+    """The uninstrumented compilation behind :func:`compile_query`."""
     atoms = query.atoms
     if len(atoms) > MAX_PUSHDOWN_TABLES:
         return None
@@ -516,6 +533,24 @@ def compile_union(
     table or parameter budgets — and the caller falls back to the
     interpreted shared-DAG route, which has no such ceilings.
     """
+    if not metrics.enabled:
+        return _compile_union_statement(branches, ctes, store)
+    with metrics.timer("storage.sqlite.pushdown.compile_ms"):
+        compiled = _compile_union_statement(branches, ctes, store)
+    metrics.inc(
+        "storage.sqlite.pushdown.union_compiled"
+        if compiled is not None
+        else "storage.sqlite.pushdown.union_ineligible"
+    )
+    return compiled
+
+
+def _compile_union_statement(
+    branches: "list[UnionBranch] | tuple[UnionBranch, ...]",
+    ctes: "list[UnionCTE] | tuple[UnionCTE, ...]",
+    store: TripleStore,
+) -> CompiledUnion | None:
+    """The uninstrumented compilation behind :func:`compile_union`."""
     if not branches:
         return None
     arity = len(branches[0].query.head)

@@ -1,0 +1,530 @@
+"""EXPLAIN ANALYZE: instrumented execution with per-operator accounting.
+
+:func:`analyze_query` (and :func:`analyze_union` / :func:`analyze_batch`
+for the MQO routes) executes a query for real while every physical
+operator records rows-out, batches and inclusive wall-clock time
+through a :class:`_Probe` wrapper, then renders the annotated plan tree
+through the shared :mod:`repro.obs.render` renderer — the same shapes
+``--explain`` prints, with ``rows=/batches=/time_ms=`` and
+actual-vs-estimated cardinalities (``est_rows=``) filled in per join
+step.
+
+Probes are only ever inserted into **freshly compiled** trees: passing
+an explicit statistics provider to :func:`~repro.engine.planner.plan_query`
+bypasses the store's prepared-plan cache (the estimator reads the same
+catalog, so the plan is identical), which keeps the cached, shared
+plans untouched. On the SQL pushdown route the backend's own
+``EXPLAIN QUERY PLAN`` tree is attached, and the interpreted equivalent
+runs instrumented alongside it so per-join actuals exist on SQLite too.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.engine import mqo
+from repro.engine.operators import (
+    DEFAULT_BATCH_SIZE,
+    Empty,
+    HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
+    MergeJoin,
+    Operator,
+    PartitionedHashJoin,
+)
+from repro.engine.planner import (
+    SQL_PUSHDOWN,
+    _check_batch_size,
+    _estimator,
+    choose_engine,
+    plan_pushdown,
+    plan_query,
+)
+from repro.obs.render import PlanNode, operator_tree, query_header, render, sql_tree
+from repro.stats.provider import CatalogStatistics
+
+_CHILD_ATTRS = ("child", "left", "right")
+_JOINS = (HashJoin, PartitionedHashJoin, MergeJoin, IndexNestedLoopJoin)
+
+
+@dataclass
+class OpStats:
+    """What one probe saw: output rows, batches, inclusive wall time."""
+
+    rows_out: int = 0
+    batches: int = 0
+    wall_ms: float = 0.0
+    #: Estimator prediction for this operator's output, when one maps.
+    est_rows: float | None = None
+
+
+class _Probe(Operator):
+    """Transparent operator wrapper recording its subtree's output.
+
+    Preserves ``schema``/``sorted_on`` and delegates the prebuilt-index
+    fast paths (``hash_index``/``hash_tails``), so wrapped plans execute
+    the exact code paths unwrapped ones do; the recorded wall time is
+    inclusive of the subtree below (children are probed too, so
+    per-operator self-time is the difference).
+    """
+
+    def __init__(self, inner: Operator) -> None:
+        self.inner = inner
+        self.schema = inner.schema
+        self.sorted_on = inner.sorted_on
+        self.stats = OpStats()
+
+    def __iter__(self):
+        stats = self.stats
+        iterator = iter(self.inner)
+        while True:
+            started = time.perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                stats.wall_ms += (time.perf_counter() - started) * 1000.0
+                return
+            stats.wall_ms += (time.perf_counter() - started) * 1000.0
+            stats.rows_out += 1
+            yield row
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE):
+        stats = self.stats
+        iterator = self.inner.batches(size)
+        while True:
+            started = time.perf_counter()
+            try:
+                batch = next(iterator)
+            except StopIteration:
+                stats.wall_ms += (time.perf_counter() - started) * 1000.0
+                return
+            stats.wall_ms += (time.perf_counter() - started) * 1000.0
+            stats.batches += 1
+            stats.rows_out += len(batch)
+            yield batch
+
+    def hash_index(self, positions):
+        started = time.perf_counter()
+        table = self.inner.hash_index(positions)
+        self._record_prebuilt(table, started)
+        return table
+
+    def hash_tails(self, positions, keep):
+        started = time.perf_counter()
+        table = self.inner.hash_tails(positions, keep)
+        self._record_prebuilt(table, started)
+        return table
+
+    def _record_prebuilt(self, table, started: float) -> None:
+        """A consumer took our prebuilt index instead of pulling rows."""
+        self.stats.wall_ms += (time.perf_counter() - started) * 1000.0
+        if table is not None:
+            self.stats.rows_out += sum(len(bucket) for bucket in table.values())
+
+    def _describe(self) -> str:
+        return self.inner._describe()
+
+    def _children(self):
+        return self.inner._children()
+
+
+def instrument(root: Operator) -> _Probe:
+    """Wrap every operator of a (freshly compiled) tree in a probe.
+
+    Mutates the tree's child links in place — never call this on a plan
+    that came out of the prepared-plan cache.
+    """
+    for attr in _CHILD_ATTRS:
+        child = getattr(root, attr, None)
+        if isinstance(child, Operator) and not isinstance(child, _Probe):
+            setattr(root, attr, instrument(child))
+    return _Probe(root)
+
+
+def _annotate_estimates(root: _Probe, estimator, query) -> None:
+    """Attach estimator predictions along the plan's left-deep spine.
+
+    ``prefix_cardinalities`` prices the output of every join step in
+    the estimator's order — the same numbers the engine choice and the
+    parallel-partition threshold were decided from — so ``est_rows=``
+    next to ``rows=`` is exactly the actual-vs-estimated comparison
+    that debugs the estimator.
+    """
+    atoms = query.atoms
+    if not atoms:
+        return
+    order = estimator.join_order(atoms)
+    prefix = estimator.prefix_cardinalities(atoms, order)
+    node, step = root, len(order) - 1
+    while isinstance(node, _Probe) and step >= 0:
+        inner = node.inner
+        if isinstance(inner, _JOINS):
+            node.stats.est_rows = prefix[step]
+            right = getattr(inner, "right", None)
+            if isinstance(right, _Probe) and isinstance(right.inner, IndexScan):
+                right.stats.est_rows = float(
+                    estimator.atom_cardinality(right.inner.atom)
+                )
+            step -= 1
+            node = getattr(inner, "child", None) or getattr(inner, "left", None)
+        elif isinstance(inner, IndexScan):
+            node.stats.est_rows = prefix[0]
+            return
+        elif isinstance(inner, Empty):
+            node.stats.est_rows = 0.0
+            return
+        else:  # Selection/Projection/Relabel: pass-through, no estimate
+            node = getattr(inner, "child", None)
+
+
+def _annotations(probe: _Probe) -> dict:
+    stats = probe.stats
+    annotations: dict = {}
+    children = [c for c in probe._children() if isinstance(c, _Probe)]
+    if children:
+        annotations["rows_in"] = sum(c.stats.rows_out for c in children)
+    annotations["rows"] = stats.rows_out
+    annotations["batches"] = stats.batches
+    annotations["time_ms"] = round(stats.wall_ms, 2)
+    if stats.est_rows is not None:
+        annotations["est_rows"] = round(stats.est_rows, 1)
+    return annotations
+
+
+def _annotate(node) -> dict:
+    return _annotations(node) if isinstance(node, _Probe) else {}
+
+
+def _probe_stats(root: _Probe) -> list[tuple[str, OpStats]]:
+    out = [(root._describe(), root.stats)]
+    for child in root._children():
+        if isinstance(child, _Probe):
+            out.extend(_probe_stats(child))
+    return out
+
+
+@dataclass
+class AnalyzeReport:
+    """One analyzed execution: the annotated tree plus its actuals."""
+
+    tree: PlanNode
+    answers: set
+    #: Distinct encoded head images (== answer count; decode is 1:1).
+    distinct_images: int
+    #: The plan root's total output rows (pre head-projection).
+    root_rows: int
+    wall_ms: float
+    route: str
+    operators: list = field(default_factory=list)
+
+    @property
+    def answer_count(self) -> int:
+        return len(self.answers)
+
+    def text(self, indent: int = 0) -> str:
+        return render(self.tree, indent)
+
+
+def _run_instrumented(query, store, probe: _Probe, batch_size: int):
+    """Execute a probed tree through the head-projection path.
+
+    Mirrors ``run_query``'s batched route: deduplicate encoded head
+    images, decode each distinct image once — so the analyzed answer
+    set equals ``run_query``'s on every plan.
+    """
+    started = time.perf_counter()
+    images = mqo._images_from_root(query, probe, batch_size)
+    answers = mqo.decode_images(images, store)
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    return images, answers, wall_ms
+
+
+def _interpreted_report(
+    query, store, engine: str, batch_size: int, workers: int
+) -> AnalyzeReport:
+    resolved = (
+        choose_engine(query, store, pushdown=False)
+        if engine == "auto"
+        else engine
+    )
+    # An explicit statistics provider bypasses the prepared-plan cache:
+    # same catalog, same plan, but a private tree we may mutate.
+    root = plan_query(
+        query,
+        store,
+        engine=engine,
+        statistics=CatalogStatistics(store.stats),
+        workers=workers,
+    )
+    probe = instrument(root)
+    _annotate_estimates(probe, _estimator(store, None), query)
+    images, answers, wall_ms = _run_instrumented(query, store, probe, batch_size)
+    header = query_header(
+        query.name, engine=resolved, pushdown=False,
+        rows=len(answers), time_ms=round(wall_ms, 2),
+    )
+    header.children.append(operator_tree(probe, _annotate))
+    return AnalyzeReport(
+        tree=header,
+        answers=answers,
+        distinct_images=len(images),
+        root_rows=probe.stats.rows_out,
+        wall_ms=wall_ms,
+        route="interpreted",
+        operators=_probe_stats(probe),
+    )
+
+
+def _query_plan_rows(compiled, store) -> list[tuple[int, int, str]]:
+    """SQLite's own ``EXPLAIN QUERY PLAN`` tree for a compiled statement."""
+    if compiled.sql is None:
+        return []
+    try:
+        rows = store.backend.execute_sql_plan(
+            f"EXPLAIN QUERY PLAN {compiled.sql}", compiled.params
+        )
+    except Exception:  # pragma: no cover - EQP support varies by build
+        return []
+    return [(row[0], row[1], row[3]) for row in rows]
+
+
+def analyze_query(
+    query,
+    store,
+    engine: str = "auto",
+    batch_size: int | None = DEFAULT_BATCH_SIZE,
+    workers: int = 1,
+    pushdown: bool = True,
+) -> AnalyzeReport:
+    """EXPLAIN ANALYZE one query: execute it instrumented, return the
+    annotated plan tree plus the actual answers.
+
+    Routes exactly like :func:`~repro.engine.planner.run_query`: on a
+    SQL-capable backend under ``engine="auto"`` the pushed-down
+    statement executes (timed, with the backend's ``EXPLAIN QUERY
+    PLAN`` attached) *and* the interpreted equivalent runs instrumented
+    beneath it, so per-operator actuals and estimator comparisons exist
+    on every backend. ``parity=yes`` on the header confirms both routes
+    agreed on the answer set.
+    """
+    batch_size = _check_batch_size(batch_size) or DEFAULT_BATCH_SIZE
+    compiled = None
+    if pushdown and engine == "auto":
+        compiled = plan_pushdown(query, store, workers)
+    if compiled is None:
+        return _interpreted_report(query, store, engine, batch_size, workers)
+    started = time.perf_counter()
+    answers = compiled.execute(store)
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    estimator = _estimator(store, None)
+    atoms = query.atoms
+    est_rows = None
+    if atoms:
+        order = estimator.join_order(atoms)
+        est_rows = round(estimator.prefix_cardinalities(atoms, order)[-1], 1)
+    interpreted = _interpreted_report(query, store, engine, batch_size, workers)
+    sql_annotations = {"rows": len(answers), "time_ms": round(wall_ms, 2)}
+    if est_rows is not None:
+        sql_annotations["est_rows"] = est_rows
+    header = query_header(
+        query.name,
+        engine=SQL_PUSHDOWN,
+        pushdown=True,
+        rows=len(answers),
+        time_ms=round(wall_ms, 2),
+        parity=answers == interpreted.answers,
+    )
+    header.children.append(
+        sql_tree(compiled, sql_annotations, _query_plan_rows(compiled, store))
+    )
+    equivalent = PlanNode("interpreted equivalent", header=True)
+    equivalent.children.extend(interpreted.tree.children)
+    header.children.append(equivalent)
+    return AnalyzeReport(
+        tree=header,
+        answers=answers,
+        distinct_images=len(answers),
+        root_rows=interpreted.root_rows,
+        wall_ms=wall_ms,
+        route=SQL_PUSHDOWN,
+        operators=interpreted.operators,
+    )
+
+
+def _analyze_dag(queries, store, batch_size: int, workers: int):
+    """Instrumented shared-DAG execution over distinct queries.
+
+    Compiles a **fresh** (uncached) batch of operator trees, probes
+    them, and replays :func:`repro.engine.mqo._batch_images`'s
+    materialization order: shared nodes shortest-first, then consumers
+    over the longest applicable node. Returns the per-node/per-branch
+    plan nodes, one encoded image set per query, and the probe stats.
+    """
+    batch = mqo.plan_batch(queries, store)
+    compiled = mqo._compile_batch(batch, store)
+    estimator = _estimator(store, None)
+    node_probes: list[_Probe] = []
+    for node in compiled.nodes:
+        probe = instrument(node.root)
+        node.root = probe
+        node_probes.append(probe)
+    for consumer in compiled.consumers:
+        if consumer.root is not None:
+            consumer.root = instrument(consumer.root)
+
+    children: list[PlanNode] = []
+    operators: list[tuple[str, OpStats]] = []
+    materialized: dict[tuple, list] = {}
+    for node, shared, probe in zip(compiled.nodes, batch.nodes, node_probes):
+        if node.leaf is not None:
+            node.leaf._rows = materialized[node.leaf_key]
+        started = time.perf_counter()
+        rows = probe.rows_batched(batch_size)
+        node_ms = (time.perf_counter() - started) * 1000.0
+        materialized[node.key] = rows
+        title = query_header(
+            f"shared node[{shared.length} atoms]",
+            consumers=shared.consumers,
+            rows=len(rows),
+            est_rows=round(shared.est_rows, 1),
+            time_ms=round(node_ms, 2),
+        )
+        title.children.append(operator_tree(probe, _annotate))
+        children.append(title)
+        operators.extend(_probe_stats(probe))
+
+    image_sets: list[set] = []
+    for consumer, qplan in zip(compiled.consumers, batch.plans):
+        query = consumer.query
+        if consumer.root is None:
+            root = instrument(
+                plan_query(
+                    query,
+                    store,
+                    engine="auto",
+                    statistics=CatalogStatistics(store.stats),
+                    workers=workers,
+                )
+            )
+            _annotate_estimates(root, estimator, query)
+            shared_with = "none"
+        else:
+            consumer.leaf._rows = materialized[consumer.leaf_key]
+            root = consumer.root
+            shared_with = f"{len(consumer.leaf.schema)}-col node"
+        started = time.perf_counter()
+        images = mqo._images_from_root(query, root, batch_size)
+        branch_ms = (time.perf_counter() - started) * 1000.0
+        image_sets.append(images)
+        title = query_header(
+            f"branch {query.name}",
+            shared=shared_with,
+            images=len(images),
+            time_ms=round(branch_ms, 2),
+        )
+        title.children.append(operator_tree(root, _annotate))
+        children.append(title)
+        operators.extend(_probe_stats(root))
+    for node in compiled.nodes:
+        if node.leaf is not None:
+            node.leaf._rows = ()
+    for consumer in compiled.consumers:
+        if consumer.leaf is not None:
+            consumer.leaf._rows = ()
+    return batch, children, image_sets, operators
+
+
+def analyze_union(
+    disjuncts,
+    store,
+    batch_size: int | None = DEFAULT_BATCH_SIZE,
+    workers: int = 1,
+) -> AnalyzeReport:
+    """EXPLAIN ANALYZE a union: MQO shared-node fan-out accounting.
+
+    Always executes the instrumented shared DAG (that is the accounting
+    being explained); when the store's real route is the compound
+    ``SELECT ... UNION`` statement, that statement also executes, timed
+    and parity-checked against the DAG's answers.
+    """
+    batch_size = _check_batch_size(batch_size) or DEFAULT_BATCH_SIZE
+    distinct, compound, _singles = mqo._union_route(
+        tuple(disjuncts), store, workers
+    )
+    batch, children, image_sets, operators = _analyze_dag(
+        distinct, store, batch_size, workers
+    )
+    images: set = set()
+    for image_set in image_sets:
+        images |= image_set
+    answers = mqo.decode_images(images, store)
+    nodes, consuming = batch.sharing_summary()
+    route = "interpreted-dag"
+    if compound is not None:
+        route = "compound-statement"
+    elif getattr(store.backend, "supports_sql_plans", False):
+        route = "per-branch-statements"
+    header = query_header(
+        "union",
+        disjuncts=len(tuple(disjuncts)),
+        distinct=len(distinct),
+        shared_nodes=nodes,
+        consuming=consuming,
+        route=route,
+        rows=len(answers),
+    )
+    if compound is not None:
+        started = time.perf_counter()
+        compound_answers = compound.execute(store)
+        compound_ms = (time.perf_counter() - started) * 1000.0
+        header.children.append(
+            sql_tree(
+                compound,
+                {
+                    "rows": len(compound_answers),
+                    "time_ms": round(compound_ms, 2),
+                    "parity": compound_answers == answers,
+                },
+            )
+        )
+    header.children.extend(children)
+    return AnalyzeReport(
+        tree=header,
+        answers=answers,
+        distinct_images=len(images),
+        root_rows=sum(len(image_set) for image_set in image_sets),
+        wall_ms=sum(stats.wall_ms for _, stats in operators),
+        route=route,
+        operators=operators,
+    )
+
+
+def analyze_batch(
+    queries,
+    store,
+    batch_size: int | None = DEFAULT_BATCH_SIZE,
+    workers: int = 1,
+) -> tuple[PlanNode, list[set]]:
+    """EXPLAIN ANALYZE a workload batch: the shared-subplan DAG across
+    queries, with per-query answer sets (``run_query_batch``'s route).
+
+    Returns the annotated tree and one decoded answer set per distinct
+    query, in batch order.
+    """
+    batch_size = _check_batch_size(batch_size) or DEFAULT_BATCH_SIZE
+    distinct = mqo._dedupe(queries)
+    batch, children, image_sets, _operators = _analyze_dag(
+        distinct, store, batch_size, workers
+    )
+    answers = [mqo.decode_images(images, store) for images in image_sets]
+    nodes, consuming = batch.sharing_summary()
+    header = query_header(
+        "workload batch",
+        queries=len(distinct),
+        shared_nodes=nodes,
+        consuming=consuming,
+    )
+    header.children.extend(children)
+    return header, answers

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.engine import DEFAULT_BATCH_SIZE, evaluate_union_shared, run_query
+from repro.obs import tracing
 from repro.query.cq import Atom, ConjunctiveQuery, UnionQuery, Variable
 from repro.rdf.store import EncodedPattern, TripleStore
 from repro.rdf.terms import Term
@@ -207,17 +208,20 @@ def evaluate_union(
             workers=workers,
             pushdown=pushdown,
         )
-    results: set[Answer] = set()
-    for disjunct in disjuncts:
-        results |= evaluate(
-            disjunct,
-            store,
-            engine=engine,
-            batch_size=batch_size,
-            workers=workers,
-            pushdown=pushdown,
-        )
-    return results
+    with tracing.span(
+        "query.evaluate_union", disjuncts=len(disjuncts), shared=False
+    ):
+        results: set[Answer] = set()
+        for disjunct in disjuncts:
+            results |= evaluate(
+                disjunct,
+                store,
+                engine=engine,
+                batch_size=batch_size,
+                workers=workers,
+                pushdown=pushdown,
+            )
+        return results
 
 
 def count_answers(query: ConjunctiveQuery, store: TripleStore) -> int:

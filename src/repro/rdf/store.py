@@ -24,9 +24,12 @@ a single-file snapshot (triples + dictionary + statistics);
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from pathlib import Path
 from typing import Iterable, Iterator
+
+from repro.obs import metrics, tracing
 
 from repro.rdf.dictionary import Dictionary
 from repro.rdf.terms import Term, term_from_parts, term_to_parts
@@ -360,6 +363,19 @@ class TripleStore:
         '<http://e/p>'
         >>> reopened.close(); os.remove(path); os.rmdir(directory)
         """
+        if not metrics.enabled and tracing.sink is None:
+            self._save(path)
+            return
+        with tracing.span("storage.snapshot.save", path=str(path)):
+            started = time.perf_counter()
+            self._save(path)
+            if metrics.enabled:
+                metrics.observe(
+                    "storage.snapshot.save_ms",
+                    (time.perf_counter() - started) * 1000.0,
+                )
+
+    def _save(self, path) -> None:
         stats_rows = list(self.stats.export_column_counts())
         meta = {"triples": str(len(self))}
         backend = self._backend
@@ -399,6 +415,22 @@ class TripleStore:
         handing the file to another process). With ``backend="memory"``
         the triples are bulk-loaded into the in-memory structures.
         """
+        if not metrics.enabled and tracing.sink is None:
+            return cls._open(path, backend)
+        with tracing.span(
+            "storage.snapshot.open", path=str(path), backend=backend
+        ):
+            started = time.perf_counter()
+            store = cls._open(path, backend)
+            if metrics.enabled:
+                metrics.observe(
+                    "storage.snapshot.open_ms",
+                    (time.perf_counter() - started) * 1000.0,
+                )
+        return store
+
+    @classmethod
+    def _open(cls, path, backend: str = "sqlite") -> "TripleStore":
         if backend not in ("sqlite", "memory"):
             raise ValueError(
                 f"unknown backend {backend!r} for open(); "

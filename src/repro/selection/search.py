@@ -51,6 +51,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Protocol, Sequence, runtime_checkable
 
+from repro.obs import metrics, tracing
 from repro.query.cq import ConjunctiveQuery, Variable
 from repro.selection.costs import CostBreakdown, CostModel, price_states
 from repro.selection.state import State
@@ -214,6 +215,10 @@ class SearchCore:
         )
         self.seen: set[tuple] = {initial.key}
         self.root = SearchNode(initial, self.initial_breakdown, 0)
+        # Baseline for the memo-hit deltas this run publishes through
+        # the metrics registry (the cost model may be shared across
+        # runs, so absolute counter values are not ours to claim).
+        self._memo_baseline = dict(cost_model.counters)
 
     # -- run bookkeeping ------------------------------------------------
 
@@ -292,6 +297,21 @@ class SearchCore:
         pricing is bitwise identical to warm-cache pricing (the cost
         model's contract), so both paths return the same floats.
         """
+        if not metrics.enabled and tracing.sink is None:
+            return self._price_frontier(states)
+        with tracing.span("selection.search.wave", states=len(states)):
+            started = time.perf_counter()
+            breakdowns = self._price_frontier(states)
+            if metrics.enabled:
+                metrics.inc("selection.search.waves")
+                metrics.observe("selection.search.wave_size", len(states))
+                metrics.observe(
+                    "selection.search.wave_ms",
+                    (time.perf_counter() - started) * 1000.0,
+                )
+        return breakdowns
+
+    def _price_frontier(self, states: Sequence[State]) -> list[CostBreakdown]:
         if self.workers > 1 and len(states) >= MIN_PARALLEL_FRONTIER:
             try:
                 from repro.engine.parallel import map_chunks
@@ -339,6 +359,24 @@ class SearchCore:
                 return
 
     def result(self, strategy: str = "") -> SearchResult:
+        if metrics.enabled:
+            stats = self.stats
+            metrics.inc("selection.search.runs")
+            metrics.inc("selection.search.created", stats.created)
+            metrics.inc("selection.search.duplicates", stats.duplicates)
+            metrics.inc("selection.search.discarded", stats.discarded)
+            metrics.inc("selection.search.explored", stats.explored)
+            counters = self.cost_model.counters
+            for key, metric in (
+                ("view_hits", "selection.memo.view_hit"),
+                ("view_misses", "selection.memo.view_miss"),
+                ("plan_hits", "selection.memo.plan_hit"),
+                ("plan_misses", "selection.memo.plan_miss"),
+            ):
+                delta = counters.get(key, 0) - self._memo_baseline.get(key, 0)
+                if delta:
+                    metrics.inc(metric, delta)
+            self._memo_baseline = dict(counters)
         return SearchResult(
             best_state=self.best_state,
             best_cost=self.best_cost,
@@ -625,7 +663,8 @@ def run_search(
         use_stopvar=use_stopvar,
         workers=workers,
     )
-    strategy.run(core)
+    with tracing.span("selection.run_search", strategy=strategy.name):
+        strategy.run(core)
     return core.result(strategy.name)
 
 

@@ -30,6 +30,7 @@ import sqlite3
 from collections import Counter
 from typing import Iterable, Iterator
 
+from repro.obs import metrics
 from repro.storage.base import (
     DEFAULT_BATCH_SIZE,
     EncodedPattern,
@@ -182,6 +183,8 @@ class SqliteBackend(StorageBackend):
         Read-only databases cannot store them; SQLite then falls back to
         its built-in estimates, which is exactly the pre-ANALYZE state.
         """
+        if metrics.enabled:
+            metrics.inc("storage.sqlite.analyze.runs")
         try:
             self._con.execute("ANALYZE")
         except sqlite3.OperationalError:
@@ -358,7 +361,11 @@ class SqliteBackend(StorageBackend):
         ``ANALYZE`` that SQLite might pick a bad join order.
         """
         if self._stale_rows >= max(64, self._count // 8):
+            if metrics.enabled:
+                metrics.inc("storage.sqlite.analyze.stale_triggered")
             self._analyze()
+        if metrics.enabled:
+            metrics.inc("storage.sqlite.pushdown.execute")
         return self._con.execute(sql, params)
 
     # ------------------------------------------------------------------

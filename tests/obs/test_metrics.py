@@ -1,0 +1,131 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    metrics.reset()
+    yield
+    metrics.disable()
+    metrics.reset()
+
+
+def test_counters_gauges_histograms_roundtrip():
+    registry = MetricsRegistry()
+    registry.inc("a.hits")
+    registry.inc("a.hits", 4)
+    registry.gauge("a.size", 7)
+    registry.observe("a.ms", 1.0)
+    registry.observe("a.ms", 3.0)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"a.hits": 5}
+    assert snapshot["gauges"] == {"a.size": 7}
+    summary = snapshot["histograms"]["a.ms"]
+    assert summary["count"] == 2
+    assert summary["sum"] == 4.0
+    assert summary["min"] == 1.0 and summary["max"] == 3.0
+
+
+def test_histogram_percentiles_are_order_statistics():
+    histogram = Histogram()
+    for value in range(100, 0, -1):  # insertion order must not matter
+        histogram.observe(float(value))
+    assert histogram.percentile(0.50) == 51.0
+    assert histogram.percentile(0.95) == 96.0
+    assert histogram.percentile(0.99) == 100.0
+
+
+def test_histogram_decimation_keeps_exact_totals():
+    histogram = Histogram()
+    n = metrics._SAMPLE_LIMIT * 3
+    for value in range(n):
+        histogram.observe(float(value))
+    assert histogram.count == n
+    assert histogram.total == sum(float(v) for v in range(n))
+    assert histogram.minimum == 0.0
+    assert histogram.maximum == float(n - 1)
+    assert len(histogram.samples) <= metrics._SAMPLE_LIMIT
+    assert histogram.percentile(0.5) is not None
+
+
+def test_merge_equals_serial_recording():
+    serial = MetricsRegistry()
+    parts = [MetricsRegistry() for _ in range(3)]
+    for index, part in enumerate(parts):
+        for value in range(index + 1, 10):
+            serial.inc("m.count")
+            serial.observe("m.ms", float(value))
+            part.inc("m.count")
+            part.observe("m.ms", float(value))
+    merged = MetricsRegistry()
+    for part in parts:
+        merged.merge(part.dump())
+    assert merged.counters == serial.counters
+    ours, theirs = merged.histograms["m.ms"], serial.histograms["m.ms"]
+    assert ours.count == theirs.count
+    assert ours.total == theirs.total
+    assert ours.minimum == theirs.minimum
+    assert ours.maximum == theirs.maximum
+    assert sorted(ours.samples) == sorted(theirs.samples)
+
+
+def test_collect_isolates_and_restores_the_registry():
+    metrics.enable()
+    metrics.inc("outer.count")
+
+    def task(x):
+        metrics.inc("inner.count", x)
+        return x * 2
+
+    result, dump = metrics.collect(task, 21)
+    assert result == 42
+    assert dump["counters"] == {"inner.count": 21}
+    # The outer registry never saw the inner counts, and vice versa.
+    assert metrics.registry().counters == {"outer.count": 1}
+    assert metrics.enabled
+
+
+def test_collect_enables_metrics_inside_the_task_even_when_disabled():
+    assert not metrics.enabled
+
+    def task():
+        assert metrics.enabled
+        metrics.inc("inner.count")
+
+    _, dump = metrics.collect(task)
+    assert dump["counters"] == {"inner.count": 1}
+    assert not metrics.enabled
+
+
+def test_export_json_writes_a_parseable_snapshot(tmp_path):
+    with metrics.enabled_registry():
+        metrics.inc("engine.queries", 3)
+        metrics.observe("engine.query_ms", 1.5)
+    path = tmp_path / "metrics.json"
+    text = metrics.export_json(path)
+    assert json.loads(text)["counters"]["engine.queries"] == 3
+    on_disk = json.loads(path.read_text())
+    assert on_disk["histograms"]["engine.query_ms"]["count"] == 1
+
+
+def test_timer_records_milliseconds():
+    with metrics.enabled_registry():
+        with metrics.timer("t.ms"):
+            pass
+    histogram = metrics.registry().histograms["t.ms"]
+    assert histogram.count == 1
+    assert histogram.total >= 0.0
+
+
+def test_disabled_overhead_probe_runs_and_stays_disabled():
+    nanoseconds = metrics.disabled_overhead_ns(iterations=10_000)
+    assert nanoseconds > 0.0
+    assert not metrics.enabled
+    # The measurement itself must not record anything.
+    assert "obs.overhead.probe" not in metrics.registry().counters

@@ -1,0 +1,75 @@
+"""Unit tests for tracing spans (repro.obs.tracing)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import tracing
+
+
+@pytest.fixture(autouse=True)
+def no_sink():
+    tracing.configure(None)
+    yield
+    tracing.configure(None)
+
+
+def events(buffer: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+def test_span_is_noop_without_a_sink():
+    probe = tracing.span("anything", key="value")
+    assert probe is tracing._NOOP
+    with probe:
+        pass
+
+
+def test_spans_nest_via_parent_ids():
+    buffer = io.StringIO()
+    tracing.configure(buffer)
+    with tracing.span("outer", query="q1"):
+        with tracing.span("inner"):
+            pass
+        with tracing.span("inner"):
+            pass
+    outer = [e for e in events(buffer) if e["name"] == "outer"]
+    inner = [e for e in events(buffer) if e["name"] == "inner"]
+    assert len(outer) == 1 and len(inner) == 2
+    assert outer[0]["parent_id"] is None
+    assert all(e["parent_id"] == outer[0]["span_id"] for e in inner)
+    assert outer[0]["attrs"] == {"query": "q1"}
+    assert all(e["duration_ms"] >= 0 for e in events(buffer))
+
+
+def test_non_json_attrs_are_stringified():
+    buffer = io.StringIO()
+    tracing.configure(buffer)
+    with tracing.span("s", path=object()):
+        pass
+    (event,) = events(buffer)
+    assert isinstance(event["attrs"]["path"], str)
+
+
+def test_configure_resets_ids_per_trace():
+    first = io.StringIO()
+    tracing.configure(first)
+    with tracing.span("a"):
+        pass
+    second = io.StringIO()
+    tracing.configure(second)
+    with tracing.span("b"):
+        pass
+    assert events(first)[0]["span_id"] == events(second)[0]["span_id"] == 1
+
+
+def test_configure_with_a_path_writes_jsonl(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracing.configure(path)
+    with tracing.span("file.span"):
+        pass
+    tracing.configure(None)  # closes the owned handle
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["name"] == "file.span"

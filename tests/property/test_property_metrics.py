@@ -1,0 +1,135 @@
+"""Metrics merged back from pool workers equal serial totals.
+
+The fork pool (``repro.engine.parallel``) ships every task through
+``instrumented_call`` when metrics are enabled: the worker records into
+a fresh registry and the parent merges the returned dump. These
+properties pin the contract — counters and histograms accumulated
+across worker processes are exactly the counts a serial run of the same
+work produces, for any chunking, and instrumentation never changes
+answers (across backends and batch sizes).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.operators import ExtentScan, PartitionedHashJoin
+from repro.engine.parallel import map_chunks
+from repro.obs import metrics
+from repro.query.evaluation import evaluate
+from repro.storage import BACKENDS
+
+from tests.property.strategies import queries, stores
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    metrics.reset()
+    yield
+    metrics.disable()
+    metrics.reset()
+
+
+def _record_chunk(scale, chunk):
+    """The work shipped to pool workers: counts and one histogram."""
+    metrics.inc("prop.chunks")
+    metrics.inc("prop.items", len(chunk))
+    for value in chunk:
+        metrics.observe("prop.value", float(value) * scale)
+    return sum(chunk)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 100), min_size=1, max_size=40),
+    chunk_size=st.integers(1, 8),
+)
+def test_pool_merged_metrics_equal_serial_totals(values, chunk_size):
+    chunks = [
+        values[start : start + chunk_size]
+        for start in range(0, len(values), chunk_size)
+    ]
+
+    metrics.reset()
+    with metrics.enabled_registry():
+        serial_results = [_record_chunk(2, chunk) for chunk in chunks]
+    serial = metrics.registry().dump()
+
+    metrics.reset()
+    with metrics.enabled_registry():
+        pool_results = map_chunks(_record_chunk, 2, chunks, workers=2)
+    merged = metrics.registry().dump()
+
+    assert pool_results == serial_results
+    # The pool path adds its own dispatch counter on top of the task's.
+    assert merged["counters"].pop("engine.parallel.tasks") == len(chunks)
+    assert merged["counters"] == serial["counters"]
+    ours = merged["histograms"]["prop.value"]
+    theirs = serial["histograms"]["prop.value"]
+    assert ours["count"] == theirs["count"]
+    assert ours["total"] == pytest.approx(theirs["total"])
+    assert ours["min"] == theirs["min"]
+    assert ours["max"] == theirs["max"]
+    assert sorted(ours["samples"]) == sorted(theirs["samples"])
+
+
+@settings(max_examples=10, deadline=None)
+@given(rows=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                     min_size=1, max_size=30))
+def test_partitioned_join_worker_metrics_match_serial(rows):
+    """The real pool consumer: PartitionedHashJoin's fan-out.
+
+    ``min_parallel_rows=0`` forces pool dispatch on tiny inputs; the
+    serial reference is the same operator with one worker. The joined
+    rows and the partition-invariant counter (``rows_out`` — equal keys
+    co-partition, so total join output is independent of partitioning)
+    must agree; ``rows_in`` may only shrink on the pool path, which
+    prunes partition pairs with an empty side before dispatch.
+    """
+
+    def join(workers):
+        left = ExtentScan("l", list(rows), ("a", "b"))
+        right = ExtentScan("r", list(rows), ("b", "c"))
+        return PartitionedHashJoin(
+            left, right, pairs=[(1, 0)], keep_right=[1],
+            workers=workers, partitions=2, min_parallel_rows=0,
+        )
+
+    metrics.reset()
+    with metrics.enabled_registry():
+        serial_rows = sorted(join(1))
+    serial = metrics.registry().dump()["counters"]
+
+    metrics.reset()
+    with metrics.enabled_registry():
+        pool_rows = sorted(join(2))
+    merged = metrics.registry().dump()["counters"]
+
+    assert pool_rows == serial_rows
+    assert merged.get("engine.parallel.join.rows_out", 0) == serial.get(
+        "engine.parallel.join.rows_out", 0
+    )
+    assert merged.get("engine.parallel.join.rows_in", 0) <= serial.get(
+        "engine.parallel.join.rows_in", 0
+    )
+    assert merged.get("engine.parallel.join.partitions", 0) <= 2
+    if pool_rows:
+        assert merged["engine.parallel.join.partitions"] >= 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("batch_size", [2, 1024])
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_instrumentation_never_changes_answers(backend, batch_size, data):
+    store = data.draw(stores(backend=backend), label="store")
+    query = data.draw(queries(), label="query")
+    expected = evaluate(query, store, batch_size=batch_size, workers=2)
+    metrics.reset()
+    with metrics.enabled_registry():
+        observed = evaluate(query, store, batch_size=batch_size, workers=2)
+    assert observed == expected
+    counters = metrics.registry().counters
+    assert counters.get("engine.queries", 0) == 1
+    histograms = metrics.registry().histograms
+    assert histograms["engine.query_ms"].count == 1

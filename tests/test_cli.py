@@ -287,3 +287,120 @@ def test_explain_reports_workers_and_batch_size(capsys, data_file, workload_file
         "--batch-size", "0",
     )
     assert "[batch-size=tuple-at-a-time workers=2]" in out
+
+
+def test_analyze_prints_annotated_plan(capsys, data_file, workload_file):
+    out = run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--time-limit", "2",
+        "--analyze",
+    )
+    assert "explain analyze on the store [batch-size=1024 workers=1]:" in out
+    assert "q2 [engine=" in out
+    assert "rows=" in out and "batches=" in out and "time_ms=" in out
+    assert "est_rows=" in out
+    assert "workload batch [queries=2" in out
+
+
+def test_analyze_covers_the_pushdown_route(capsys, data_file, workload_file,
+                                           tmp_path):
+    db = tmp_path / "analyzed.db"
+    out = run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--db", str(db),
+        "--backend", "sqlite",
+        "--queries", str(workload_file),
+        "--time-limit", "2",
+        "--analyze",
+    )
+    assert "pushdown=yes" in out
+    assert "parity=yes" in out
+    assert "SQLPushdown" in out
+    assert "interpreted equivalent:" in out
+
+
+def test_quiet_suppresses_status_but_keeps_results(capsys, data_file,
+                                                   workload_file):
+    out = run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--time-limit", "2",
+        "-q",
+    )
+    assert "loaded" not in out
+    assert "workload:" not in out
+    assert "recommended views:" in out
+    assert "cost reduction" in out
+
+
+def test_log_level_warning_matches_quiet(capsys, data_file, workload_file):
+    out = run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--time-limit", "2",
+        "--log-level", "warning",
+    )
+    assert "loaded" not in out
+    assert "recommended views:" in out
+
+
+def test_slow_query_warnings_go_to_stderr(capsys, data_file, workload_file):
+    assert main([
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--time-limit", "2",
+        "--slow-query-ms", "0.0001",
+        "--show-answers",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "slow query" in captured.err
+    assert "recommended views:" in captured.out
+    # The CLI restores the module flag for the next main() in-process.
+    from repro.obs import metrics
+
+    assert metrics.slow_query_ms is None
+
+
+def test_metrics_json_writes_registry_snapshot(capsys, data_file,
+                                               workload_file, tmp_path):
+    import json
+
+    path = tmp_path / "metrics.json"
+    run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--time-limit", "2",
+        "--metrics-json", str(path),
+    )
+    snapshot = json.loads(path.read_text())
+    assert snapshot["counters"].get("selection.search.runs", 0) >= 1
+    assert "selection.memo.view_hit" in snapshot["counters"]
+    from repro.obs import metrics
+
+    assert not metrics.enabled
+
+
+def test_trace_writes_nested_spans(capsys, data_file, workload_file, tmp_path):
+    import json
+
+    path = tmp_path / "trace.jsonl"
+    run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--time-limit", "2",
+        "--trace", str(path),
+    )
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    assert events
+    names = {event["name"] for event in events}
+    assert "selection.run_search" in names
+    from repro.obs import tracing
+
+    assert tracing.sink is None
