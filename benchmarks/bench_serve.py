@@ -1,0 +1,233 @@
+"""Served QPS — server mode under concurrent client load.
+
+Serves the shared synthetic Barton catalog as a read-only snapshot and
+replays the Q1 reformulation workload (each query repeated, shuffled)
+through concurrent client connections, at 1, 2 and 4 worker processes.
+Reported per series: sustained queries/second and client-observed
+p50/p95/p99 latency. Every served answer is verified against
+single-process ``run_query`` evaluation **during** the measurement —
+a QPS figure is only ever recorded for correct answers — and the
+server's merged metrics must reconcile: the queries the server counted
+equal the queries its workers counted.
+
+On a single-core runner the worker series measure dispatch overhead
+rather than speed-up; the shape to expect there is flat-ish QPS with
+no errors. With real cores, QPS should rise with workers until the
+snapshot's page cache and the dispatcher saturate.
+
+Standalone smoke mode (the CI gate)::
+
+    PYTHONPATH=src python -m benchmarks.bench_serve --smoke
+
+fails on any error or answer mismatch, on a metrics reconciliation
+gap, or on sustained QPS below the floor (conservative: CI runners
+share cores).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - smoke mode without pytest
+    pytest = None
+
+from benchmarks.bench_table3_reformulation_workloads import (
+    reformulation_workloads,
+)
+from benchmarks.support import barton, full_scale, report
+from repro.engine import run_query
+from repro.rdf.store import TripleStore
+from repro.server import Server, ServerConfig, replay
+from repro.workload.generator import replay_schedule
+
+EXPERIMENT = "Served QPS: concurrent clients over one snapshot"
+
+WORKER_SERIES = (1, 2, 4)
+
+#: Sustained-QPS floor of the CI smoke gate. Deliberately conservative:
+#: CI runners can be single-core and shared, and the gate's job is to
+#: catch the server collapsing (serialization, hangs, respawn storms),
+#: not to benchmark the runner.
+SMOKE_QPS_FLOOR = 25.0
+
+
+def _setup():
+    """(snapshot path, distinct query texts, serial reference answers)."""
+    store, _schema = barton()
+    queries = reformulation_workloads()["Q1"]
+    texts = [str(query) for query in queries]
+    directory = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    path = os.path.join(directory, "barton.snapshot")
+    store.save(path)
+    reference_store = TripleStore.open(path, backend="sqlite", read_only=True)
+    try:
+        reference = {
+            text: frozenset(run_query(query, reference_store))
+            for text, query in zip(texts, queries)
+        }
+    finally:
+        reference_store.close()
+    return path, texts, reference
+
+
+def _series(path, texts, reference, workers, *, clients, repeat, seed=0):
+    """One measured point: serve at ``workers`` workers, replay, verify."""
+    schedule = replay_schedule(texts, repeats=repeat, seed=seed)
+    config = ServerConfig(workers=workers, window_ms=2.0)
+    with Server(path, config) as server:
+        outcome = replay(
+            server.address, server.authkey, schedule,
+            clients=clients, reference=reference,
+        )
+        counters = server.metrics_snapshot()["counters"]
+    summary = outcome.summary()
+    summary["workers"] = workers
+    summary["reconciliation"] = {
+        "server_queries": counters.get("server.queries", 0),
+        "worker_queries": counters.get("serve.worker.queries", 0),
+        "worker_crashes": counters.get("server.worker_crashes", 0),
+    }
+    return summary
+
+
+def _measure(repeat=None, clients=4):
+    path, texts, reference = _setup()
+    if repeat is None:
+        repeat = 40 if full_scale() else 8
+    rows = [
+        _series(path, texts, reference, workers,
+                clients=clients, repeat=repeat)
+        for workers in WORKER_SERIES
+    ]
+    return path, texts, rows
+
+
+def _json_payload(texts, rows, *, clients):
+    """Machine-readable results (written to ``BENCH_serve.json``)."""
+    store, _ = barton()
+    return {
+        "experiment": "serve",
+        "scale": "full" if full_scale() else "quick",
+        "snapshot_triples": len(store),
+        "distinct_queries": len(texts),
+        "clients": clients,
+        "window_ms": 2.0,
+        "verified_against_serial": True,
+        "series": rows,
+    }
+
+
+def _report_rows(rows, emit=report):
+    for row in rows:
+        latency = row["latency_ms"]
+        emit(
+            EXPERIMENT,
+            f"workers={row['workers']}: {row['qps']:>8.1f} qps   "
+            f"p50={latency['p50']:.2f}ms p95={latency['p95']:.2f}ms "
+            f"p99={latency['p99']:.2f}ms   errors={row['errors']} "
+            f"mismatches={row['mismatches']}",
+        )
+
+
+if pytest is not None:
+
+    def test_serve_qps(benchmark):
+        _path, texts, rows = benchmark.pedantic(
+            _measure, rounds=1, iterations=1
+        )
+        _report_rows(rows)
+        for row in rows:
+            assert row["errors"] == 0
+            assert row["mismatches"] == 0
+            reconciliation = row["reconciliation"]
+            assert (
+                reconciliation["server_queries"]
+                == reconciliation["worker_queries"]
+            )
+
+
+def main(argv=None) -> int:
+    """Standalone entry point; ``--smoke`` is the CI serve gate."""
+    import argparse
+    import json
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        description="Served-QPS benchmark (standalone mode)."
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: fail on any error/mismatch, "
+                        "reconciliation gap, or QPS below the floor")
+    parser.add_argument("--clients", type=int, default=4, metavar="N",
+                        help="concurrent client connections (default 4)")
+    parser.add_argument("--repeat", type=int, default=None, metavar="N",
+                        help="times each query appears in the schedule "
+                        "(default: 8 quick / 40 full)")
+    parser.add_argument("--qps-floor", type=float, default=SMOKE_QPS_FLOOR,
+                        help="smoke gate's sustained-QPS floor "
+                        f"(default {SMOKE_QPS_FLOOR})")
+    parser.add_argument("--json", metavar="PATH", default="BENCH_serve.json",
+                        help="write machine-readable results to PATH; "
+                        "empty string to skip (default: BENCH_serve.json)")
+    args = parser.parse_args(argv)
+
+    _path, texts, rows = _measure(repeat=args.repeat, clients=args.clients)
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(
+                _json_payload(texts, rows, clients=args.clients), indent=2
+            )
+            + "\n"
+        )
+        print(f"wrote {args.json}")
+
+    def emit(_experiment, line):
+        print(line)
+
+    print(EXPERIMENT)
+    _report_rows(rows, emit=emit)
+
+    if args.smoke:
+        failures = []
+        for row in rows:
+            if row["errors"]:
+                failures.append(
+                    f"workers={row['workers']}: {row['errors']} errors"
+                )
+            if row["mismatches"]:
+                failures.append(
+                    f"workers={row['workers']}: {row['mismatches']} "
+                    "answers differed from serial evaluation"
+                )
+            reconciliation = row["reconciliation"]
+            if (
+                reconciliation["server_queries"]
+                != reconciliation["worker_queries"]
+            ):
+                failures.append(
+                    f"workers={row['workers']}: server counted "
+                    f"{reconciliation['server_queries']} queries but "
+                    f"workers counted {reconciliation['worker_queries']}"
+                )
+        best_qps = max(row["qps"] for row in rows)
+        if best_qps < args.qps_floor:
+            failures.append(
+                f"best series {best_qps:.1f} qps below the "
+                f"{args.qps_floor:.0f} qps floor"
+            )
+        if failures:
+            for failure in failures:
+                print(f"SMOKE FAIL: {failure}")
+            return 1
+        print(
+            f"SMOKE OK: all series verified, best {best_qps:.1f} qps >= "
+            f"{args.qps_floor:.0f} qps floor"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

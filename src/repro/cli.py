@@ -10,6 +10,17 @@ Example::
     python -m repro --data catalog.nt --queries workload.dq \
         --strategy dfs --entailment post_reformulation --time-limit 10
 
+A second verb, ``serve``, turns a saved store snapshot into a
+multi-process query server (see ``docs/server.md``)::
+
+    python -m repro serve --db kb.snapshot --workers 4
+
+prints the socket address + auth key and serves until interrupted;
+with ``--replay workload.dq`` it instead replays the workload through
+concurrent clients against itself, verifies every served answer
+against single-process evaluation, and reports sustained QPS with
+latency percentiles (``--json`` writes the report).
+
 The workload file holds one query per line (continuations allowed), in
 the syntax of :mod:`repro.query.parser`::
 
@@ -32,9 +43,11 @@ cardinalities), ``--metrics-json`` dumps the metrics registry and
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sqlite3
 import sys
+import time
 from pathlib import Path
 
 from repro.engine import (
@@ -191,6 +204,163 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write structured tracing spans (JSON lines) "
                         "to PATH")
     return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve a saved store snapshot to concurrent clients "
+        "from a pool of worker processes (read-only; zero writes to the "
+        "snapshot).",
+    )
+    parser.add_argument("--db", required=True, type=Path,
+                        help="store snapshot file to serve (written by "
+                        "TripleStore.save or python -m repro --db)")
+    parser.add_argument("--backend", choices=("sqlite", "memory"),
+                        default="sqlite",
+                        help="how each worker opens the snapshot: sqlite "
+                        "serves the file in place through a read-only "
+                        "connection (default); memory bulk-loads it per "
+                        "worker")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="worker processes answering queries "
+                        "(default 2); each holds its own connection and "
+                        "prepared-plan cache")
+    parser.add_argument("--window-ms", type=float, default=2.0, metavar="MS",
+                        help="batching window: queries arriving within MS "
+                        "of each other execute as one shared batch, so "
+                        "multi-query optimization spans clients "
+                        "(default 2.0; 0 disables cross-request batching)")
+    parser.add_argument("--batch-size", type=_non_negative_int,
+                        default=DEFAULT_BATCH_SIZE, metavar="ROWS",
+                        help="rows per operator batch inside each worker "
+                        f"(default {DEFAULT_BATCH_SIZE})")
+    parser.add_argument("--engine", choices=ENGINES, default="auto",
+                        help="join strategy inside each worker "
+                        "(default: auto)")
+    parser.add_argument("--replay", type=Path, default=None, metavar="PATH",
+                        help="instead of serving forever: replay this "
+                        "workload file through concurrent clients, verify "
+                        "answers against single-process evaluation, report "
+                        "QPS and latency percentiles, then exit")
+    parser.add_argument("--clients", type=int, default=4, metavar="N",
+                        help="concurrent client connections during "
+                        "--replay (default 4)")
+    parser.add_argument("--repeat", type=int, default=4, metavar="N",
+                        help="times each workload query appears in the "
+                        "replay schedule (default 4)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="shuffle seed of the replay schedule")
+    parser.add_argument("--namespace", default="http://example.org/",
+                        help="default namespace for bare query constants "
+                        "in the replay workload")
+    parser.add_argument("--json", type=Path, default=None, metavar="PATH",
+                        help="write the replay report (QPS, percentiles, "
+                        "merged server metrics) as JSON to PATH")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the answer verification against "
+                        "single-process evaluation during --replay")
+    parser.add_argument("--log-level", choices=_LOG_LEVELS, default="info")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress status narration")
+    return parser
+
+
+def _run_serve(args) -> int:
+    from repro.engine import run_query
+    from repro.query.parser import parse_queries as _parse_workload
+    from repro.server import Server, ServerConfig, ServerError, replay
+    from repro.workload.generator import replay_schedule
+
+    if not args.db.is_file():
+        _LOG.error(f"snapshot {args.db} does not exist")
+        return 2
+    config = ServerConfig(
+        workers=args.workers,
+        backend=args.backend,
+        window_ms=args.window_ms,
+        batch_size=None if args.batch_size == 0 else args.batch_size,
+        engine=args.engine,
+    )
+    try:
+        server = Server(args.db, config)
+    except ServerError as exc:
+        _LOG.error(str(exc))
+        return 2
+    with server:
+        _LOG.info(
+            f"serving {args.db} [{args.backend} backend, "
+            f"{args.workers} workers, window {args.window_ms}ms] "
+            f"pids={server.worker_pids()}"
+        )
+        if args.replay is None:
+            # Foreground mode: announce the connection coordinates and
+            # serve until interrupted.
+            print(f"address {server.address}")
+            print(f"authkey {server.authkey.hex()}")
+            sys.stdout.flush()
+            try:
+                while True:
+                    time.sleep(0.5)
+            except KeyboardInterrupt:
+                _LOG.info("interrupted; shutting down")
+            return 0
+        queries = _parse_workload(
+            args.replay.read_text(), namespace=args.namespace
+        )
+        if not queries:
+            _LOG.error("the replay workload contains no queries")
+            return 2
+        schedule = replay_schedule(
+            queries, repeats=max(1, args.repeat), seed=args.seed
+        )
+        reference = None
+        if not args.no_verify:
+            reference_store = TripleStore.open(
+                args.db, backend=args.backend,
+                read_only=True if args.backend == "sqlite" else None,
+            )
+            try:
+                reference = {
+                    str(query): frozenset(
+                        run_query(query, reference_store, engine=args.engine)
+                    )
+                    for query in queries
+                }
+            finally:
+                reference_store.close()
+        report = replay(
+            server.address, server.authkey, schedule,
+            clients=max(1, args.clients), reference=reference,
+        )
+        summary = report.summary()
+        metrics_snapshot = server.metrics_snapshot()
+    verified = "verified" if reference is not None else "unverified"
+    print(f"replayed {summary['queries']} queries "
+          f"({len(queries)} distinct x {max(1, args.repeat)}) "
+          f"over {summary['clients']} clients [{verified}]")
+    print(f"  qps     {summary['qps']:.1f}")
+    latency = summary["latency_ms"]
+    print(f"  latency p50 {latency['p50']:.2f}ms  "
+          f"p95 {latency['p95']:.2f}ms  p99 {latency['p99']:.2f}ms")
+    print(f"  errors {summary['errors']}  mismatches {summary['mismatches']}")
+    if args.json is not None:
+        payload = {
+            "snapshot": str(args.db),
+            "backend": args.backend,
+            "workers": args.workers,
+            "window_ms": args.window_ms,
+            "verified": reference is not None,
+            "replay": summary,
+            "server_metrics": metrics_snapshot,
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        _LOG.info(f"wrote replay report to {args.json}")
+    if report.errors or report.mismatches:
+        for message in report.error_messages[:5]:
+            _LOG.error(f"replay error: {message}")
+        return 1
+    return 0
 
 
 def _uses_partitioned_join(root) -> bool:
@@ -356,6 +526,14 @@ def _print_analyze(queries, store, schema, args) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        serve_args = build_serve_parser().parse_args(argv[1:])
+        _setup_logging(
+            "warning" if serve_args.quiet else serve_args.log_level
+        )
+        return _run_serve(serve_args)
     args = build_parser().parse_args(argv)
     _setup_logging("warning" if args.quiet else args.log_level)
     if args.trace is not None:

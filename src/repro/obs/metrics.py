@@ -218,6 +218,11 @@ def snapshot() -> dict:
     return _REGISTRY.snapshot()
 
 
+def dump() -> dict:
+    """Lossless, mergeable form of the process-wide registry."""
+    return _REGISTRY.dump()
+
+
 def reset() -> None:
     _REGISTRY.reset()
 

@@ -405,7 +405,9 @@ class TripleStore:
             write_snapshot(path, iter(backend), term_rows, stats_rows, meta)
 
     @classmethod
-    def open(cls, path, backend: str = "sqlite") -> "TripleStore":
+    def open(
+        cls, path, backend: str = "sqlite", read_only: bool | None = None
+    ) -> "TripleStore":
         """Reopen a snapshot written by :meth:`save`.
 
         With ``backend="sqlite"`` (the default) the store attaches to
@@ -414,14 +416,22 @@ class TripleStore:
         :meth:`save` again to sync the dictionary sidecar before
         handing the file to another process). With ``backend="memory"``
         the triples are bulk-loaded into the in-memory structures.
+
+        ``read_only=True`` serves the snapshot through a read-only
+        SQLite connection: opening performs **zero writes** (no WAL
+        conversion, no schema script, no ``ANALYZE``, no dictionary
+        sync on close) and mutations raise — the mode every server-mode
+        worker uses so N processes can share one snapshot file. The
+        default (``None``) auto-detects files the process cannot write,
+        such as a chmod-0444 snapshot.
         """
         if not metrics.enabled and tracing.sink is None:
-            return cls._open(path, backend)
+            return cls._open(path, backend, read_only)
         with tracing.span(
             "storage.snapshot.open", path=str(path), backend=backend
         ):
             started = time.perf_counter()
-            store = cls._open(path, backend)
+            store = cls._open(path, backend, read_only)
             if metrics.enabled:
                 metrics.observe(
                     "storage.snapshot.open_ms",
@@ -430,7 +440,9 @@ class TripleStore:
         return store
 
     @classmethod
-    def _open(cls, path, backend: str = "sqlite") -> "TripleStore":
+    def _open(
+        cls, path, backend: str = "sqlite", read_only: bool | None = None
+    ) -> "TripleStore":
         if backend not in ("sqlite", "memory"):
             raise ValueError(
                 f"unknown backend {backend!r} for open(); "
@@ -456,8 +468,10 @@ class TripleStore:
                     f"code {assigned}, expected {code}"
                 )
         if backend == "sqlite":
-            store._attach_backend(SqliteBackend(path))
+            store._attach_backend(SqliteBackend(path, read_only=read_only))
         else:
+            # The memory backend loads via the snapshot reader's own
+            # read-only connection; read_only needs no further plumbing.
             memory = MemoryBackend()
             memory.add_bulk(triples)
             store._attach_backend(memory)

@@ -36,7 +36,7 @@ from repro.storage.base import (
 )
 from repro.storage.memory import MemoryBackend
 from repro.storage.snapshot import SnapshotError, is_snapshot
-from repro.storage.sqlite import SqliteBackend
+from repro.storage.sqlite import ReadOnlyBackendError, SqliteBackend
 
 __all__ = [
     "BACKENDS",
@@ -45,6 +45,7 @@ __all__ = [
     "EncodedTriple",
     "MemoryBackend",
     "PERMUTATIONS",
+    "ReadOnlyBackendError",
     "SnapshotError",
     "SqliteBackend",
     "StorageBackend",

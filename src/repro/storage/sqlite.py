@@ -26,8 +26,10 @@ connection always see pending writes.
 
 from __future__ import annotations
 
+import os
 import sqlite3
 from collections import Counter
+from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.obs import metrics
@@ -88,19 +90,51 @@ def _where(pattern: EncodedPattern) -> tuple[str, tuple[int, ...]]:
     return " WHERE " + " AND ".join(conditions), params
 
 
+class ReadOnlyBackendError(RuntimeError):
+    """Raised when a mutation reaches a read-only SQLite backend."""
+
+
 class SqliteBackend(StorageBackend):
-    """Encoded triples in a SQLite database (file-backed or in-memory)."""
+    """Encoded triples in a SQLite database (file-backed or in-memory).
+
+    ``read_only`` opens an existing database through SQLite's ``mode=ro``
+    URI flag: the connection physically cannot write, so serving a
+    snapshot performs **zero writes** — no WAL conversion attempt, no
+    schema script, no ``ANALYZE`` — and concurrent reader processes
+    (server mode) share the file safely. ``read_only=None`` (the
+    default) auto-detects: an existing file the process cannot write
+    (e.g. a chmod-0444 snapshot) is served read-only instead of letting
+    doomed write attempts fail one by one behind try/except guards.
+    """
 
     name = "sqlite"
 
-    def __init__(self, path=None) -> None:
+    def __init__(self, path=None, read_only: bool | None = None) -> None:
         #: Database file path, or None for an anonymous database.
         self.path = str(path) if path is not None else None
+        if read_only is None:
+            read_only = (
+                self.path is not None
+                and os.path.exists(self.path)
+                and not os.access(self.path, os.W_OK)
+            )
+        elif read_only and self.path is None:
+            raise ValueError("a read-only backend needs an existing file path")
+        #: True when this connection can never write the database.
+        self.read_only = bool(read_only)
         # Anonymous backends use a SQLite *temporary* database (""):
         # pages live in the cache and spill to a private auto-deleted
         # disk file as the data outgrows it — unlike ":memory:", big
         # anonymous stores (saturations, copies) stay memory-bounded.
-        self._con = sqlite3.connect(self.path if self.path is not None else "")
+        if self.read_only:
+            # as_uri() percent-encodes URI-special path characters.
+            self._con = sqlite3.connect(
+                Path(self.path).resolve().as_uri() + "?mode=ro", uri=True
+            )
+        else:
+            self._con = sqlite3.connect(
+                self.path if self.path is not None else ""
+            )
         # Production pragmas (the configuration table every deployed
         # SQLite service converges on): 16 MiB page cache keeps
         # benchmark-scale databases cached while bounding worst-case
@@ -112,17 +146,19 @@ class SqliteBackend(StorageBackend):
         self._con.execute("PRAGMA temp_store = MEMORY")
         self._con.execute("PRAGMA synchronous = NORMAL")
         self._con.execute("PRAGMA busy_timeout = 30000")
-        if self.path is not None:
+        if self.path is not None and not self.read_only:
             # Write-ahead logging for file-backed stores: readers never
             # block the writer and vice versa (the server-mode story).
             # Switching the mode writes the database header, which a
-            # read-only snapshot file refuses — keep serving it as-is.
+            # read-only snapshot must never even attempt — the
+            # read-only branch above skips this entirely.
             try:
                 self._con.execute("PRAGMA journal_mode = WAL")
             except sqlite3.OperationalError:
                 pass
-        self._con.executescript(SCHEMA)
-        self._con.commit()
+        if not self.read_only:
+            self._con.executescript(SCHEMA)
+            self._con.commit()
         # Triple count mirrored Python-side: len() is on the hot path
         # of every cost formula and must not re-run COUNT(*).
         self._count = self._con.execute(
@@ -142,7 +178,15 @@ class SqliteBackend(StorageBackend):
     # Mutation
     # ------------------------------------------------------------------
 
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise ReadOnlyBackendError(
+                f"backend serves {self.path} read-only; mutations are not "
+                "allowed (reopen the snapshot without read_only to edit it)"
+            )
+
     def add(self, encoded: EncodedTriple) -> bool:
+        self._check_writable()
         cursor = self._con.execute(
             "INSERT OR IGNORE INTO triples (s, p, o) VALUES (?, ?, ?)", encoded
         )
@@ -153,6 +197,7 @@ class SqliteBackend(StorageBackend):
         return inserted
 
     def remove(self, encoded: EncodedTriple) -> bool:
+        self._check_writable()
         cursor = self._con.execute(
             "DELETE FROM triples WHERE s = ? AND p = ? AND o = ?", encoded
         )
@@ -163,6 +208,7 @@ class SqliteBackend(StorageBackend):
         return removed
 
     def add_bulk(self, encoded: Iterable[EncodedTriple]) -> int:
+        self._check_writable()
         before = self._con.total_changes
         self._con.executemany(
             "INSERT OR IGNORE INTO triples (s, p, o) VALUES (?, ?, ?)", encoded
@@ -181,8 +227,12 @@ class SqliteBackend(StorageBackend):
         """Recompute SQLite's own planner statistics (``sqlite_stat1``).
 
         Read-only databases cannot store them; SQLite then falls back to
-        its built-in estimates, which is exactly the pre-ANALYZE state.
+        its built-in estimates, which is exactly the pre-ANALYZE state —
+        so a read-only connection never even attempts the write.
         """
+        if self.read_only:
+            self._stale_rows = 0
+            return
         if metrics.enabled:
             metrics.inc("storage.sqlite.analyze.runs")
         try:
@@ -408,12 +458,18 @@ class SqliteBackend(StorageBackend):
         return clone
 
     def flush(self) -> None:
-        """Commit the open transaction (make pending writes durable)."""
-        self._con.commit()
+        """Commit the open transaction (make pending writes durable).
+
+        A read-only connection has nothing to commit — and must never
+        try, so serving a snapshot stays a zero-write operation.
+        """
+        if not self.read_only:
+            self._con.commit()
 
     def close(self) -> None:
         """Commit and release the database connection."""
-        self._con.commit()
+        if not self.read_only:
+            self._con.commit()
         self._con.close()
 
     @property

@@ -11,6 +11,7 @@ from repro.workload.generator import (
     SatisfiableWorkloadGenerator,
     WorkloadGenerator,
     WorkloadSpec,
+    replay_schedule,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "SatisfiableWorkloadGenerator",
     "WorkloadGenerator",
     "WorkloadSpec",
+    "replay_schedule",
 ]

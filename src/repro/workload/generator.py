@@ -250,6 +250,28 @@ class SatisfiableWorkloadGenerator:
         return list(dict.fromkeys(atoms))
 
 
+def replay_schedule(
+    queries, repeats: int = 1, seed: int = 0
+) -> list[str]:
+    """Flatten a workload into a served-traffic schedule of query texts.
+
+    Each query appears ``repeats`` times and the whole schedule is
+    shuffled deterministically (seeded), modelling many clients issuing
+    overlapping queries in interleaved order — the traffic shape that
+    exercises server mode's per-worker plan caches (repeats hit the
+    cache) and cross-client batching windows (adjacent arrivals often
+    share subplans). Accepts parsed queries or raw texts.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    texts = [
+        query if isinstance(query, str) else str(query) for query in queries
+    ]
+    schedule = texts * repeats
+    random.Random(f"replay:{seed}:{len(schedule)}").shuffle(schedule)
+    return schedule
+
+
 def _close_over_head(
     atoms: list[Atom], head_size: int, name: str
 ) -> ConjunctiveQuery:

@@ -117,6 +117,123 @@ def test_partitioned_join_worker_metrics_match_serial(rows):
         assert merged["engine.parallel.join.partitions"] >= 1
 
 
+@settings(max_examples=5, deadline=None)
+@given(data=st.data())
+def test_served_answers_and_metrics_match_serial(data):
+    """Server mode under randomized interleavings is observationally a
+    permutation of single-process evaluation.
+
+    For any store, workload, worker count and client count: (1) every
+    served answer set equals serial ``run_query_batch`` on the same
+    snapshot, regardless of which worker served it or in what order
+    requests interleaved; and (2) the server's merged registry equals a
+    serial replay of each worker's logged batch sequence — the counters
+    workers shipped back reconcile exactly with single-process totals
+    (histogram *counts* too; timings naturally differ).
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.engine import run_query_batch
+    from repro.query.parser import parse_query
+    from repro.rdf.store import TripleStore
+    from repro.server import Server, ServerConfig
+    from repro.server.pool import _answer_batch
+    from repro.workload.generator import replay_schedule
+
+    store = data.draw(stores(backend="memory"), label="store")
+    texts = [
+        str(data.draw(queries(max_atoms=2), label="query"))
+        for _ in range(data.draw(st.integers(1, 3), label="n_queries"))
+    ]
+    workers = data.draw(st.integers(1, 3), label="workers")
+    clients = data.draw(st.integers(1, 3), label="clients")
+    schedule = replay_schedule(
+        texts, repeats=2, seed=data.draw(st.integers(0, 99), label="seed")
+    )
+
+    directory = tempfile.mkdtemp(prefix="repro-prop-serve-")
+    try:
+        path = f"{directory}/kb.snapshot"
+        store.save(path)
+
+        serial_store = TripleStore.open(path, backend="sqlite",
+                                        read_only=True)
+        try:
+            parsed = [parse_query(text) for text in texts]
+            reference = dict(
+                zip(texts, run_query_batch(parsed, serial_store))
+            )
+        finally:
+            serial_store.close()
+
+        config = ServerConfig(workers=workers, window_ms=0.0)
+        with Server(path, config) as server:
+            served: dict[int, list] = {}
+
+            def drive(slot: int) -> None:
+                with server.connect() as client:
+                    answers = []
+                    for text in schedule[slot::clients]:
+                        result = client.query(text, timeout=60.0)
+                        answers.append(
+                            (text, frozenset(result.answers_or_raise()))
+                        )
+                    served[slot] = answers
+
+            threads = [
+                threading.Thread(target=drive, args=(slot,))
+                for slot in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+            assert not any(thread.is_alive() for thread in threads)
+            merged = server.metrics_dump()
+            batch_log = list(server.batch_log)
+
+        # (1) Permutation invariance of the answers.
+        assert len(served) == clients
+        for answers in served.values():
+            for text, answer in answers:
+                assert answer == frozenset(reference[text])
+
+        # (2) Merged worker metrics == serial replay of the batch log.
+        serial_registry = metrics.MetricsRegistry()
+        for index in range(workers):
+            replay_store = TripleStore.open(
+                path, backend="sqlite", read_only=True
+            )
+            try:
+                parse_cache: dict = {}
+                for worker_index, batch_texts in batch_log:
+                    if worker_index != index:
+                        continue
+                    _, dump = metrics.collect(
+                        _answer_batch, list(batch_texts), replay_store,
+                        parse_cache, config.batch_size, config.engine,
+                    )
+                    serial_registry.merge(dump)
+            finally:
+                replay_store.close()
+        worker_counters = {
+            name: value
+            for name, value in merged["counters"].items()
+            if not name.startswith("server.")
+        }
+        assert worker_counters == serial_registry.dump()["counters"]
+        for name, payload in merged["histograms"].items():
+            if name.startswith("server."):
+                continue
+            assert (
+                payload["count"] == serial_registry.histograms[name].count
+            )
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
 @pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("batch_size", [2, 1024])
 @settings(max_examples=10, deadline=None)

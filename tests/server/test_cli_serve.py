@@ -1,0 +1,92 @@
+"""The ``serve`` CLI verb: replay mode end to end, flag handling, and
+the JSON report it writes for CI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from tests.server.conftest import WORKLOAD
+
+
+def _write_workload(path):
+    path.write_text("\n".join(WORKLOAD) + "\n")
+    return path
+
+
+def test_serve_replay_verified(snapshot, tmp_path, capsys):
+    workload = _write_workload(tmp_path / "workload.dq")
+    report = tmp_path / "report.json"
+    code = main([
+        "serve", "--db", str(snapshot), "--replay", str(workload),
+        "--clients", "3", "--repeat", "4", "--workers", "2",
+        "--json", str(report), "-q",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "errors 0  mismatches 0" in out
+    payload = json.loads(report.read_text())
+    assert payload["verified"] is True
+    assert payload["replay"]["queries"] == len(WORKLOAD) * 4
+    assert payload["replay"]["errors"] == 0
+    assert payload["replay"]["mismatches"] == 0
+    assert payload["replay"]["qps"] > 0
+    for percentile in ("p50", "p95", "p99"):
+        assert payload["replay"]["latency_ms"][percentile] is not None
+    counters = payload["server_metrics"]["counters"]
+    assert counters["server.queries"] == len(WORKLOAD) * 4
+    assert counters["serve.worker.queries"] == len(WORKLOAD) * 4
+
+
+def test_serve_replay_memory_backend(snapshot, tmp_path):
+    workload = _write_workload(tmp_path / "workload.dq")
+    code = main([
+        "serve", "--db", str(snapshot), "--replay", str(workload),
+        "--backend", "memory", "--workers", "1", "--repeat", "2", "-q",
+    ])
+    assert code == 0
+
+
+def test_serve_replay_no_verify(snapshot, tmp_path, capsys):
+    workload = _write_workload(tmp_path / "workload.dq")
+    code = main([
+        "serve", "--db", str(snapshot), "--replay", str(workload),
+        "--no-verify", "--repeat", "1", "-q",
+    ])
+    assert code == 0
+    assert "[unverified]" in capsys.readouterr().out
+
+
+def test_serve_missing_snapshot(tmp_path):
+    workload = _write_workload(tmp_path / "workload.dq")
+    code = main([
+        "serve", "--db", str(tmp_path / "missing.snapshot"),
+        "--replay", str(workload), "-q",
+    ])
+    assert code == 2
+
+
+def test_serve_empty_workload(snapshot, tmp_path):
+    empty = tmp_path / "empty.dq"
+    empty.write_text("# no queries here\n")
+    code = main([
+        "serve", "--db", str(snapshot), "--replay", str(empty), "-q",
+    ])
+    assert code == 2
+
+
+def test_classic_verb_still_routes(tmp_path, capsys):
+    """The flag-based selector CLI is untouched by the verb routing."""
+    data = tmp_path / "data.nt"
+    data.write_text(
+        "<http://e/a> <http://e/p> <http://e/b> .\n"
+        "<http://e/b> <http://e/p> <http://e/c> .\n"
+    )
+    queries = tmp_path / "q.dq"
+    queries.write_text("q1(X, Y) :- t(X, <http://e/p>, Y)\n")
+    code = main([
+        "--data", str(data), "--queries", str(queries),
+        "--time-limit", "2", "-q",
+    ])
+    assert code == 0
+    assert "recommended views:" in capsys.readouterr().out
