@@ -51,6 +51,7 @@ import time
 from pathlib import Path
 
 from repro.engine import (
+    ADAPTIVE_BATCH_SIZE,
     DEFAULT_BATCH_SIZE,
     ENGINES,
     PartitionedHashJoin,
@@ -108,6 +109,19 @@ def _non_negative_int(value: str) -> int:
             f"must be a non-negative integer, got {value}"
         )
     return number
+
+
+def _batch_size_arg(value: str) -> int | str:
+    """``--batch-size`` values: a non-negative row count or ``adaptive``
+    (planner-derived per-operator sizes)."""
+    if value == ADAPTIVE_BATCH_SIZE:
+        return ADAPTIVE_BATCH_SIZE
+    try:
+        return _non_negative_int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer or 'adaptive', got {value}"
+        ) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -180,12 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "pricing (default 1 = serial; only join plans above "
                         "the cost-based cardinality threshold partition, "
                         "and only large search frontiers fan out)")
-    parser.add_argument("--batch-size", type=_non_negative_int,
+    parser.add_argument("--batch-size", type=_batch_size_arg,
                         default=DEFAULT_BATCH_SIZE,
                         metavar="ROWS",
                         help="rows per operator batch in the execution "
                         f"engine (default {DEFAULT_BATCH_SIZE}; 0 selects "
-                        "the tuple-at-a-time path)")
+                        "the tuple-at-a-time path; 'adaptive' lets the "
+                        "planner size each operator's batches from its "
+                        "estimated cardinality)")
     parser.add_argument("--log-level", choices=_LOG_LEVELS, default="info",
                         help="verbosity of the status narration on the "
                         "'repro' logger (default info)")
@@ -231,10 +247,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         "of each other execute as one shared batch, so "
                         "multi-query optimization spans clients "
                         "(default 2.0; 0 disables cross-request batching)")
-    parser.add_argument("--batch-size", type=_non_negative_int,
+    parser.add_argument("--batch-size", type=_batch_size_arg,
                         default=DEFAULT_BATCH_SIZE, metavar="ROWS",
                         help="rows per operator batch inside each worker "
-                        f"(default {DEFAULT_BATCH_SIZE})")
+                        f"(default {DEFAULT_BATCH_SIZE}; 0 selects the "
+                        "tuple-at-a-time path; 'adaptive' sizes batches "
+                        "per operator)")
     parser.add_argument("--engine", choices=ENGINES, default="auto",
                         help="join strategy inside each worker "
                         "(default: auto)")
@@ -424,6 +442,33 @@ def _load_store(args) -> TripleStore | None:
     return store
 
 
+def _plan_annotations(args):
+    """Static per-operator annotations for ``--explain`` trees.
+
+    With ``--batch-size adaptive`` every operator shows the batch size
+    the planner derived from its estimated cardinality
+    (``batch_hint=``); with ``--workers N>1`` scans running
+    morsel-parallel show ``morsel_workers=``. Plain invocations return
+    None so the historical unannotated rendering is unchanged.
+    """
+    adaptive = args.batch_size == ADAPTIVE_BATCH_SIZE
+    if not adaptive and args.workers <= 1:
+        return None
+
+    def annotate(op) -> dict:
+        notes: dict = {}
+        if adaptive:
+            hint = getattr(op, "preferred_batch_size", None)
+            if hint is not None:
+                notes["batch_hint"] = hint
+        morsels = getattr(op, "morsel_workers", 0)
+        if morsels > 1:
+            notes["morsel_workers"] = morsels
+        return notes
+
+    return annotate
+
+
 def _explain_plan(query, store, args) -> PlanNode:
     """The ``--explain`` plan tree for one query (no execution)."""
     # The pushdown route only runs under engine=auto on a batch
@@ -448,7 +493,7 @@ def _explain_plan(query, store, args) -> PlanNode:
         **{"partitioned-join": _uses_partitioned_join(root)},
         pushdown=False,
     )
-    header.children.append(operator_tree(root))
+    header.children.append(operator_tree(root, _plan_annotations(args)))
     return header
 
 

@@ -38,16 +38,24 @@ conjunctive query compiles to one SQL statement
 (:mod:`repro.engine.sqlcompile`) evaluated inside the backend, and the
 operator tree is the fallback for shapes SQL cannot express.
 
-Execution is batch-at-a-time by default: operators exchange row-list
-batches (``list`` of row tuples, at most ``batch_size`` per hand-off —
-see :mod:`repro.engine.operators` for the contract), with storage
-backends feeding batches natively. ``batch_size=None`` falls back to
-the historical tuple-at-a-time path. With ``workers > 1``, hash joins
-above an estimated-cardinality threshold execute as parallel
-partitioned joins over a cached process pool
-(:class:`~repro.engine.operators.PartitionedHashJoin`).
+Execution is batched by default, in **columnar layout**: operators
+exchange :class:`~repro.engine.columnar.ColumnBatch` objects (one
+value sequence per column) through ``column_batches``, with storage
+backends transposing batches natively; ``layout="row"`` keeps the
+row-list batch path (``list`` of row tuples, at most ``batch_size``
+per hand-off — see :mod:`repro.engine.operators` for both contracts)
+as the ablation baseline, and ``batch_size=None`` falls back to the
+historical tuple-at-a-time path. ``batch_size="adaptive"``
+(:data:`ADAPTIVE_BATCH_SIZE`) lets every operator use the batch size
+the planner derived from its estimated cardinality. With
+``workers > 1``, hash joins above an estimated-cardinality threshold
+execute as parallel partitioned joins over a cached process pool
+(:class:`~repro.engine.operators.PartitionedHashJoin`), and large
+unsorted base scans run morsel-driven over the same pool
+(:data:`MORSEL_PARALLEL_THRESHOLD`, :data:`MORSEL_SIZE`).
 """
 
+from repro.engine.columnar import ColumnBatch
 from repro.engine.extents import ViewExtent
 from repro.engine.mqo import (
     MATERIALIZE_COST_FACTOR,
@@ -64,6 +72,7 @@ from repro.engine.mqo import (
     union_signature,
 )
 from repro.engine.operators import (
+    ADAPTIVE_BATCH_SIZE,
     DEFAULT_BATCH_SIZE,
     Distinct,
     Empty,
@@ -78,10 +87,13 @@ from repro.engine.operators import (
     Relabel,
     Selection,
 )
+from repro.engine.parallel import MORSEL_SIZE
 from repro.engine.planner import (
     ENGINES,
     FIXED_ENGINES,
     HYBRID,
+    LAYOUTS,
+    MORSEL_PARALLEL_THRESHOLD,
     PARALLEL_ROW_THRESHOLD,
     SQL_PUSHDOWN,
     choose_engine,
@@ -99,16 +111,21 @@ from repro.engine.sqlcompile import (
 )
 
 __all__ = [
+    "ADAPTIVE_BATCH_SIZE",
     "DEFAULT_BATCH_SIZE",
     "ENGINES",
     "FIXED_ENGINES",
     "HYBRID",
+    "LAYOUTS",
     "MATERIALIZE_COST_FACTOR",
+    "MORSEL_PARALLEL_THRESHOLD",
+    "MORSEL_SIZE",
     "MQO_DAG",
     "PARALLEL_ROW_THRESHOLD",
     "SQL_PUSHDOWN",
     "UNION_PUSHDOWN",
     "BatchPlan",
+    "ColumnBatch",
     "CompiledQuery",
     "CompiledUnion",
     "SharedNode",

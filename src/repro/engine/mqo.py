@@ -25,7 +25,9 @@ subplan once, fan results out — this module:
    as encoded row batches behind an
    :class:`~repro.engine.operators.ExtentScan` (the ordinary batch
    contract), relabeled per consumer through the canonical-index
-   correspondence, and each consumer joins only its remaining atoms;
+   correspondence, and each consumer joins only its remaining atoms,
+   driven through the columnar batch layout like ``run_query``'s
+   fast path;
 4. **merges encoded answers**: consumers produce *images* (dictionary
    codes, with constant head terms attached) that are deduplicated
    across the whole batch/union before :func:`decode_images` decodes
@@ -63,7 +65,6 @@ from repro.engine.operators import (
     IndexNestedLoopJoin,
     IndexScan,
     Operator,
-    _projector,
 )
 from repro.engine.planner import (
     _PLAN_CACHE_LIMIT,
@@ -514,9 +515,17 @@ def _images_from_root(
             constants.append(term)
     images: set[tuple] = set()
     if all(slot is not None for slot in slots):
-        project = _projector(tuple(slots))
-        for batch in root.batches(batch_size):
-            images.update([project(row) for row in batch])
+        # Columnar drive, like _run_query's fast path: pick the head
+        # columns off each batch and fold the transposed batch into the
+        # image set in one C-speed ``set.update(zip(...))``.
+        if slots:
+            for cb in root.column_batches(batch_size):
+                images.update(zip(*(cb.columns[slot] for slot in slots)))
+        else:
+            for batch in root.batches(batch_size):
+                if batch:
+                    images.add(())
+                    break
         return images
     for batch in root.batches(batch_size):
         for row in batch:

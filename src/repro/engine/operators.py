@@ -1,20 +1,41 @@
 """Physical operators of the unified execution engine.
 
-Every operator exposes a ``schema`` (a tuple of column names) and two
+Every operator exposes a ``schema`` (a tuple of column names) and three
 pull-based execution paths over the same plan tree:
 
-* **batch-at-a-time** (:meth:`Operator.batches`, the default execution
-  mode) — the operator produces *row-list batches*: plain Python
-  ``list`` objects holding at most ``size`` rows (tuples), never empty.
-  This is the engine's batch-representation contract: a batch is a
-  ``list[tuple]``, row layout identical to the row-at-a-time path, with
-  no padding and no fixed fill degree (operators may emit short batches
-  after filtering). Batches collapse the per-row generator hand-off
-  between operators into one call per ~thousand rows and let the inner
-  loops run as C-speed list comprehensions / ``itemgetter`` maps;
+* **columnar** (:meth:`Operator.column_batches`, the default execution
+  mode of ``run_query``) — the operator produces
+  :class:`~repro.engine.columnar.ColumnBatch` objects: one value
+  sequence per schema column, all of one length. Projection and
+  relabeling are zero-copy column picks, single-column join keys are
+  read as vectors (no per-row key tuple), and join outputs assemble
+  per column over a selection vector. The per-batch row target is
+  *advisory* on this path: joins may emit batches larger than ``size``
+  rather than pay a repacking pass;
+* **batch-at-a-time** (:meth:`Operator.batches`) — the operator
+  produces *row-list batches*: plain Python ``list`` objects holding at
+  most ``size`` rows (tuples), never empty. This is the engine's
+  row-batch contract: a batch is a ``list[tuple]``, row layout
+  identical to the row-at-a-time path, with no padding and no fixed
+  fill degree (operators may emit short batches after filtering).
+  Batches collapse the per-row generator hand-off between operators
+  into one call per ~thousand rows and let the inner loops run as
+  C-speed list comprehensions / ``itemgetter`` maps;
 * **tuple-at-a-time** (``__iter__``) — the historical one-row-per-
   ``yield`` path, kept as the benchmark baseline and for consumers that
   genuinely want early exit after a handful of rows.
+
+Either batched path accepts :data:`ADAPTIVE_BATCH_SIZE` in place of a
+row count: each operator then resolves its *own* planner-annotated
+``preferred_batch_size`` (see ``planner._compile_query``) and passes
+the sentinel through to its children, so a small-output join can run
+narrow batches above a wide-batch scan in the same tree.
+
+Base :class:`IndexScan` leaves additionally support **morsel-driven
+parallel scanning**: the planner sets ``morsel_workers`` on large
+scans, and the scan then pulls its matches as fixed-size morsels
+projected by the cached fork pool (:mod:`repro.engine.parallel`),
+yielding exactly the serial row sequence.
 
 Two value domains flow through the same operator classes:
 
@@ -37,6 +58,7 @@ from __future__ import annotations
 from operator import itemgetter
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.engine.columnar import ColumnBatch
 from repro.query.cq import Atom, Variable
 from repro.rdf.store import TripleStore
 from repro.storage.base import DEFAULT_BATCH_SIZE
@@ -46,6 +68,11 @@ PhysicalRow = tuple
 
 #: A batch: a non-empty list of at most ``size`` physical rows.
 Batch = list
+
+#: Sentinel accepted wherever a batch size goes: each operator resolves
+#: its planner-annotated ``preferred_batch_size`` instead of one global
+#: row count (and passes the sentinel on to its children).
+ADAPTIVE_BATCH_SIZE = "adaptive"
 
 #: Permutation name whose *leading* attribute is the given triple position.
 _SORT_ORDERS = ("spo", "pso", "osp")
@@ -94,6 +121,16 @@ class Operator:
     schema: tuple[str, ...] = ()
     #: Columns the output is known to be sorted by (a prefix order), or None.
     sorted_on: tuple[str, ...] | None = None
+    #: Planner-annotated batch size for this operator (rows), consulted
+    #: when the caller passes :data:`ADAPTIVE_BATCH_SIZE`; None means
+    #: unannotated (the default size applies).
+    preferred_batch_size: int | None = None
+
+    def _batch_size(self, size) -> int:
+        """Resolve a possibly-adaptive batch size to a row count."""
+        if size == ADAPTIVE_BATCH_SIZE:
+            return self.preferred_batch_size or DEFAULT_BATCH_SIZE
+        return size
 
     def __iter__(self) -> Iterator[PhysicalRow]:
         raise NotImplementedError
@@ -106,6 +143,7 @@ class Operator:
         natively vectorized loops that also pull their children through
         ``batches`` — one override makes the whole subtree batched.
         """
+        size = self._batch_size(size)
         batch: Batch = []
         append = batch.append
         for row in self:
@@ -116,6 +154,20 @@ class Operator:
                 append = batch.append
         if batch:
             yield batch
+
+    def column_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[ColumnBatch]:
+        """The columnar path: :class:`ColumnBatch` per batch of rows.
+
+        The base implementation transposes :meth:`batches` (one C-speed
+        ``zip`` per batch), so any operator is columnar-consumable —
+        including probed trees and third-party operators. The built-in
+        scans, joins and row shapers override it with natively columnar
+        loops. ``size`` is advisory here: overrides may emit larger
+        batches (join fan-out) instead of paying a repacking pass.
+        """
+        width = len(self.schema)
+        for batch in self.batches(size):
+            yield ColumnBatch.from_rows(batch, width)
 
     def rows(self) -> list[PhysicalRow]:
         """Materialize the full output."""
@@ -171,6 +223,9 @@ class Empty(Operator):
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
         return iter(())
 
+    def column_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[ColumnBatch]:
+        return iter(())
+
 
 class ExtentScan(Operator):
     """Scan a materialized view extent (rows of decoded terms)."""
@@ -184,9 +239,17 @@ class ExtentScan(Operator):
         return iter(self._rows)
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        size = self._batch_size(size)
         rows = self._rows
         for start in range(0, len(rows), size):
             yield list(rows[start : start + size])
+
+    def column_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[ColumnBatch]:
+        size = self._batch_size(size)
+        rows = self._rows
+        width = len(self.schema)
+        for start in range(0, len(rows), size):
+            yield ColumnBatch.from_rows(rows[start : start + size], width)
 
     def rows(self) -> list[PhysicalRow]:
         return list(self._rows)
@@ -268,6 +331,13 @@ class IndexScan(Operator):
     output columns, rows come back ordered by that column's code via the
     store's sorted-permutation iterators — the input contract of
     :class:`MergeJoin`.
+
+    With ``morsel_workers`` set above 1 (the planner does this for
+    scans whose estimated cardinality clears its morsel threshold), the
+    unsorted batched paths pull the matches as fixed-size morsels
+    projected in parallel by the cached fork pool — answers identical
+    to the serial scan, in the same order. Sorted scans and scans with
+    literal filters (which need the dictionary in-process) stay serial.
     """
 
     def __init__(
@@ -288,6 +358,9 @@ class IndexScan(Operator):
         self.impossible = impossible
         self.schema = tuple(name for _, name in out)
         self.sort_by = sort_by
+        #: Workers for morsel-parallel scanning (≤ 1 = serial); set by
+        #: the planner after construction, rides the plan cache.
+        self.morsel_workers = 0
         if sort_by is not None:
             if sort_by not in self.schema:
                 raise ValueError(f"sort column {sort_by!r} not produced by {self.schema}")
@@ -317,7 +390,11 @@ class IndexScan(Operator):
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
         if self.impossible:
             return
+        size = self._batch_size(size)
         if self.sort_by is None:
+            if self.morsel_workers > 1 and not self._nl:
+                yield from self._morsel_batches(size)
+                return
             source = self.store.match_encoded_batches(self.pattern, size)
         else:
             position = next(pos for pos, name in self._out if name == self.sort_by)
@@ -340,6 +417,68 @@ class IndexScan(Operator):
             ]
             if batch:
                 yield batch
+
+    def _morsel_batches(self, size: int) -> Iterator[Batch]:
+        """Pull the scan as pool-projected morsels, repacked to ``size``."""
+        from repro.engine import parallel
+
+        morsels = self.store.match_encoded_batches(self.pattern, parallel.MORSEL_SIZE)
+        chunks = parallel.scan_morsels(
+            morsels,
+            tuple(position for position, _ in self._out),
+            self._eqs,
+            self.morsel_workers,
+        )
+        yield from _rebatch(chunks, size)
+
+    def column_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[ColumnBatch]:
+        if self.impossible:
+            return
+        size = self._batch_size(size)
+        width = len(self.schema)
+        if self.sort_by is not None:
+            # Sorted scans feed merge joins, which materialize rows
+            # anyway: transpose the (already filtered) row batches.
+            for batch in self.batches(size):
+                yield ColumnBatch.from_rows(batch, width)
+            return
+        if self.morsel_workers > 1 and not self._nl:
+            for batch in self._morsel_batches(size):
+                yield ColumnBatch.from_rows(batch, width)
+            return
+        out_positions = tuple(position for position, _ in self._out)
+        eqs, nl = self._eqs, self._nl
+        source = self.store.match_encoded_columns(self.pattern, size)
+        if not eqs and not nl:
+            # The vectorized fast path: pick 0–3 of the backend's s/p/o
+            # columns per batch — no per-row tuple is ever built.
+            for columns in source:
+                yield ColumnBatch(
+                    tuple(columns[p] for p in out_positions), len(columns[0])
+                )
+            return
+        is_literal = self.store.dictionary.is_literal_code
+        for columns in source:
+            length = len(columns[0])
+            keep: Sequence[int] = range(length)
+            for i, j in eqs:
+                column_i, column_j = columns[i], columns[j]
+                keep = [k for k in keep if column_i[k] == column_j[k]]
+            for position in nl:
+                column = columns[position]
+                keep = [k for k in keep if not is_literal(column[k])]
+            kept = len(keep)
+            if not kept:
+                continue
+            if kept == length:
+                yield ColumnBatch(
+                    tuple(columns[p] for p in out_positions), length
+                )
+            else:
+                yield ColumnBatch(
+                    tuple([columns[p][k] for k in keep] for p in out_positions),
+                    kept,
+                )
 
     def _describe(self) -> str:
         return f"IndexScan({self.atom}){list(self.schema)}"
@@ -407,6 +546,7 @@ class IndexNestedLoopJoin(Operator):
         """
         if self.impossible:
             return iter(())
+        resolved = self._batch_size(size)
         template, fills, eqs, nl = self._template, self._fills, self._eqs, self._nl
         match_many = self.store.match_many_encoded
         is_literal = self.store.dictionary.is_literal_code
@@ -450,7 +590,100 @@ class IndexNestedLoopJoin(Operator):
                     for row in rows:
                         yield [row + tail for tail in tails]
 
-        return _rebatch(joined_chunks(), size)
+        return _rebatch(joined_chunks(), resolved)
+
+    def column_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[ColumnBatch]:
+        """Columnar batched probing: group by key *vector*, probe once.
+
+        Input row indexes are grouped by probe key read straight off
+        the fill columns (a scalar vector when one column fills the
+        pattern — no per-row key tuple), the distinct keys become one
+        ``match_many_encoded`` call, and the output assembles per
+        column over a selection vector into the input batch plus the
+        transposed match tails. Row multiset and order both match the
+        row-batched path.
+        """
+        if self.impossible:
+            return
+        template, fills, eqs, nl = self._template, self._fills, self._eqs, self._nl
+        match_many = self.store.match_many_encoded
+        is_literal = self.store.dictionary.is_literal_code
+        out_positions = tuple(position for position, _ in self._out)
+        project = _projector(out_positions)
+        fill_positions = tuple(position for position, _ in fills)
+        fill_columns = tuple(column for _, column in fills)
+        scalar_key = len(fill_columns) == 1
+        single_out = len(out_positions) == 1
+        out_position = out_positions[0] if single_out else None
+        filtered = bool(eqs or nl)
+        for in_cb in self.child.column_batches(size):
+            length = len(in_cb)
+            groups: dict = {}
+            if scalar_key:
+                keys: Iterable = in_cb.columns[fill_columns[0]]
+            elif fill_columns:
+                keys = zip(*(in_cb.columns[c] for c in fill_columns))
+            else:
+                keys = None
+            if keys is None:
+                groups[()] = range(length)
+            else:
+                for index, key in enumerate(keys):
+                    group = groups.get(key)
+                    if group is None:
+                        groups[key] = [index]
+                    else:
+                        group.append(index)
+            patterns = []
+            for key in groups:
+                pattern = list(template)
+                if scalar_key:
+                    pattern[fill_positions[0]] = key
+                else:
+                    for position, value in zip(fill_positions, key):
+                        pattern[position] = value
+                patterns.append((pattern[0], pattern[1], pattern[2]))
+            sel: list[int] = []
+            flat_tails: list = []
+            for indexes, matches in zip(groups.values(), match_many(patterns)):
+                if not matches:
+                    continue
+                if filtered:
+                    matches = [
+                        triple
+                        for triple in matches
+                        if not any(triple[i] != triple[j] for i, j in eqs)
+                        and not any(is_literal(triple[p]) for p in nl)
+                    ]
+                    if not matches:
+                        continue
+                # Single new column (the chain-join shape): tails are
+                # bare values, emitted as the output column directly —
+                # no 1-tuples, no transpose.
+                if single_out:
+                    tails = [triple[out_position] for triple in matches]
+                else:
+                    tails = [project(triple) for triple in matches]
+                fanout = len(tails)
+                if fanout == 1:
+                    sel.extend(indexes)
+                else:
+                    for index in indexes:
+                        sel.extend([index] * fanout)
+                # Per group the tails repeat once per input row, in row
+                # order — one C-level list repeat instead of a loop.
+                count = len(indexes)
+                flat_tails.extend(tails if count == 1 else tails * count)
+            if not sel:
+                continue
+            columns = [
+                list(map(column.__getitem__, sel)) for column in in_cb.columns
+            ]
+            if single_out:
+                columns.append(flat_tails)
+            elif out_positions:
+                columns.extend(zip(*flat_tails))
+            yield ColumnBatch(tuple(columns), len(sel))
 
     def _describe(self) -> str:
         return f"IndexNestedLoopJoin({self.atom}){list(self.schema)}"
@@ -506,6 +739,7 @@ class HashJoin(Operator):
         plain concatenation. Output row order matches the row-at-a-time
         path exactly (left order, then build order per key).
         """
+        resolved = self._batch_size(size)
         keep_of = _projector(self._keep_right)
         # Best source first: cached pre-projected tails (indexed view
         # extents), then a cached row index, then build our own tails.
@@ -542,7 +776,78 @@ class HashJoin(Operator):
                 if chunk:
                     yield chunk
 
-        yield from _rebatch(joined_chunks(), size)
+        yield from _rebatch(joined_chunks(), resolved)
+
+    def _key_vector(self, cb: ColumnBatch, positions: tuple[int, ...], scalar: bool):
+        """The probe/build keys of one column batch, cheapest form first."""
+        if scalar:
+            return cb.columns[positions[0]]
+        if not positions:
+            return [()] * len(cb)
+        if len(positions) == 1:
+            return [(value,) for value in cb.columns[positions[0]]]
+        return zip(*(cb.columns[p] for p in positions))
+
+    def column_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[ColumnBatch]:
+        """Columnar build and probe.
+
+        When the build side is ours and the join key is one column, the
+        hash table is keyed on bare values read straight off the key
+        vectors — no per-row key tuple on either side. Prebuilt extent
+        indexes stay tuple-keyed (their contract). Output columns
+        assemble over a selection vector into the left batch plus the
+        transposed build tails; row order matches the row paths (left
+        order, then build order per key).
+        """
+        keep = self._keep_right
+        keep_of = _projector(keep)
+        table = self.right.hash_tails(self._right_keys, keep)
+        rows_not_tails = False
+        scalar_key = False
+        if table is None:
+            table = self.right.hash_index(self._right_keys)
+            rows_not_tails = table is not None
+        if table is None:
+            scalar_key = len(self._right_keys) == 1
+            table = {}
+            get = table.get
+            for right_cb in self.right.column_batches(size):
+                build_keys = self._key_vector(right_cb, self._right_keys, scalar_key)
+                if keep:
+                    if len(keep) == 1:
+                        build_tails: Iterable = [
+                            (value,) for value in right_cb.columns[keep[0]]
+                        ]
+                    else:
+                        build_tails = zip(*(right_cb.columns[p] for p in keep))
+                else:
+                    build_tails = [()] * len(right_cb)
+                for key, tail in zip(build_keys, build_tails):
+                    tails = get(key)
+                    if tails is None:
+                        table[key] = [tail]
+                    else:
+                        tails.append(tail)
+        get = table.get
+        for left_cb in self.left.column_batches(size):
+            probe_keys = self._key_vector(left_cb, self._left_keys, scalar_key)
+            sel: list[int] = []
+            flat_tails: list[tuple] = []
+            for index, key in enumerate(probe_keys):
+                matches = get(key)
+                if matches:
+                    fanout = len(matches)
+                    sel.extend([index] * fanout)
+                    if rows_not_tails:
+                        flat_tails.extend([keep_of(other) for other in matches])
+                    else:
+                        flat_tails.extend(matches)
+            if not sel:
+                continue
+            columns = [[column[i] for i in sel] for column in left_cb.columns]
+            if keep:
+                columns.extend(zip(*flat_tails))
+            yield ColumnBatch(tuple(columns), len(sel))
 
     def _describe(self) -> str:
         condition = ",".join(
@@ -610,6 +915,7 @@ class PartitionedHashJoin(Operator):
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
         from repro.engine.parallel import join_partition
 
+        resolved = self._batch_size(size)
         left_rows = self.left.rows_batched(size)
         right_rows = self.right.rows_batched(size)
         if (
@@ -628,7 +934,7 @@ class PartitionedHashJoin(Operator):
             )
         else:
             partition_results = self._parallel_results(left_rows, right_rows)
-        yield from _rebatch(partition_results, size)
+        yield from _rebatch(partition_results, resolved)
 
     def _parallel_results(self, left_rows: list, right_rows: list) -> Iterator[list]:
         """Partition both inputs and join partitions across the pool.
@@ -798,6 +1104,7 @@ class MergeJoin(Operator):
         still pays because the inputs arrive through the vectorized
         subtree and the output leaves in row-list batches.
         """
+        resolved = self._batch_size(size)
         left_key = self._key_function(self._left_keys)
         right_key = self._key_function(self._right_keys)
         left_rows = self._sorted_input(self.left, self._left_keys, left_key, size)
@@ -805,7 +1112,7 @@ class MergeJoin(Operator):
         batch: Batch = []
         for row in self._merge(left_rows, right_rows):
             batch.append(row)
-            if len(batch) >= size:
+            if len(batch) >= resolved:
                 yield batch
                 batch = []
         if batch:
@@ -841,6 +1148,16 @@ class Selection(Operator):
             batch = [row for row in in_batch if predicate(row)]
             if batch:
                 yield batch
+
+    def column_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[ColumnBatch]:
+        # Predicates see row tuples (their contract); the kept row
+        # indexes become a selection vector applied per column.
+        predicate = self.predicate
+        for cb in self.child.column_batches(size):
+            keep = [index for index, row in enumerate(cb) if predicate(row)]
+            if not keep:
+                continue
+            yield cb if len(keep) == len(cb) else cb.take(keep)
 
     def _children(self) -> tuple[Operator, ...]:
         return (self.child,)
@@ -897,6 +1214,26 @@ class Projection(Operator):
             if batch:
                 yield batch
 
+    def column_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[ColumnBatch]:
+        positions = self._positions
+        if not self.distinct:
+            # Zero-copy: the projected batch aliases the input columns.
+            for cb in self.child.column_batches(size):
+                yield cb.project(positions)
+            return
+        width = len(self.schema)
+        seen: set = set()
+        add = seen.add
+        for cb in self.child.column_batches(size):
+            batch: Batch = []
+            append = batch.append
+            for image in cb.project(positions):
+                if image not in seen:
+                    add(image)
+                    append(image)
+            if batch:
+                yield ColumnBatch.from_rows(batch, width)
+
     def _describe(self) -> str:
         return f"Projection[{','.join(self.schema)}]"
 
@@ -931,6 +1268,20 @@ class Distinct(Operator):
             if batch:
                 yield batch
 
+    def column_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[ColumnBatch]:
+        width = len(self.schema)
+        seen: set = set()
+        add = seen.add
+        for cb in self.child.column_batches(size):
+            batch: Batch = []
+            append = batch.append
+            for row in cb:
+                if row not in seen:
+                    add(row)
+                    append(row)
+            if batch:
+                yield ColumnBatch.from_rows(batch, width)
+
     def _children(self) -> tuple[Operator, ...]:
         return (self.child,)
 
@@ -951,6 +1302,9 @@ class Relabel(Operator):
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
         return self.child.batches(size)
+
+    def column_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[ColumnBatch]:
+        return self.child.column_batches(size)
 
     def _children(self) -> tuple[Operator, ...]:
         return (self.child,)

@@ -1,10 +1,21 @@
-"""Worker-pool plumbing of the parallel partitioned hash join.
+"""Worker-pool plumbing of the parallel operators.
 
-The :class:`~repro.engine.operators.PartitionedHashJoin` operator splits
-both join inputs into disjoint partitions by join-key hash and hands
-each partition to :func:`join_partition` — a self-contained, picklable
-function over plain row lists, so it runs identically in-process and in
-a worker process.
+Two parallel execution paths share the cached fork pools here:
+
+* the **partitioned hash join** —
+  :class:`~repro.engine.operators.PartitionedHashJoin` splits both join
+  inputs into disjoint partitions by join-key hash and hands each
+  partition to :func:`join_partition`, a self-contained, picklable
+  function over plain row lists, so it runs identically in-process and
+  in a worker process;
+* **morsel-driven scans** — :func:`scan_morsels` fans the fixed-size
+  encoded-triple morsels of one base scan
+  (:class:`~repro.engine.operators.IndexScan`) across the pool, each
+  worker projecting and equality-filtering its morsel through
+  :func:`scan_morsel`, with results streamed back *in submission
+  order* so the parallel scan's answer sequence is identical to the
+  serial one. A bounded in-flight window keeps memory proportional to
+  the worker count, not the scan size.
 
 Process pools are cached per worker count (:func:`get_executor`):
 forking a pool costs tens of milliseconds, which must be paid once per
@@ -21,13 +32,21 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from operator import itemgetter
 
 from repro.obs import metrics
 
 #: Live executors, keyed by worker count.
 _executors: dict[int, ProcessPoolExecutor] = {}
+
+#: Rows per scan morsel — the unit of work a pool worker pulls. Large
+#: enough that the pickle round-trip amortizes over thousands of rows,
+#: small enough that a scan splits into many independently schedulable
+#: pieces (the morsel-driven scheduling idea).
+MORSEL_SIZE = 8192
 
 
 def fork_context():
@@ -159,3 +178,101 @@ def join_partition(
     if metrics.enabled:
         metrics.inc("engine.parallel.join.rows_out", len(joined))
     return joined
+
+
+def scan_morsel(
+    morsel: list,
+    out_positions: tuple[int, ...],
+    eqs: tuple[tuple[int, int], ...],
+) -> list:
+    """Project (and equality-filter) one morsel of encoded triples.
+
+    Pure function over plain data — a list of ``(s, p, o)`` code
+    triples, the output positions, and the intra-atom equality pairs —
+    so it runs identically in-process and in a pool worker. Literal
+    filters (``non_literal`` variables) need the dictionary and are
+    therefore *not* morsel-eligible; the planner never parallelizes
+    those scans.
+    """
+    if eqs:
+        morsel = [
+            triple
+            for triple in morsel
+            if not any(triple[i] != triple[j] for i, j in eqs)
+        ]
+    width = len(out_positions)
+    if width == 1:
+        position = out_positions[0]
+        return [(triple[position],) for triple in morsel]
+    if width == 0:
+        return [()] * len(morsel)
+    project = itemgetter(*out_positions)
+    return [project(triple) for triple in morsel]
+
+
+def scan_morsels(
+    morsels,
+    out_positions: tuple[int, ...],
+    eqs: tuple[tuple[int, int], ...],
+    workers: int,
+):
+    """Fan one scan's morsels across the pool; yield projected row lists.
+
+    Results stream back **in submission order**, so the parallel scan
+    yields exactly the serial row sequence. At most ``2 × workers``
+    morsels are in flight at once (a bounded window): memory stays
+    proportional to the worker count while the pool always has work
+    queued. A pool that breaks mid-scan (a worker killed under memory
+    pressure) degrades to computing the remaining morsels in-process —
+    still in order, because every pending entry keeps its input morsel
+    for recomputation.
+    """
+    window = max(2, workers * 2)
+    pending: deque = deque()
+    executor = None
+    broken = False
+    nmorsels = nrows = 0
+
+    def submit(morsel):
+        nonlocal broken, executor
+        if broken:
+            return None
+        try:
+            if executor is None:
+                executor = get_executor(workers)
+            return executor.submit(scan_morsel, morsel, out_positions, eqs)
+        except (OSError, BrokenProcessPool):
+            broken = True
+            return None
+
+    def resolve(future, morsel):
+        nonlocal broken
+        if future is not None:
+            try:
+                return future.result()
+            except BrokenProcessPool:
+                broken = True
+        return scan_morsel(morsel, out_positions, eqs)
+
+    for morsel in morsels:
+        pending.append((submit(morsel), morsel))
+        if len(pending) < window:
+            continue
+        future, first = pending.popleft()
+        rows = resolve(future, first)
+        nmorsels += 1
+        nrows += len(rows)
+        if rows:
+            yield rows
+    while pending:
+        future, morsel = pending.popleft()
+        rows = resolve(future, morsel)
+        nmorsels += 1
+        nrows += len(rows)
+        if rows:
+            yield rows
+    if metrics.enabled:
+        metrics.inc("engine.morsel.count", nmorsels)
+        metrics.inc("engine.morsel.rows", nrows)
+        if broken:
+            metrics.inc("engine.morsel.fallback")

@@ -50,11 +50,17 @@ index to probe), ``merge`` sorts decoded terms by their N-Triples
 rendering; extent rows live in Python lists, so the rewriting route
 never pushes down.
 
-Execution is batch-at-a-time by default (see
-:mod:`repro.engine.operators` for the batch contract); with
-``workers > 1``, hash-join steps whose estimated cardinalities clear
-:data:`PARALLEL_ROW_THRESHOLD` run as parallel partitioned hash joins
-over a cached process pool.
+Execution is batched by default — columnar layout
+(:meth:`~repro.engine.operators.Operator.column_batches`) with
+``layout="row"`` kept as the ablation baseline; see
+:mod:`repro.engine.operators` for both batch contracts. Compilation
+annotates every operator with an adaptive batch size derived from the
+same estimated cardinalities the engine choice prices (used when
+``batch_size="adaptive"``). With ``workers > 1``, hash-join steps
+whose estimated cardinalities clear :data:`PARALLEL_ROW_THRESHOLD`
+run as parallel partitioned hash joins over a cached process pool,
+and unsorted leaf scans clearing :data:`MORSEL_PARALLEL_THRESHOLD`
+pull their matches as pool-projected morsels.
 """
 
 from __future__ import annotations
@@ -65,6 +71,7 @@ import time
 from typing import Iterable, Mapping, Sequence
 
 from repro.engine.operators import (
+    ADAPTIVE_BATCH_SIZE,
     DEFAULT_BATCH_SIZE,
     Empty,
     ExtentScan,
@@ -117,19 +124,57 @@ SQL_PUSHDOWN = "sql-pushdown"
 #: away — small Figure-8-style queries keep their streaming-join latency.
 PARALLEL_ROW_THRESHOLD = 50_000
 
+#: Estimated cardinality a base scan must reach before the planner
+#: turns on morsel-driven parallel scanning (``workers > 1``). Well
+#: below :data:`PARALLEL_ROW_THRESHOLD`: a morsel costs one pickle
+#: round-trip, not a full input materialization, so scans parallelize
+#: profitably long before partitioned joins do.
+MORSEL_PARALLEL_THRESHOLD = 16_384
+
+#: Clamp bounds of the adaptive per-operator batch size.
+_ADAPTIVE_MIN_BATCH = 64
+_ADAPTIVE_MAX_BATCH = 8_192
+
+
+def _adaptive_batch_size(estimate: float) -> int:
+    """The per-operator batch size for an estimated cardinality.
+
+    The smallest power of two covering the estimate, clamped to
+    [``64``, ``8192``]: an operator expected to produce a handful of
+    rows gets one small batch (no thousand-slot churn for nothing),
+    while a large scan gets wide batches that amortize the per-batch
+    hand-off. Powers of two keep the distinct sizes (and thus plan
+    variety) tiny.
+    """
+    size = _ADAPTIVE_MIN_BATCH
+    while size < estimate and size < _ADAPTIVE_MAX_BATCH:
+        size *= 2
+    return size
+
 
 def _check_engine(engine: str) -> None:
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; pick from {ENGINES}")
 
 
-def _check_batch_size(batch_size: int | None) -> int | None:
+def _check_batch_size(batch_size) -> int | str | None:
     """Normalize a public ``batch_size``: None/0 → tuple path, else ≥ 1.
+
+    The string :data:`~repro.engine.operators.ADAPTIVE_BATCH_SIZE`
+    (``"adaptive"``) passes through: each operator then resolves its
+    planner-annotated preferred size. Any other string is rejected.
 
     A negative size would silently produce empty batches downstream
     (``range``/``islice``/``fetchmany`` all treat it as "nothing"), so
     it is rejected here at the API boundary instead.
     """
+    if batch_size == ADAPTIVE_BATCH_SIZE:
+        return ADAPTIVE_BATCH_SIZE
+    if isinstance(batch_size, str):
+        raise ValueError(
+            f"batch_size must be an int, None or {ADAPTIVE_BATCH_SIZE!r}, "
+            f"got {batch_size!r}"
+        )
     if not batch_size:  # None or 0: the tuple-at-a-time path
         return None
     if batch_size < 0:
@@ -446,7 +491,16 @@ def _compile_query(
     workers: int = 1,
 ) -> Operator:
     """Compile under one resolved strategy — a fixed engine or
-    :data:`HYBRID` (``auto`` is resolved upstream)."""
+    :data:`HYBRID` (``auto`` is resolved upstream).
+
+    Besides building the tree, compilation annotates every operator
+    with its adaptive batch size (from the same estimated cardinalities
+    the engine choice prices — consulted only when the caller runs with
+    ``batch_size="adaptive"``) and turns on morsel-parallel scanning
+    for unsorted leaf scans whose estimate clears
+    :data:`MORSEL_PARALLEL_THRESHOLD` when ``workers > 1``. Both
+    annotations ride the prepared-plan cache with the tree.
+    """
     non_literal = query.non_literal
     variable_schema = tuple(
         sorted({v.name for v in query.variables()})
@@ -459,21 +513,43 @@ def _compile_query(
                 return Empty(variable_schema)
     order = estimator.join_order(query.atoms)
     atoms = query.atoms
+    counts = [float(estimator.atom_cardinality(atoms[i])) for i in order]
+    prefix = estimator.prefix_cardinalities(atoms, order)
     parallel_steps: set[int] = set()
     if workers > 1 and len(order) > 1:
         # A hash-join step goes parallel-partitioned only when the
         # estimated work (probe input + build side) clears the
         # threshold; small queries keep their streaming joins.
-        counts = [float(estimator.atom_cardinality(atoms[i])) for i in order]
-        prefix = estimator.prefix_cardinalities(atoms, order)
         for step in range(1, len(order)):
             if prefix[step - 1] + counts[step] >= PARALLEL_ROW_THRESHOLD:
                 parallel_steps.add(step)
-    root: Operator = IndexScan(store, atoms[order[0]], non_literal)
+
+    def scan(atom, estimate: float, sort_by: str | None = None) -> IndexScan:
+        leaf = IndexScan(store, atom, non_literal, sort_by=sort_by)
+        leaf.preferred_batch_size = _adaptive_batch_size(estimate)
+        if (
+            workers > 1
+            and sort_by is None
+            and not leaf._nl
+            and estimate >= MORSEL_PARALLEL_THRESHOLD
+        ):
+            # Morsel-parallel scanning: the scan pulls its matches as
+            # pool-projected morsels. Literal-filtered scans stay
+            # serial (the filter needs the dictionary in-process).
+            leaf.morsel_workers = workers
+        return leaf
+
+    def sized(operator: Operator, estimate: float) -> Operator:
+        operator.preferred_batch_size = _adaptive_batch_size(estimate)
+        return operator
+
+    root: Operator = scan(atoms[order[0]], counts[0])
     for step, index in enumerate(order[1:], start=1):
         atom = atoms[index]
         if engine == "index-nested-loop":
-            root = IndexNestedLoopJoin(root, store, atom, non_literal)
+            root = sized(
+                IndexNestedLoopJoin(root, store, atom, non_literal), prefix[step]
+            )
             continue
         if engine == HYBRID:
             connected = any(
@@ -481,10 +557,13 @@ def _compile_query(
                 for term in atom
             )
             if connected:
-                root = IndexNestedLoopJoin(root, store, atom, non_literal)
+                root = sized(
+                    IndexNestedLoopJoin(root, store, atom, non_literal),
+                    prefix[step],
+                )
                 continue
             # Cartesian step: fall through to a hash join.
-        right: Operator = IndexScan(store, atom, non_literal)
+        right: Operator = scan(atom, counts[step])
         pairs, keep_right = _natural_pairs(root.schema, right.schema)
         if engine == "merge":
             if len(pairs) == 1:
@@ -492,16 +571,17 @@ def _compile_query(
                 # Feed the merge from the store's sorted permutations
                 # when a leaf can produce the order natively.
                 if isinstance(root, IndexScan) and root.sort_by != column:
-                    root = IndexScan(store, root.atom, non_literal, sort_by=column)
-                right = IndexScan(store, atom, non_literal, sort_by=column)
+                    root = scan(root.atom, counts[0], sort_by=column)
+                right = scan(atom, counts[step], sort_by=column)
                 pairs, keep_right = _natural_pairs(root.schema, right.schema)
-            root = MergeJoin(root, right, pairs, keep_right)
+            root = sized(MergeJoin(root, right, pairs, keep_right), prefix[step])
         elif step in parallel_steps:
-            root = PartitionedHashJoin(
-                root, right, pairs, keep_right, workers=workers
+            root = sized(
+                PartitionedHashJoin(root, right, pairs, keep_right, workers=workers),
+                prefix[step],
             )
         else:
-            root = HashJoin(root, right, pairs, keep_right)
+            root = sized(HashJoin(root, right, pairs, keep_right), prefix[step])
     return root
 
 
@@ -510,9 +590,10 @@ def run_query(
     store: TripleStore,
     engine: str = "auto",
     statistics=None,
-    batch_size: int | None = DEFAULT_BATCH_SIZE,
+    batch_size: int | str | None = DEFAULT_BATCH_SIZE,
     workers: int = 1,
     pushdown: bool = True,
+    layout: str = "columnar",
 ) -> set[tuple[Term, ...]]:
     """All answers of the query on the store (set semantics, decoded).
 
@@ -525,12 +606,18 @@ def run_query(
     explicit ``statistics`` provider, and the tuple-at-a-time path
     (``batch_size=None``) — both baselines stay observable.
 
-    Otherwise execution is batch-at-a-time by default (``batch_size``
-    rows per operator hand-off); ``batch_size=None`` selects the
-    tuple-at-a-time path, kept as the measured baseline of the batched
-    engine. The answer set is identical on every route. ``workers``
-    enables the parallel partitioned hash join on plans the cost model
-    deems big enough (see :func:`plan_query`).
+    Otherwise execution is batched by default: ``layout="columnar"``
+    (the default) drives the plan through the vectorized
+    ``column_batches`` path and folds whole column batches into the
+    answer-image set; ``layout="row"`` keeps the row-list batches of
+    PR 4 as the measured ablation baseline. ``batch_size`` sets the
+    rows per operator hand-off — an int, or ``"adaptive"`` to let each
+    operator use its planner-annotated size; ``batch_size=None``
+    selects the tuple-at-a-time path, kept as the measured baseline of
+    the batched engine. The answer set is identical on every route.
+    ``workers`` enables the parallel partitioned hash join and
+    morsel-parallel scans on plans the cost model deems big enough
+    (see :func:`plan_query`).
 
     >>> from repro.query.parser import parse_query
     >>> from repro.rdf.ntriples import parse_ntriples
@@ -558,7 +645,8 @@ def run_query(
         started = time.perf_counter()
         with tracing.span("engine.run_query", query=query.name, engine=engine):
             answers = _run_query(
-                query, store, engine, statistics, batch_size, workers, pushdown
+                query, store, engine, statistics, batch_size, workers,
+                pushdown, layout,
             )
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         if metrics.enabled:
@@ -572,8 +660,17 @@ def run_query(
             )
         return answers
     return _run_query(
-        query, store, engine, statistics, batch_size, workers, pushdown
+        query, store, engine, statistics, batch_size, workers, pushdown, layout
     )
+
+
+#: The selectable batch layouts of the interpreted batched path.
+LAYOUTS = ("columnar", "row")
+
+
+def _check_layout(layout: str) -> None:
+    if layout not in LAYOUTS:
+        raise ValueError(f"unknown layout {layout!r}; pick from {LAYOUTS}")
 
 
 def _run_query(
@@ -581,11 +678,13 @@ def _run_query(
     store: TripleStore,
     engine: str,
     statistics,
-    batch_size: int | None,
+    batch_size,
     workers: int,
     pushdown: bool,
+    layout: str = "columnar",
 ) -> set[tuple[Term, ...]]:
     batch_size = _check_batch_size(batch_size)
+    _check_layout(layout)
     if (
         pushdown
         and engine == "auto"
@@ -616,10 +715,28 @@ def _run_query(
     if batch_size is not None and all(slot is not None for slot in slots):
         # Batched fast path for all-variable heads: deduplicate *encoded*
         # head images first, then decode each distinct image once.
-        project = _projector(slots)
         images: set[tuple] = set()
-        for batch in root.batches(batch_size):
-            images.update([project(row) for row in batch])
+        nbatches = nrows = 0
+        if layout == "columnar":
+            # Columnar drive: pick the head columns off each batch and
+            # fold the whole transposed batch into the image set in one
+            # C-speed ``set.update(zip(...))`` — no Python-level row loop.
+            for cb in root.column_batches(batch_size):
+                nbatches += 1
+                nrows += len(cb)
+                if slots:
+                    images.update(zip(*(cb.columns[slot] for slot in slots)))
+                else:
+                    images.add(())
+        else:
+            project = _projector(slots)
+            for batch in root.batches(batch_size):
+                nbatches += 1
+                nrows += len(batch)
+                images.update([project(row) for row in batch])
+        if metrics.enabled:
+            metrics.inc("engine.batch.count", nbatches)
+            metrics.inc("engine.batch.rows", nrows)
         decoded_cache: dict[int, Term] = {}
         answers: set[tuple[Term, ...]] = set()
         for image in images:
@@ -733,7 +850,7 @@ def run_plan(
     plan: algebra.Plan,
     extents: Mapping[str, Sequence[tuple]],
     engine: str = "auto",
-    batch_size: int | None = DEFAULT_BATCH_SIZE,
+    batch_size: int | str | None = DEFAULT_BATCH_SIZE,
 ) -> list[tuple]:
     """Execute a rewriting plan over view extents.
 
@@ -742,7 +859,8 @@ def run_plan(
     the row order is exactly the seed's (scan order, hash joins
     streaming the left input) — the batched operators preserve that
     order, so ``batch_size`` only moves speed. ``batch_size=None``
-    selects the tuple-at-a-time path.
+    selects the tuple-at-a-time path; ``"adaptive"`` degrades to the
+    default size here (rewriting plans carry no cardinality estimates).
 
     >>> from repro.query.algebra import Join, Scan
     >>> extents = {"v1": [(1, 2), (4, 5)], "v2": [(2, 3)]}

@@ -105,6 +105,21 @@ class _Probe(Operator):
             stats.rows_out += len(batch)
             yield batch
 
+    def column_batches(self, size=DEFAULT_BATCH_SIZE):
+        stats = self.stats
+        iterator = self.inner.column_batches(size)
+        while True:
+            started = time.perf_counter()
+            try:
+                cb = next(iterator)
+            except StopIteration:
+                stats.wall_ms += (time.perf_counter() - started) * 1000.0
+                return
+            stats.wall_ms += (time.perf_counter() - started) * 1000.0
+            stats.batches += 1
+            stats.rows_out += len(cb)
+            yield cb
+
     def hash_index(self, positions):
         started = time.perf_counter()
         table = self.inner.hash_index(positions)
@@ -190,6 +205,12 @@ def _annotations(probe: _Probe) -> dict:
     annotations["time_ms"] = round(stats.wall_ms, 2)
     if stats.est_rows is not None:
         annotations["est_rows"] = round(stats.est_rows, 1)
+    hint = getattr(probe.inner, "preferred_batch_size", None)
+    if hint is not None:
+        annotations["batch_hint"] = hint
+    morsels = getattr(probe.inner, "morsel_workers", 0)
+    if morsels > 1:
+        annotations["morsel_workers"] = morsels
     return annotations
 
 

@@ -132,9 +132,10 @@ def evaluate(
     store: TripleStore,
     engine: str = "auto",
     statistics=None,
-    batch_size: int | None = DEFAULT_BATCH_SIZE,
+    batch_size: int | str | None = DEFAULT_BATCH_SIZE,
     workers: int = 1,
     pushdown: bool = True,
+    layout: str = "columnar",
 ) -> set[Answer]:
     """All answers of a conjunctive query on the store (set semantics).
 
@@ -144,10 +145,13 @@ def evaluate(
     ``engine="auto"`` on a SQL-capable backend (SQLite), an eligible
     query runs as one pushed-down SQL statement inside the backend;
     ``pushdown=False`` keeps the interpreted operator tree (the
-    ablation baseline). Execution is otherwise batch-at-a-time
-    (``batch_size`` rows per operator hand-off; ``None`` restores the
-    tuple-at-a-time path) and ``workers`` enables the parallel
-    partitioned hash join on big-enough plans.
+    ablation baseline). Execution is otherwise batched — columnar by
+    default, ``layout="row"`` for the row-list ablation baseline —
+    with ``batch_size`` rows per operator hand-off (an int,
+    ``"adaptive"`` for planner-derived per-operator sizes, or ``None``
+    to restore the tuple-at-a-time path); ``workers`` enables the
+    parallel partitioned hash join and morsel-parallel scans on
+    big-enough plans.
     """
     return run_query(
         query,
@@ -157,6 +161,7 @@ def evaluate(
         batch_size=batch_size,
         workers=workers,
         pushdown=pushdown,
+        layout=layout,
     )
 
 

@@ -110,6 +110,7 @@ class TripleStore:
             ("iter_sorted", backend.iter_sorted),
             ("match_sorted", backend.match_sorted),
             ("match_encoded_batches", backend.match_batches),
+            ("match_encoded_columns", backend.match_columns),
             ("match_sorted_batches", backend.match_sorted_batches),
             ("match_many_encoded", backend.match_many),
         ):
@@ -265,6 +266,17 @@ class TripleStore:
         (SQLite serves each batch with a single ``fetchmany``).
         """
         return self._backend.match_batches(pattern, size)
+
+    def match_encoded_columns(
+        self, pattern: EncodedPattern, size: int = DEFAULT_BATCH_SIZE
+    ):
+        """Matches of an encoded pattern in columnar layout.
+
+        The vectorized engine's scan input: ``(s, p, o)`` column tuples
+        of at most ``size`` values each, transposed natively by the
+        backend (see :meth:`repro.storage.base.StorageBackend.match_columns`).
+        """
+        return self._backend.match_columns(pattern, size)
 
     def match_sorted_batches(
         self,

@@ -29,6 +29,7 @@ from typing import Sequence
 
 from repro.engine import DEFAULT_BATCH_SIZE
 from repro.engine.parallel import fork_context
+from repro.engine.planner import _check_batch_size
 from repro.obs import metrics
 from repro.server.protocol import ServerError
 
@@ -308,7 +309,11 @@ class WorkerPool:
             raise ValueError("a worker pool needs at least one worker")
         self.path = str(path)
         self.backend = backend
-        self.batch_size = batch_size
+        # Normalize once, before any worker forks: the protocol and
+        # replay() hand sizes through verbatim, and an invalid size
+        # must fail here — loudly — rather than inside N workers, while
+        # 0 must mean the tuple path exactly as it does on the CLI.
+        self.batch_size = _check_batch_size(batch_size)
         self.engine = engine
         self.collect_metrics = collect_metrics
         self.test_hooks = test_hooks

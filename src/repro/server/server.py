@@ -45,6 +45,7 @@ from multiprocessing.connection import Listener
 from pathlib import Path
 
 from repro.engine import DEFAULT_BATCH_SIZE
+from repro.engine.planner import _check_batch_size
 from repro.obs.metrics import MetricsRegistry
 from repro.server.pool import BatchFailed, WorkerCrash, WorkerPool
 from repro.server.protocol import ServerError
@@ -86,6 +87,10 @@ class Server:
         if not Path(self.path).is_file():
             raise ServerError(f"snapshot {self.path} does not exist")
         cfg = self.config
+        # Same normalization as the CLI/engine boundary: 0 → None (the
+        # tuple path), "adaptive" passes, anything invalid raises here
+        # instead of surfacing per-request inside the workers.
+        cfg.batch_size = _check_batch_size(cfg.batch_size)
         self.metrics = MetricsRegistry()
         self._metrics_lock = threading.Lock()
         #: ``(worker_index, texts_tuple)`` per executed batch, in

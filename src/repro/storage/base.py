@@ -167,6 +167,23 @@ class StorageBackend(ABC):
                 return
             yield batch
 
+    def match_columns(
+        self, pattern: EncodedPattern, size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[tuple[Sequence[int], Sequence[int], Sequence[int]]]:
+        """Matches of a pattern in **columnar** layout.
+
+        Yields one ``(s_column, p_column, o_column)`` triple of equal-
+        length value sequences per batch of at most ``size`` matches —
+        the native input of the engine's vectorized scan
+        (:meth:`repro.engine.operators.IndexScan.column_batches`). The
+        base derivation transposes :meth:`match_batches` with one
+        C-speed ``zip`` per batch; the built-in backends override it
+        (the memory backend transposes an index bucket once, SQLite
+        transposes each ``fetchmany`` chunk).
+        """
+        for batch in self.match_batches(pattern, size):
+            yield tuple(zip(*batch))
+
     def match_many(
         self, patterns: Sequence[EncodedPattern]
     ) -> list[Sequence[EncodedTriple]]:

@@ -116,6 +116,23 @@ class MemoryBackend(StorageBackend):
             return self._idx_o.get(o, ())
         return self._triples
 
+    def match_columns(self, pattern, size=1024):
+        # One C-speed transpose of the whole index bucket, then yield
+        # column slices: no per-row tuple is ever built, and the common
+        # bucket-fits-one-batch case hands the transposed columns out
+        # without any further copying.
+        matches = self.match(pattern)
+        if not matches:
+            return
+        s_col, p_col, o_col = zip(*matches)
+        length = len(s_col)
+        if length <= size:
+            yield (s_col, p_col, o_col)
+            return
+        for start in range(0, length, size):
+            end = start + size
+            yield (s_col[start:end], p_col[start:end], o_col[start:end])
+
     def match_many(self, patterns):
         # The dict indexes already hold each answer as a collection:
         # hand the buckets out as-is (callers must not mutate them)

@@ -282,6 +282,22 @@ class SqliteBackend(StorageBackend):
                 return
             yield batch
 
+    def match_columns(
+        self, pattern: EncodedPattern, size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[tuple]:
+        s, p, o = pattern
+        if s is not None and p is not None and o is not None:
+            if (s, p, o) in self:
+                yield ((s,), (p,), (o,))
+            return
+        where, params = _where(pattern)
+        cursor = self._con.execute(f"SELECT s, p, o FROM triples{where}", params)
+        while True:
+            batch = cursor.fetchmany(size)
+            if not batch:
+                return
+            yield tuple(zip(*batch))
+
     def match_sorted_batches(
         self,
         pattern: EncodedPattern,

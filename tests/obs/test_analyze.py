@@ -93,6 +93,26 @@ def test_joins_carry_estimates_next_to_actuals(backend, stores, q_painters):
 
 
 @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+def test_adaptive_sizes_report_as_batch_hints(backend, stores, q_painters):
+    """``batch_size="adaptive"`` analyzes like any other size and every
+    planner-sized operator reports the batch size it resolved to."""
+    store = stores[backend]
+    report = analyze_query(
+        q_painters, store, batch_size="adaptive", pushdown=False
+    )
+    assert report.answers == evaluate(q_painters, store)
+    hints = [
+        node.annotations["batch_hint"]
+        for node in report.tree.walk()
+        if "batch_hint" in node.annotations
+    ]
+    assert hints, "scans and joins must carry their adaptive size"
+    for hint in hints:
+        assert 64 <= hint <= 8192
+        assert hint & (hint - 1) == 0  # a power of two
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
 def test_analyze_union_matches_evaluate_union(backend, stores):
     store = stores[backend]
     disjuncts = (_chain(), _chain_typed())

@@ -2,15 +2,18 @@
 safety net).
 
 The batched operators must be invisible semantically: for any store,
-any query, any batch size — including the degenerate size 1 and a prime
-size that never divides the row counts evenly — and serial or parallel
-partitioned hash joins, the engine returns exactly the answers of the
-tuple-at-a-time path and of the seed's greedy evaluator. Rewriting
-plans over extents additionally preserve the row *multiset* (duplicates
-and all) across batch sizes.
+any query, any batch size — including the degenerate size 1, a prime
+size that never divides the row counts evenly, and the planner-derived
+``"adaptive"`` sizes — in either batch layout (columnar
+:class:`~repro.engine.columnar.ColumnBatch` streams or row lists), and
+serial or parallel (partitioned hash joins, morsel-driven scans), the
+engine returns exactly the answers of the tuple-at-a-time path and of
+the seed's greedy evaluator. Rewriting plans over extents additionally
+preserve the row *multiset* (duplicates and all) across batch sizes.
 
 The matrix runs per storage backend: the SQLite backend serves batches
-through ``fetchmany`` and batched probes through single-statement
+through ``fetchmany`` (and columnar batches through ``fetchmany``
+transpose) and batched probes through single-statement
 ``IN (VALUES ...)`` queries, which must not change a single row.
 """
 
@@ -21,8 +24,15 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 import repro.engine.operators as operators
+import repro.engine.parallel as parallel
 import repro.engine.planner as planner
-from repro.engine import ENGINES, PartitionedHashJoin, plan_query, run_plan
+from repro.engine import (
+    ENGINES,
+    ColumnBatch,
+    PartitionedHashJoin,
+    plan_query,
+    run_plan,
+)
 from repro.query.algebra import Join, Project, Scan
 from repro.query.cq import Atom, ConjunctiveQuery, Variable
 from repro.query.evaluation import evaluate, evaluate_greedy
@@ -33,8 +43,12 @@ from repro.storage import BACKENDS
 
 from tests.property.strategies import ENTITIES, queries, stores
 
-#: Batch sizes the parity matrix sweeps: degenerate, prime, default.
-BATCH_SIZES = (1, 7, None)
+#: Batch sizes the parity matrix sweeps: degenerate, prime,
+#: planner-derived per-operator sizes, and the engine default.
+BATCH_SIZES = (1, 7, "adaptive", None)
+
+#: Both batch layouts: the columnar default and the row-list ablation.
+LAYOUTS = ("columnar", "row")
 
 backends = pytest.mark.parametrize("backend", BACKENDS)
 
@@ -45,7 +59,7 @@ def _batch_size(value):
 
 
 @backends
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=25, deadline=None)
 @given(data=st.data())
 def test_batched_answers_match_tuple_at_a_time(backend, data):
     store = data.draw(stores(backend=backend), label="store")
@@ -53,9 +67,13 @@ def test_batched_answers_match_tuple_at_a_time(backend, data):
     expected = evaluate_greedy(query, store)
     for engine in ENGINES:
         assert evaluate(query, store, engine=engine, batch_size=None) == expected
-        for size in BATCH_SIZES:
-            got = evaluate(query, store, engine=engine, **_batch_size(size))
-            assert got == expected, (engine, size)
+        for layout in LAYOUTS:
+            for size in BATCH_SIZES:
+                got = evaluate(
+                    query, store, engine=engine, layout=layout,
+                    **_batch_size(size),
+                )
+                assert got == expected, (engine, layout, size)
 
 
 @backends
@@ -75,6 +93,59 @@ def test_batch_stream_is_well_formed(backend, data):
             assert 0 < len(batch) <= size
             batched.extend(batch)
         assert Counter(batched) == Counter(rows), engine
+
+
+@backends
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_column_batch_stream_is_well_formed(backend, data):
+    """Columnar streams carry the same row multiset as ``__iter__``,
+    with equal-length non-empty columns — and consuming them leaves the
+    tuple-at-a-time iteration order untouched."""
+    store = data.draw(stores(backend=backend), label="store")
+    query = data.draw(queries(), label="query")
+    size = data.draw(st.integers(1, 9), label="size")
+    for engine in ENGINES:
+        root = plan_query(query, store, engine=engine)
+        rows_before = list(root)
+        width = len(root.schema)
+        transposed = []
+        for cb in root.column_batches(size):
+            assert isinstance(cb, ColumnBatch)
+            assert len(cb.columns) == width
+            assert len(cb) > 0
+            for column in cb.columns:
+                assert len(column) == len(cb)
+            transposed.extend(cb.rows())
+        assert Counter(transposed) == Counter(rows_before), engine
+        assert list(root) == rows_before, engine
+
+
+@backends
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_morsel_parallel_scan_parity(backend, data, monkeypatch):
+    """Morsel-driven scans move speed only: with the eligibility
+    threshold forced to zero and tiny morsels, workers=2 answers are
+    identical to serial in both layouts at every batch size."""
+    store = data.draw(stores(backend=backend, min_size=4), label="store")
+    query = data.draw(queries(), label="query")
+    monkeypatch.setattr(planner, "MORSEL_PARALLEL_THRESHOLD", 0)
+    monkeypatch.setattr(parallel, "MORSEL_SIZE", 16)
+    expected = evaluate_greedy(query, store)
+    for layout in LAYOUTS:
+        for size in (1, "adaptive", None):
+            got = evaluate(
+                query, store, workers=2, layout=layout, pushdown=False,
+                **_batch_size(size),
+            )
+            assert got == expected, (layout, size)
+    # workers=1 never routes through the morsel dispatcher.
+    assert evaluate(query, store, workers=1, pushdown=False) == expected
 
 
 @settings(max_examples=30, deadline=None)
@@ -189,3 +260,23 @@ def test_negative_batch_size_is_rejected():
         evaluate(query, store, batch_size=-5)
     with pytest.raises(ValueError, match="batch_size must be positive"):
         run_plan(Scan("v", ("x",)), {"v": [(1,)]}, batch_size=-1)
+
+
+def test_unknown_batch_size_string_is_rejected():
+    """Only the ``"adaptive"`` sentinel is a legal string size."""
+    store = TripleStore()
+    store.add(Triple(URI("http://u/e0"), URI("http://u/p0"), URI("http://u/e1")))
+    X = Variable("X")
+    query = ConjunctiveQuery((X,), (Atom(X, URI("http://u/p0"), URI("http://u/e1")),))
+    with pytest.raises(ValueError, match="batch_size"):
+        evaluate(query, store, batch_size="huge")
+    assert evaluate(query, store, batch_size="adaptive") == evaluate(query, store)
+
+
+def test_unknown_layout_is_rejected():
+    store = TripleStore()
+    store.add(Triple(URI("http://u/e0"), URI("http://u/p0"), URI("http://u/e1")))
+    X = Variable("X")
+    query = ConjunctiveQuery((X,), (Atom(X, URI("http://u/p0"), URI("http://u/e1")),))
+    with pytest.raises(ValueError, match="layout"):
+        evaluate(query, store, layout="diagonal")

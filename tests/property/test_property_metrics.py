@@ -235,6 +235,51 @@ def test_served_answers_and_metrics_match_serial(data):
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_and_morsel_counters_are_guarded_per_query(backend, monkeypatch):
+    """``engine.batch.*`` counts the head-image drive loop's hand-offs
+    (one guarded ``inc`` per query, never per batch), and
+    ``engine.morsel.*`` appears exactly when a scan ran morsel-parallel.
+    """
+    import repro.engine.parallel as parallel
+    import repro.engine.planner as planner
+    from repro.query.cq import Atom, ConjunctiveQuery, Variable
+    from repro.rdf.store import TripleStore
+    from repro.rdf.terms import URI
+    from repro.rdf.triples import Triple
+
+    store = TripleStore(backend=backend)
+    p0, p1 = URI("http://u/p0"), URI("http://u/p1")
+    for i in range(90):
+        store.add(Triple(URI(f"http://u/e{i}"), p0, URI(f"http://u/f{i % 9}")))
+        store.add(Triple(URI(f"http://u/f{i % 9}"), p1, URI(f"http://u/g{i % 4}")))
+    X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+    query = ConjunctiveQuery((X, Z), (Atom(X, p0, Y), Atom(Y, p1, Z)))
+
+    metrics.reset()
+    with metrics.enabled_registry():
+        answers = evaluate(query, store, engine="hash", pushdown=False)
+    counters = dict(metrics.registry().counters)
+    assert counters["engine.batch.count"] >= 1
+    assert counters["engine.batch.rows"] >= len(answers)
+    assert "engine.morsel.count" not in counters  # serial: no morsels
+
+    # engine="hash" keeps both inputs as unsorted base scans — the
+    # shape the morsel dispatcher applies to once the threshold drops.
+    monkeypatch.setattr(planner, "MORSEL_PARALLEL_THRESHOLD", 0)
+    monkeypatch.setattr(parallel, "MORSEL_SIZE", 16)
+    metrics.reset()
+    with metrics.enabled_registry():
+        parallel_answers = evaluate(
+            query, store, engine="hash", workers=2, pushdown=False
+        )
+    assert parallel_answers == answers
+    counters = dict(metrics.registry().counters)
+    assert counters.get("engine.morsel.count", 0) >= 1
+    assert counters.get("engine.morsel.rows", 0) >= 1
+    assert counters["engine.batch.count"] >= 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("batch_size", [2, 1024])
 @settings(max_examples=10, deadline=None)
 @given(data=st.data())

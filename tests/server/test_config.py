@@ -1,0 +1,60 @@
+"""Regression tests for server-side batch-size normalization.
+
+The CLI maps ``--batch-size 0`` to the tuple-at-a-time path through
+``_check_batch_size``, but the server protocol and the worker pool used
+to pass sizes through verbatim — a 0 reaching ``run_query_batch``
+inside a worker would request zero-row batches. Both entry points now
+normalize through the same ``_check_batch_size`` boundary, before any
+worker forks, so invalid sizes fail loudly in the parent process.
+"""
+
+import pytest
+
+from repro.server import Server, ServerConfig
+from repro.server.pool import WorkerPool
+
+from tests.server.conftest import WORKLOAD
+
+
+def test_worker_pool_normalizes_batch_size_zero(snapshot):
+    pool = WorkerPool(snapshot, workers=1, batch_size=0)
+    try:
+        assert pool.batch_size is None
+    finally:
+        pool.shutdown()
+
+
+def test_worker_pool_rejects_invalid_sizes_before_forking(snapshot):
+    with pytest.raises(ValueError, match="batch_size"):
+        WorkerPool(snapshot, workers=1, batch_size=-4)
+    with pytest.raises(ValueError, match="batch_size"):
+        WorkerPool(snapshot, workers=1, batch_size="vectorized")
+
+
+def test_server_normalizes_config_and_serves_tuple_path(snapshot, reference):
+    """``batch_size=0`` round-trips: normalized to None on the config,
+    handed to the pool, and the served answers still match serial
+    evaluation on the tuple-at-a-time path."""
+    config = ServerConfig(workers=1, batch_size=0, window_ms=0.0)
+    with Server(snapshot, config) as server:
+        assert server.config.batch_size is None
+        assert server.pool.batch_size is None
+        with server.connect() as client:
+            for text in WORKLOAD[:2]:
+                answers = client.query(text, timeout=60.0).answers_or_raise()
+                assert frozenset(answers) == reference[text]
+
+
+def test_server_accepts_adaptive_batch_size(snapshot, reference):
+    config = ServerConfig(workers=1, batch_size="adaptive", window_ms=0.0)
+    with Server(snapshot, config) as server:
+        assert server.config.batch_size == "adaptive"
+        with server.connect() as client:
+            text = WORKLOAD[2]
+            answers = client.query(text, timeout=60.0).answers_or_raise()
+            assert frozenset(answers) == reference[text]
+
+
+def test_server_rejects_invalid_batch_size(snapshot):
+    with pytest.raises(ValueError, match="batch_size"):
+        Server(snapshot, ServerConfig(workers=1, batch_size=-1))

@@ -70,6 +70,24 @@ def test_match_batches_chunk_match_exactly(backend, size):
 
 
 @backends
+@pytest.mark.parametrize("size", [1, 7, 1024])
+def test_match_columns_transpose_match_exactly(backend, size):
+    """``match_columns`` is ``match_batches`` transposed: same triples,
+    same chunking bound, one equal-length sequence per column."""
+    store = _populated_store(backend)
+    for pattern in _all_shapes(store):
+        expected = sorted(store.match_encoded(pattern))
+        flattened = []
+        for columns in store.match_encoded_columns(pattern, size):
+            assert len(columns) == 3
+            s_col, p_col, o_col = columns
+            assert len(s_col) == len(p_col) == len(o_col)
+            assert 0 < len(s_col) <= size
+            flattened.extend(zip(s_col, p_col, o_col))
+        assert sorted(flattened) == expected, pattern
+
+
+@backends
 @pytest.mark.parametrize("size", [1, 13])
 def test_match_sorted_batches_preserve_order(backend, size):
     store = _populated_store(backend)

@@ -91,6 +91,34 @@ def test_explain_prints_plans_and_chosen_engine(capsys, data_file, workload_file
     assert "IndexScan" in out
 
 
+def test_explain_adaptive_batch_size_reports_hints(
+    capsys, data_file, workload_file
+):
+    out = run_cli(
+        capsys,
+        "--data", str(data_file),
+        "--queries", str(workload_file),
+        "--time-limit", "2",
+        "--explain",
+        "--batch-size", "adaptive",
+        "--engine", "hash",
+        "--show-answers",
+    )
+    assert "physical plans on the store [batch-size=adaptive workers=1]:" in out
+    assert "batch_hint=" in out
+    assert "q1: 1 answers" in out  # adaptive sizes execute end to end
+
+
+def test_batch_size_rejects_unknown_strings(data_file, workload_file, capsys):
+    with pytest.raises(SystemExit):
+        main([
+            "--data", str(data_file),
+            "--queries", str(workload_file),
+            "--batch-size", "vectorized",
+        ])
+    capsys.readouterr()
+
+
 def test_explain_honors_fixed_engine(capsys, data_file, workload_file):
     out = run_cli(
         capsys,
